@@ -1,0 +1,73 @@
+// vpass_explorer — walk one refresh interval day by day and print every
+// decision the Vpass Tuning controller makes for a block: the measured
+// MEE, the remaining ECC margin, the step-search probes, and the chosen
+// pass-through voltage; then show the interval's peak RBER against the
+// unmitigated baseline.
+//
+// Usage: ./build/examples/vpass_explorer [pe_cycles] [reads_per_interval]
+//        defaults: 8000 P/E, 200000 reads
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/endurance.h"
+#include "core/vpass_tuning.h"
+#include "ecc/ecc_model.h"
+#include "flash/rber_model.h"
+
+using namespace rdsim;
+
+int main(int argc, char** argv) {
+  const double pe = argc > 1 ? std::atof(argv[1]) : 8000.0;
+  const double reads = argc > 2 ? std::atof(argv[2]) : 200e3;
+  const auto params = flash::FlashModelParams::default_2ynm();
+  const flash::RberModel model(params);
+  const ecc::EccModel ecc{ecc::EccConfig::paper_provisioning()};
+  core::VpassTuningController controller(ecc, params.vpass_nominal);
+
+  std::printf("block: %.0f P/E cycles, %.0f reads per 7-day refresh "
+              "interval\n", pe, reads);
+  std::printf("ECC: %d bits/codeword usable of %d, %d codewords/page\n",
+              ecc.usable_capability(), ecc.capability(),
+              ecc.config().codewords_per_page);
+
+  std::printf("\n%4s %8s %6s %8s %8s %10s %9s\n", "day", "action", "MEE",
+              "margin", "probes", "Vpass", "dVpass%");
+  double disturb_rber = 0.0;
+  double vpass = params.vpass_nominal;
+  for (int day = 0; day < 7; ++day) {
+    core::AnalyticBlockProbe probe(
+        model, ecc,
+        {pe, static_cast<double>(day), 0.0, params.vpass_nominal});
+    // Fold the accumulated disturb into the probe's view via the
+    // condition's reads field at nominal Vpass equivalence.
+    const double eq_reads = disturb_rber / model.disturb_rber(pe, 1.0, vpass);
+    probe.set_condition({pe, static_cast<double>(day),
+                         eq_reads > 0 ? eq_reads : 0.0, vpass});
+    const auto decision = day == 0
+                              ? controller.relearn(probe)
+                              : controller.verify_or_raise(probe, vpass);
+    vpass = decision.vpass;
+    std::printf("%4d %8s %6d %8d %8d %10.1f %8.2f%%\n", day,
+                day == 0 ? "relearn" : "verify", decision.mee,
+                decision.margin, decision.probe_steps, vpass,
+                (1.0 - vpass / params.vpass_nominal) * 100.0);
+    disturb_rber += model.disturb_rber(pe, reads / 7.0, vpass);
+  }
+
+  const core::EnduranceEvaluator evaluator(model, ecc);
+  const auto base = evaluator.simulate_interval(pe, reads, false);
+  const auto tuned = evaluator.simulate_interval(pe, reads, true);
+  std::printf("\ninterval peak RBER: baseline %.3e, tuned %.3e "
+              "(%.0f%% lower; ECC capability %.1e)\n",
+              base.peak_rber, tuned.peak_rber,
+              (1.0 - tuned.peak_rber / base.peak_rber) * 100.0,
+              params.ecc_capability_rber);
+  std::printf("endurance at this pressure: baseline %.0f, tuned %.0f P/E "
+              "(%+.1f%%)\n",
+              evaluator.endurance_pe(reads, false),
+              evaluator.endurance_pe(reads, true),
+              (evaluator.endurance_pe(reads, true) /
+                   evaluator.endurance_pe(reads, false) -
+               1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// rdsim/common/csv.h
+//
+// Minimal CSV emitter used by the figure-regeneration benches so that every
+// series the paper plots can be piped straight into a plotting tool.
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rdsim {
+
+/// Streams rows of comma-separated values. Values are formatted with
+/// operator<<; strings containing commas/quotes are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes a header or data row from any streamable values.
+  template <typename... Ts>
+  void row(const Ts&... values) {
+    bool first = true;
+    ((write_cell(values, first), first = false), ...);
+    out_ << '\n';
+  }
+
+  /// Writes a row from a vector of already-formatted cells.
+  void row_vec(const std::vector<std::string>& cells);
+
+ private:
+  template <typename T>
+  void write_cell(const T& value, bool first) {
+    if (!first) out_ << ',';
+    std::ostringstream ss;
+    ss << value;
+    out_ << escape(ss.str());
+  }
+
+  static std::string escape(const std::string& s);
+
+  std::ostream& out_;
+};
+
+}  // namespace rdsim

@@ -1,0 +1,50 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rdsim {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  assert(hi > lo && bins >= 1);
+}
+
+void Histogram::add(double x, std::uint64_t weight) {
+  auto idx = static_cast<std::int64_t>((x - lo_) / width_);
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double Histogram::pdf(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[i]) /
+         (static_cast<double>(total_) * width_);
+}
+
+double Histogram::mass(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[i]) / static_cast<double>(total_);
+}
+
+double Histogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double s = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    s += bin_center(i) * static_cast<double>(counts_[i]);
+  return s / static_cast<double>(total_);
+}
+
+void Histogram::clear() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+}  // namespace rdsim

@@ -1,0 +1,28 @@
+#include "common/log.h"
+
+#include <iostream>
+
+namespace rdsim {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < g_level) return;
+  std::cerr << '[' << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace rdsim

@@ -1,0 +1,52 @@
+// rdsim/common/log.h
+//
+// Tiny leveled logger. The simulator is single-threaded per experiment, so
+// no synchronization is required; output goes to stderr to keep stdout free
+// for CSV series.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rdsim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one formatted line ("[level] message") if `level` passes the
+/// threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+template <typename... Ts>
+std::string concat(const Ts&... parts) {
+  std::ostringstream ss;
+  (ss << ... << parts);
+  return ss.str();
+}
+}  // namespace detail
+
+template <typename... Ts>
+void log_debug(const Ts&... parts) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_info(const Ts&... parts) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_warn(const Ts&... parts) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_error(const Ts&... parts) {
+  log_message(LogLevel::kError, detail::concat(parts...));
+}
+
+}  // namespace rdsim

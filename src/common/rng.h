@@ -1,0 +1,82 @@
+// rdsim/common/rng.h
+//
+// Deterministic, fast pseudo-random number generation for the simulator.
+//
+// All stochastic components in rdsim (cell threshold-voltage sampling, read
+// disturb shifts, workload generation, DRAM module populations) draw from
+// Rng so that every experiment is reproducible from a single 64-bit seed.
+// The generator is xoshiro256++ (Blackman & Vigna), which is small, fast,
+// and passes BigCrush; it is *not* cryptographic and must never be used for
+// security purposes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace rdsim {
+
+/// xoshiro256++ PRNG with convenience distributions.
+///
+/// Satisfies the C++ UniformRandomBitGenerator concept, so it can also be
+/// plugged into <random> distributions when needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the state via SplitMix64 so that nearby seeds produce
+  /// uncorrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-initializes the generator from `seed`.
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Next raw 64-bit output.
+  std::uint64_t operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's method to
+  /// avoid modulo bias.
+  std::uint64_t uniform_u64(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal (mean 0, stddev 1) via Marsaglia polar method.
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Poisson-distributed count with the given mean (>= 0). Uses Knuth for
+  /// small means and normal approximation for large ones.
+  std::uint64_t poisson(double mean);
+
+  /// Exponential with the given rate (> 0).
+  double exponential(double rate);
+
+  /// Forks an independent child stream; the child is seeded from this
+  /// stream's output so subsystems can have decoupled randomness.
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace rdsim

@@ -1,0 +1,87 @@
+#include "core/endurance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rdsim::core {
+
+EnduranceEvaluator::EnduranceEvaluator(const flash::RberModel& model,
+                                       const ecc::EccModel& ecc,
+                                       EnduranceOptions options)
+    : model_(model), ecc_(ecc), options_(options) {
+  assert(options_.refresh_interval_days > 0.0);
+  assert(options_.worst_page_factor >= 1.0);
+}
+
+double EnduranceEvaluator::tuned_vpass(double pe_cycles, double day,
+                                       double disturb_rber_so_far) const {
+  // MEE: one read of the worst page at the current age; its errors are the
+  // worst-page multiple of the data-error components (pass-through errors
+  // are what the search is sizing).
+  const int page_bits =
+      ecc_.config().codeword_data_bits * ecc_.config().codewords_per_page;
+  const double mee_rber =
+      options_.worst_page_factor *
+      (model_.base_rber(pe_cycles) + model_.retention_rber(pe_cycles, day) +
+       disturb_rber_so_far);
+  const double usable_bits =
+      static_cast<double>(ecc_.usable_capability() *
+                          ecc_.config().codewords_per_page);
+  const double margin_bits = usable_bits - mee_rber * page_bits;
+  if (margin_bits <= 0.0) return model_.params().vpass_nominal;  // Fallback.
+  const double margin_rber = margin_bits / page_bits;
+  return model_.lowest_safe_vpass(margin_rber, day, options_.tuning_delta);
+}
+
+IntervalOutcome EnduranceEvaluator::simulate_interval(
+    double pe_cycles, double reads_per_interval, bool tuning) const {
+  const double days = options_.refresh_interval_days;
+  const int steps = std::max(1, static_cast<int>(std::lround(days)));
+  const double reads_per_day = reads_per_interval / steps;
+  const double nominal = model_.params().vpass_nominal;
+
+  double disturb_rber = 0.0;  // Accumulated read-disturb RBER.
+  double vpass = nominal;
+  double reduction_sum = 0.0;
+  for (int d = 0; d < steps; ++d) {
+    const double day = static_cast<double>(d);
+    if (tuning) {
+      // Refresh day: full relearn (Action 2). Other days: the analytic
+      // controller re-evaluates; the margin only shrinks as retention and
+      // disturb errors accumulate, so this realizes Action 1's
+      // verify-or-raise behaviour.
+      const double v = tuned_vpass(pe_cycles, day, disturb_rber);
+      vpass = d == 0 ? v : std::max(vpass, v);
+    }
+    reduction_sum += (nominal - vpass) / nominal * 100.0;
+    disturb_rber += model_.disturb_rber(pe_cycles, reads_per_day, vpass);
+  }
+
+  IntervalOutcome out;
+  out.final_vpass = vpass;
+  out.mean_vpass_reduction_pct = reduction_sum / steps;
+  out.peak_rber = options_.worst_page_factor *
+                      (model_.base_rber(pe_cycles) +
+                       model_.retention_rber(pe_cycles, days) + disturb_rber) +
+                  model_.pass_through_rber(vpass, days);
+  return out;
+}
+
+double EnduranceEvaluator::endurance_pe(double reads_per_interval,
+                                        bool tuning) const {
+  auto survives = [&](double pe) {
+    return simulate_interval(pe, reads_per_interval, tuning).peak_rber <=
+           options_.death_rber;
+  };
+  double lo = 100.0, hi = 60000.0;
+  if (!survives(lo)) return 0.0;
+  if (survives(hi)) return hi;
+  for (int i = 0; i < 48; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (survives(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace rdsim::core

@@ -1,0 +1,64 @@
+// rdsim/core/endurance.h
+//
+// Flash lifetime arithmetic for the Fig. 8 evaluation: a block dies when
+// the raw bit errors of its worst page, at the *peak* of a refresh
+// interval (Fig. 7), exceed the ECC correction capability. Vpass Tuning
+// extends endurance by shrinking the read-disturb component of that peak.
+//
+// The evaluator replays one refresh interval day-by-day, running the same
+// daily tuning actions the controller performs (Action 2 on the refresh
+// day, Action 1 afterwards), so the endurance gain emerges from the
+// mechanism rather than from a closed-form shortcut.
+#pragma once
+
+#include "ecc/ecc_model.h"
+#include "flash/rber_model.h"
+
+namespace rdsim::core {
+
+struct EnduranceOptions {
+  double refresh_interval_days = 7.0;  ///< Remap-based refresh period.
+  double worst_page_factor = 1.3;      ///< Worst page vs block-mean RBER.
+  double tuning_delta = 2.0;           ///< Vpass step (normalized units).
+  double min_vpass_frac = 0.90;        ///< Device floor for Vpass.
+  double death_rber = 1.0e-3;          ///< Full ECC correction capability.
+};
+
+/// Peak-of-interval outcome for one block at a given wear level.
+struct IntervalOutcome {
+  double peak_rber = 0.0;     ///< Worst-page RBER at interval end.
+  double final_vpass = 0.0;   ///< Pass-through voltage in use at the end.
+  double mean_vpass_reduction_pct = 0.0;  ///< Avg reduction over the days.
+};
+
+class EnduranceEvaluator {
+ public:
+  EnduranceEvaluator(const flash::RberModel& model, const ecc::EccModel& ecc,
+                     EnduranceOptions options = {});
+
+  /// Simulates one refresh interval for a block with `pe_cycles` wear that
+  /// receives `reads_per_interval` read disturbs spread uniformly over the
+  /// interval. With `tuning` false, Vpass stays at nominal.
+  IntervalOutcome simulate_interval(double pe_cycles,
+                                    double reads_per_interval,
+                                    bool tuning) const;
+
+  /// Endurance: the largest P/E cycle count at which the block still
+  /// survives an interval (peak RBER <= death threshold), found by binary
+  /// search. `reads_per_interval` is the disturb pressure on the block.
+  double endurance_pe(double reads_per_interval, bool tuning) const;
+
+  const EnduranceOptions& options() const { return options_; }
+
+ private:
+  /// The daily tuning decision against the analytic model: lowest Vpass
+  /// whose pass-through errors fit in the margin left by the measured MEE.
+  double tuned_vpass(double pe_cycles, double day, double disturb_rber_so_far)
+      const;
+
+  flash::RberModel model_;
+  ecc::EccModel ecc_;
+  EnduranceOptions options_;
+};
+
+}  // namespace rdsim::core

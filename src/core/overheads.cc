@@ -1,0 +1,15 @@
+#include "core/overheads.h"
+
+namespace rdsim::core {
+
+OverheadReport vpass_tuning_overheads(const SsdShape& shape) {
+  OverheadReport report;
+  report.blocks = shape.capacity_bytes / shape.block_bytes;
+  report.daily_seconds = static_cast<double>(report.blocks) *
+                         shape.probe_reads_per_block * shape.page_read_seconds;
+  report.metadata_bytes =
+      static_cast<double>(report.blocks) * shape.metadata_bytes_per_block;
+  return report;
+}
+
+}  // namespace rdsim::core

@@ -1,0 +1,77 @@
+// rdsim/core/rfr.h
+//
+// Retention Failure Recovery (RFR) — the companion mechanism to RDR that
+// the paper's authors proposed for *retention* errors (HPCA 2015,
+// summarized in the retrospective's related work): where RDR separates
+// disturb-prone from disturb-resistant cells, RFR separates fast-leaking
+// from slow-leaking cells.
+//
+// When a page that has aged past its refresh deadline fails ECC:
+//   1. measure every cell's Vth with read-retry;
+//   2. let additional controlled retention time elapse (offline, e.g. a
+//      powered-off bake) and re-measure: each cell's downward drift
+//      reveals its leak speed;
+//   3. cells just *below* a state boundary are ambiguous: a fast-leaking
+//      cell there most likely belongs to the *higher* state (it leaked
+//      down across the read reference), while a slow leaker genuinely
+//      belongs to the lower state;
+//   4. re-label accordingly and hand the page back to ECC.
+//
+// This is the mirror image of RDR: disturb pushes low-Vth cells *up*
+// across a boundary; retention pulls high-Vth cells *down*.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/vth_model.h"
+#include "nand/block.h"
+
+namespace rdsim::core {
+
+struct RfrOptions {
+  double extra_days = 14.0;   ///< Additional retention before re-measure.
+  /// Window *below* each boundary where cells are re-labeled (from the
+  /// disturb-aware PDF intersection minus margin, up to the reference).
+  double lower_margin = 6.0;
+  /// A cell is fast-leaking when its measured downward drift exceeds
+  /// fast_factor * the drift of a nominal cell at the same voltage.
+  double fast_factor = 1.6;
+  double retry_lo = 0.0;
+  double retry_hi = 520.0;
+  double retry_step = 0.5;
+};
+
+struct RfrResult {
+  int bits = 0;
+  int errors_before = 0;
+  int errors_after = 0;
+  int cells_relabeled = 0;
+  int cells_in_window = 0;
+  std::vector<flash::CellState> corrected_states;
+
+  double rber_before() const {
+    return bits == 0 ? 0.0 : static_cast<double>(errors_before) / bits;
+  }
+  double rber_after() const {
+    return bits == 0 ? 0.0 : static_cast<double>(errors_after) / bits;
+  }
+};
+
+class RetentionFailureRecovery {
+ public:
+  explicit RetentionFailureRecovery(RfrOptions options = {})
+      : options_(options) {}
+
+  const RfrOptions& options() const { return options_; }
+
+  /// Runs RFR on wordline `wl`. Mutates the block: the extra retention
+  /// time really elapses (it ages the whole block), exactly as the
+  /// offline recovery procedure would.
+  RfrResult recover(nand::Block& block, std::uint32_t wl) const;
+
+ private:
+  RfrOptions options_;
+};
+
+}  // namespace rdsim::core

@@ -1,0 +1,156 @@
+#include "core/vpass_tuning.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rdsim::core {
+
+McBlockProbe::McBlockProbe(nand::Block& block, int codeword_data_bits)
+    : block_(&block), codeword_data_bits_(codeword_data_bits) {
+  assert(block.programmed());
+  // Post-manufacturing discovery of the predicted worst-case page: program
+  // pseudo-random data (already resident) and read every page once.
+  int worst = -1;
+  for (std::uint32_t wl = 0; wl < block.geometry().wordlines_per_block; ++wl) {
+    for (auto kind : {nand::PageKind::kLsb, nand::PageKind::kMsb}) {
+      const int errors = block.count_errors({wl, kind});
+      ++reads_used_;
+      if (errors > worst) {
+        worst = errors;
+        worst_page_ = {wl, kind};
+      }
+    }
+  }
+}
+
+int McBlockProbe::measure_worst_page_errors() {
+  ++reads_used_;
+  // A real controller gets this count from the ECC decoder of one read;
+  // the read itself also disturbs the block, which we model.
+  const auto result = block_->read_page(worst_page_);
+  return result.raw_bit_errors;
+}
+
+int McBlockProbe::count_read_zeros(double vpass) {
+  ++reads_used_;
+  return block_->count_blocked_bitlines(worst_page_.wordline, vpass);
+}
+
+int McBlockProbe::codewords_per_page() const {
+  return std::max(1, static_cast<int>(block_->geometry().bitlines) /
+                         codeword_data_bits_);
+}
+
+AnalyticBlockProbe::AnalyticBlockProbe(const flash::RberModel& model,
+                                       const ecc::EccModel& ecc,
+                                       flash::BlockCondition condition,
+                                       double worst_page_factor)
+    : model_(&model),
+      page_bits_(ecc.config().codeword_data_bits *
+                 ecc.config().codewords_per_page),
+      codewords_per_page_(ecc.config().codewords_per_page),
+      condition_(condition),
+      worst_page_factor_(worst_page_factor) {}
+
+int AnalyticBlockProbe::measure_worst_page_errors() {
+  // Worst page RBER = worst_page_factor * mean block RBER (data errors
+  // only; pass-through errors are what the search is sizing, so they are
+  // reported by count_read_zeros instead).
+  flash::BlockCondition c = condition_;
+  const double vpass_for_data = c.vpass;
+  c.vpass = model_->params().vpass_nominal;  // exclude pass-through term
+  double rber = model_->total_rber(c);
+  c.vpass = vpass_for_data;
+  // Disturb accumulated so far *was* at the tuned vpass:
+  rber -= model_->disturb_rber(c.pe_cycles, c.reads,
+                               model_->params().vpass_nominal);
+  rber += model_->disturb_rber(c.pe_cycles, c.reads, c.vpass);
+  return static_cast<int>(std::lround(worst_page_factor_ * rber * page_bits_));
+}
+
+int AnalyticBlockProbe::count_read_zeros(double vpass) {
+  const double rate =
+      model_->pass_through_rber(vpass, condition_.retention_days);
+  return static_cast<int>(std::lround(rate * page_bits_));
+}
+
+VpassTuningController::VpassTuningController(const ecc::EccModel& ecc,
+                                             double vpass_nominal,
+                                             VpassTuningOptions options)
+    : ecc_(ecc), vpass_nominal_(vpass_nominal), options_(options) {
+  assert(options_.delta > 0.0);
+  assert(options_.min_vpass_frac > 0.0 && options_.min_vpass_frac <= 1.0);
+}
+
+int VpassTuningController::usable_page_capability(
+    const BlockProbe& probe) const {
+  return ecc_.usable_capability() * probe.codewords_per_page();
+}
+
+int VpassTuningController::page_margin(const BlockProbe& probe,
+                                       int mee) const {
+  return usable_page_capability(probe) - mee;
+}
+
+TuningDecision VpassTuningController::relearn(BlockProbe& probe) {
+  TuningDecision decision;
+  decision.mee = probe.measure_worst_page_errors();
+  const int margin = page_margin(probe, decision.mee);
+  decision.margin = std::max(0, margin);
+  if (margin <= 0) {
+    // Fallback: the accumulated errors already exhaust the usable
+    // capability; give the block every bit of correction strength.
+    decision.vpass = vpass_nominal_;
+    decision.fallback = true;
+    return decision;
+  }
+
+  const double floor_v = vpass_nominal_ * options_.min_vpass_frac;
+  double v = vpass_nominal_;
+  // Step 1+2: aggressively lower by delta while the induced zeros fit in M.
+  while (v - options_.delta >= floor_v) {
+    const int n = probe.count_read_zeros(v - options_.delta);
+    ++decision.probe_steps;
+    if (n > margin) break;
+    v -= options_.delta;
+  }
+  // Step 3: roll back upward until the verification read passes. (When the
+  // loop above stopped because of the floor or because the *next* step
+  // failed, the current v already verifies; the loop handles measurement
+  // noise on real hardware.)
+  while (v < vpass_nominal_) {
+    const int n = probe.count_read_zeros(v);
+    ++decision.probe_steps;
+    if (n <= margin) break;
+    v = std::min(v + options_.delta, vpass_nominal_);
+  }
+  decision.vpass = v;
+  return decision;
+}
+
+TuningDecision VpassTuningController::verify_or_raise(BlockProbe& probe,
+                                                      double current_vpass) {
+  TuningDecision decision;
+  decision.mee = probe.measure_worst_page_errors();
+  const int margin = page_margin(probe, decision.mee);
+  decision.margin = std::max(0, margin);
+  if (margin <= 0) {
+    decision.vpass = vpass_nominal_;
+    decision.fallback = true;
+    return decision;
+  }
+  double v = current_vpass;
+  // Action 1: only ever raise; retention/read-disturb growth can shrink
+  // the margin but a refresh is what re-enables lowering.
+  while (v < vpass_nominal_) {
+    const int n = probe.count_read_zeros(v);
+    ++decision.probe_steps;
+    if (n <= margin) break;
+    v = std::min(v + options_.delta, vpass_nominal_);
+  }
+  decision.vpass = v;
+  return decision;
+}
+
+}  // namespace rdsim::core

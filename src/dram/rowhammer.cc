@@ -1,0 +1,141 @@
+#include "dram/rowhammer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rdsim::dram {
+namespace {
+
+/// Probability a module of the given vintage is vulnerable, matching the
+/// published finding: none before 2010, every tested 2012-2013 module,
+/// and most 2014 ones.
+double vulnerability_probability(int year) {
+  switch (year) {
+    case 2008:
+    case 2009: return 0.0;
+    case 2010: return 0.5;
+    case 2011: return 0.9;
+    case 2012:
+    case 2013: return 1.0;
+    default: return 1.0;  // 2014+.
+  }
+}
+
+/// Log10 of the typical errors-per-1e9-cells for a vulnerable module of
+/// the given vintage (vulnerability deepens with process scaling).
+double log10_error_scale(int year) {
+  switch (year) {
+    case 2010: return 0.8;
+    case 2011: return 2.0;
+    case 2012: return 3.3;
+    case 2013: return 4.3;
+    default: return 4.8;  // 2014.
+  }
+}
+
+/// Per-row victim counts are heavy-tailed: most aggressor rows flip few
+/// bits, a few flip >100. We model the per-row mean as exponential around
+/// the module mean and the count as Poisson of that mean.
+std::uint64_t sample_row_victims(const DramModule& module, Rng& rng) {
+  if (!module.vulnerable || module.row_victim_mean <= 0.0) return 0;
+  const double lambda = rng.exponential(1.0 / module.row_victim_mean);
+  return rng.poisson(lambda);
+}
+
+}  // namespace
+
+const char* manufacturer_name(Manufacturer m) {
+  switch (m) {
+    case Manufacturer::kA: return "A";
+    case Manufacturer::kB: return "B";
+    case Manufacturer::kC: return "C";
+  }
+  return "?";
+}
+
+std::string DramModule::label() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%s-%02d%02d", manufacturer_name(manufacturer),
+                year % 100, week);
+  return buf;
+}
+
+std::vector<DramModule> sample_population(Rng& rng, int count) {
+  std::vector<DramModule> modules;
+  modules.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    DramModule m;
+    m.manufacturer = static_cast<Manufacturer>(rng.uniform_u64(3));
+    // Skew the sample toward newer modules, as the tested set was.
+    const double u = rng.uniform();
+    m.year = 2008 + static_cast<int>(std::floor(std::pow(u, 0.5) * 7.0));
+    m.year = std::min(m.year, 2014);
+    m.week = static_cast<int>(rng.uniform_int(1, 52));
+    m.vulnerable = rng.bernoulli(vulnerability_probability(m.year));
+    if (m.vulnerable) {
+      // Errors/1e9 cells ~ lognormal around the vintage scale; convert to
+      // a per-row victim mean (rows * mean / cells = rate).
+      const double log_rate =
+          rng.normal(log10_error_scale(m.year), 0.7);
+      const double rate = std::pow(10.0, log_rate) / 1e9;  // per cell
+      m.row_victim_mean = rate * static_cast<double>(m.cells_per_row);
+    }
+    modules.push_back(m);
+  }
+  return modules;
+}
+
+std::uint64_t hammer_all_rows(const DramModule& module, Rng& rng) {
+  std::uint64_t errors = 0;
+  for (std::uint64_t r = 0; r < module.rows; ++r)
+    errors += sample_row_victims(module, rng);
+  return errors;
+}
+
+double errors_per_billion_cells(const DramModule& module, Rng& rng) {
+  const auto errors = hammer_all_rows(module, rng);
+  return static_cast<double>(errors) /
+         static_cast<double>(module.cells()) * 1e9;
+}
+
+std::vector<std::uint64_t> victim_histogram(const DramModule& module, Rng& rng,
+                                            int max_victims) {
+  std::vector<std::uint64_t> hist(max_victims + 1, 0);
+  for (std::uint64_t r = 0; r < module.rows; ++r) {
+    const auto v = sample_row_victims(module, rng);
+    hist[std::min<std::uint64_t>(v, max_victims)] += 1;
+  }
+  return hist;
+}
+
+double para_error_scale(double p, double onset_activations) {
+  if (p <= 0.0) return 1.0;
+  if (p >= 1.0) return 0.0;
+  // P(onset_activations consecutive activations with no adjacent refresh).
+  return std::exp(onset_activations * std::log1p(-p));
+}
+
+double errors_per_billion_cells_with_para(const DramModule& module, Rng& rng,
+                                          double p) {
+  return errors_per_billion_cells(module, rng) * para_error_scale(p);
+}
+
+std::vector<DramModule> representative_modules() {
+  // Mirrors the paper's example trio (A-1240, B-1146, C-1223): one module
+  // per vendor with distinct victim-count scales.
+  DramModule a;
+  a.manufacturer = Manufacturer::kA;
+  a.year = 2012; a.week = 40; a.vulnerable = true;
+  a.row_victim_mean = 9.5;
+  DramModule b;
+  b.manufacturer = Manufacturer::kB;
+  b.year = 2011; b.week = 46; b.vulnerable = true;
+  b.row_victim_mean = 2.5;
+  DramModule c;
+  c.manufacturer = Manufacturer::kC;
+  c.year = 2012; c.week = 23; c.vulnerable = true;
+  c.row_victim_mean = 5.0;
+  return {a, b, c};
+}
+
+}  // namespace rdsim::dram

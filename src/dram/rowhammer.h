@@ -1,0 +1,76 @@
+// rdsim/dram/rowhammer.h
+//
+// Model of DRAM read disturb (RowHammer) sufficient to regenerate the
+// retrospective's related-work figures (Figs. 11-12, reproduced there from
+// the ISCA 2014 RowHammer paper [42]):
+//   * a population of 129 modules from manufacturers A/B/C built between
+//     2008 and 2014, with vulnerability appearing in 2010 and covering
+//     100% of 2012-2013 modules;
+//   * per-module error rates (errors per 10^9 cells) spanning ~0..10^6 and
+//     growing with manufacture date;
+//   * long-tailed per-aggressor-row victim-cell counts.
+//
+// This module has no electrical model — it is a statistical population
+// model calibrated to the published envelope, which is all those two
+// figures report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+
+namespace rdsim::dram {
+
+enum class Manufacturer : std::uint8_t { kA = 0, kB = 1, kC = 2 };
+
+const char* manufacturer_name(Manufacturer m);
+
+struct DramModule {
+  Manufacturer manufacturer = Manufacturer::kA;
+  int year = 2008;
+  int week = 1;
+  bool vulnerable = false;
+  /// Mean victim cells per aggressor row when vulnerable (drives both
+  /// figures).
+  double row_victim_mean = 0.0;
+  std::uint64_t rows = 65536;
+  std::uint64_t cells_per_row = 8192;
+
+  std::string label() const;  ///< e.g. "A-1240" (yyww style).
+  std::uint64_t cells() const { return rows * cells_per_row; }
+};
+
+/// Generates the tested-module population (129 modules, 2008-2014).
+std::vector<DramModule> sample_population(Rng& rng, int count = 129);
+
+/// Hammers every row of `module` (double-sided, to the spec count) and
+/// returns the number of bit errors observed, as in the Fig. 11 protocol.
+std::uint64_t hammer_all_rows(const DramModule& module, Rng& rng);
+
+/// Errors per 10^9 cells for a module (the Fig. 11 y-axis).
+double errors_per_billion_cells(const DramModule& module, Rng& rng);
+
+/// Victim-cells-per-aggressor-row histogram for one module (Fig. 12):
+/// bin i counts rows with i victims, up to `max_victims`.
+std::vector<std::uint64_t> victim_histogram(const DramModule& module, Rng& rng,
+                                            int max_victims = 120);
+
+/// Representative modules used by the Fig. 12 bench (one per vendor,
+/// matching the paper's A/B/C examples from 2012-2013).
+std::vector<DramModule> representative_modules();
+
+/// PARA (Probabilistic Adjacent Row Activation, Kim et al. ISCA 2014, the
+/// mitigation the retrospective highlights): on each activation the
+/// controller refreshes the neighbors with probability `p`. A victim only
+/// flips if ~`onset_activations` hammers land between two such refreshes,
+/// so the error rate scales by (1-p)^onset — the factor this returns.
+double para_error_scale(double p, double onset_activations = 50e3);
+
+/// Errors per 1e9 cells for a module protected by PARA with probability p.
+double errors_per_billion_cells_with_para(const DramModule& module, Rng& rng,
+                                          double p);
+
+}  // namespace rdsim::dram

@@ -1,0 +1,201 @@
+#include "ecc/bch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace rdsim::ecc {
+namespace {
+
+// Multiplies two polynomials over GF(2) (coefficients 0/1, degree order).
+std::vector<std::uint8_t> poly_mul_gf2(const std::vector<std::uint8_t>& a,
+                                       const std::vector<std::uint8_t>& b) {
+  std::vector<std::uint8_t> out(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a[i]) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) out[i + j] ^= b[j];
+  }
+  return out;
+}
+
+}  // namespace
+
+BchCode::BchCode(int m, int t, int data_bits)
+    : gf_(m), t_(t), data_bits_(data_bits) {
+  assert(t >= 1 && data_bits >= 1);
+  // Build g(x) = lcm of minimal polynomials of alpha^1 .. alpha^{2t}.
+  // Gather the union of cyclotomic cosets of exponents 1..2t, then for each
+  // coset form its minimal polynomial prod (x - alpha^j) over GF(2^m); the
+  // result has binary coefficients.
+  std::set<std::uint32_t> covered;
+  generator_ = {1};  // g(x) = 1
+  const std::uint32_t n = gf_.n();
+  for (std::uint32_t e = 1; e <= static_cast<std::uint32_t>(2 * t); ++e) {
+    if (covered.count(e)) continue;
+    // Cyclotomic coset of e: {e, 2e, 4e, ...} mod n.
+    std::vector<std::uint32_t> coset;
+    std::uint32_t cur = e;
+    do {
+      coset.push_back(cur);
+      covered.insert(cur);
+      cur = static_cast<std::uint32_t>(
+          (static_cast<std::uint64_t>(cur) * 2) % n);
+    } while (cur != e);
+    // Minimal polynomial: product of (x + alpha^j) over the coset, computed
+    // with GF(2^m) coefficients; it collapses to binary coefficients.
+    std::vector<std::uint32_t> min_poly = {1};  // degree-0 poly "1"
+    for (std::uint32_t j : coset) {
+      const std::uint32_t root = gf_.alpha_pow(j);
+      std::vector<std::uint32_t> next(min_poly.size() + 1, 0);
+      for (std::size_t k = 0; k < min_poly.size(); ++k) {
+        next[k + 1] ^= min_poly[k];               // x * term
+        next[k] ^= gf_.mul(min_poly[k], root);    // root * term
+      }
+      min_poly = std::move(next);
+    }
+    std::vector<std::uint8_t> min_poly_bin(min_poly.size());
+    for (std::size_t k = 0; k < min_poly.size(); ++k) {
+      assert(min_poly[k] <= 1 && "minimal polynomial must be binary");
+      min_poly_bin[k] = static_cast<std::uint8_t>(min_poly[k]);
+    }
+    generator_ = poly_mul_gf2(generator_, min_poly_bin);
+  }
+  assert(data_bits_ + parity_bits() <= static_cast<int>(n) &&
+         "shortened code must fit in the BCH length");
+}
+
+BitVec BchCode::encode(const BitVec& data) const {
+  assert(static_cast<int>(data.size()) == data_bits_);
+  const int r = parity_bits();
+  // Systematic encoding: remainder of data(x) * x^r divided by g(x).
+  // Work in a shift register of r bits.
+  std::vector<std::uint8_t> reg(r, 0);
+  for (int i = data_bits_ - 1; i >= 0; --i) {
+    const std::uint8_t feedback = data[i] ^ reg[r - 1];
+    for (int j = r - 1; j > 0; --j)
+      reg[j] = reg[j - 1] ^ (feedback & generator_[j]);
+    reg[0] = feedback & generator_[0];
+  }
+  // Parity is transmitted highest power first: vector position k+j holds
+  // the coefficient of x^{r-1-j}, matching the syndrome power map.
+  BitVec out(data);
+  out.insert(out.end(), reg.rbegin(), reg.rend());
+  return out;
+}
+
+bool BchCode::syndromes(const BitVec& received,
+                        std::vector<std::uint32_t>* s) const {
+  // Received word layout: data bits 0..k-1 then parity bits; as a
+  // polynomial, bit i (counting parity first) is the coefficient of x^i.
+  // We evaluate at alpha^j for j = 1..2t. Bit position p in the vector
+  // corresponds to polynomial power: parity occupies low powers.
+  const int r = parity_bits();
+  const int total = codeword_bits();
+  s->assign(2 * t_, 0);
+  bool all_zero = true;
+  for (int p = 0; p < total; ++p) {
+    // Power of x for vector index p: data bit i (p < k) sits at power r+i;
+    // parity bit j (p >= k) sits at power r-1-(p-k).
+    const int power = p < data_bits_ ? r + p : r - 1 - (p - data_bits_);
+    if (!received[p]) continue;
+    for (int j = 1; j <= 2 * t_; ++j) {
+      (*s)[j - 1] ^= gf_.alpha_pow(static_cast<std::int64_t>(power) * j);
+    }
+    all_zero = false;
+  }
+  if (all_zero) return true;
+  for (int j = 1; j <= 2 * t_; ++j)
+    if ((*s)[j - 1] != 0) return false;
+  return true;
+}
+
+DecodeResult BchCode::decode(const BitVec& received) const {
+  assert(static_cast<int>(received.size()) == codeword_bits());
+  DecodeResult result;
+  std::vector<std::uint32_t> s;
+  if (syndromes(received, &s)) {
+    result.ok = true;
+    result.data.assign(received.begin(), received.begin() + data_bits_);
+    return result;
+  }
+
+  // Berlekamp-Massey: find the error locator polynomial sigma(x).
+  std::vector<std::uint32_t> sigma = {1}, prev = {1};
+  std::uint32_t b = 1;
+  int l = 0, mshift = 1;
+  for (int i = 0; i < 2 * t_; ++i) {
+    // Discrepancy d = S_{i+1} + sum_{j=1..l} sigma_j * S_{i+1-j}.
+    std::uint32_t d = s[i];
+    for (int j = 1; j <= l && j < static_cast<int>(sigma.size()); ++j) {
+      if (i - j >= 0) d ^= gf_.mul(sigma[j], s[i - j]);
+    }
+    if (d == 0) {
+      ++mshift;
+      continue;
+    }
+    if (2 * l <= i) {
+      const std::vector<std::uint32_t> tmp = sigma;
+      // sigma = sigma - (d/b) x^mshift * prev
+      const std::uint32_t coef = gf_.div(d, b);
+      if (sigma.size() < prev.size() + mshift)
+        sigma.resize(prev.size() + mshift, 0);
+      for (std::size_t j = 0; j < prev.size(); ++j)
+        sigma[j + mshift] ^= gf_.mul(coef, prev[j]);
+      l = i + 1 - l;
+      prev = tmp;
+      b = d;
+      mshift = 1;
+    } else {
+      const std::uint32_t coef = gf_.div(d, b);
+      if (sigma.size() < prev.size() + mshift)
+        sigma.resize(prev.size() + mshift, 0);
+      for (std::size_t j = 0; j < prev.size(); ++j)
+        sigma[j + mshift] ^= gf_.mul(coef, prev[j]);
+      ++mshift;
+    }
+  }
+  while (!sigma.empty() && sigma.back() == 0) sigma.pop_back();
+  const int degree = static_cast<int>(sigma.size()) - 1;
+  if (degree > t_) return result;  // Uncorrectable: too many errors.
+
+  // Chien search over the used (shortened) positions only. The error
+  // locator has roots at alpha^{-power} for each error power.
+  const int r = parity_bits();
+  const int total = codeword_bits();
+  BitVec corrected(received);
+  int found = 0;
+  for (int p = 0; p < total; ++p) {
+    const int power = p < data_bits_ ? r + p : r - 1 - (p - data_bits_);
+    // Evaluate sigma at alpha^{-power}.
+    std::uint32_t v = 0;
+    for (std::size_t j = 0; j < sigma.size(); ++j) {
+      if (sigma[j] == 0) continue;
+      v ^= gf_.mul(sigma[j],
+                   gf_.alpha_pow(-static_cast<std::int64_t>(power) *
+                                 static_cast<std::int64_t>(j)));
+    }
+    if (v == 0) {
+      corrected[p] ^= 1;
+      ++found;
+    }
+  }
+  if (found != degree) return result;  // Locator roots outside the word.
+
+  // Verify the correction actually produced a codeword.
+  std::vector<std::uint32_t> s2;
+  if (!syndromes(corrected, &s2)) return result;
+
+  result.ok = true;
+  result.corrected = found;
+  result.data.assign(corrected.begin(), corrected.begin() + data_bits_);
+  return result;
+}
+
+int BchCode::hamming_distance(const BitVec& a, const BitVec& b) {
+  assert(a.size() == b.size());
+  int d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += a[i] != b[i];
+  return d;
+}
+
+}  // namespace rdsim::ecc

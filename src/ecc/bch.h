@@ -1,0 +1,67 @@
+// rdsim/ecc/bch.h
+//
+// Binary primitive BCH codec — the error-correcting code used inside NAND
+// flash controllers. Systematic encoding via generator-polynomial division;
+// decoding via syndrome computation, Berlekamp-Massey, and Chien search.
+//
+// The code is constructed over GF(2^m) with design distance 2t+1 and may be
+// *shortened*: `data_bits` of payload plus `parity_bits()` of parity, with
+// data_bits + parity_bits() <= 2^m - 1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ecc/gf.h"
+
+namespace rdsim::ecc {
+
+/// Bit container used by the codec: one byte per bit (0/1). Chosen for
+/// clarity; the microbenchmarks quantify the cost.
+using BitVec = std::vector<std::uint8_t>;
+
+/// Outcome of a decode attempt.
+struct DecodeResult {
+  bool ok = false;               ///< True if decoding succeeded.
+  int corrected = 0;             ///< Number of bit corrections applied.
+  BitVec data;                   ///< Recovered payload (valid when ok).
+};
+
+/// A shortened binary BCH(n, k, t) code.
+class BchCode {
+ public:
+  /// Builds the code. Requires 3 <= m <= 16, t >= 1, data_bits >= 1, and
+  /// data_bits + m*t' <= 2^m - 1 where t' is the achieved parity size.
+  BchCode(int m, int t, int data_bits);
+
+  int m() const { return gf_.m(); }
+  int t() const { return t_; }
+  int data_bits() const { return data_bits_; }
+  int parity_bits() const { return static_cast<int>(generator_.size()) - 1; }
+  int codeword_bits() const { return data_bits_ + parity_bits(); }
+
+  /// Systematic encode: returns data followed by parity.
+  /// Requires data.size() == data_bits().
+  BitVec encode(const BitVec& data) const;
+
+  /// Decodes a received word of codeword_bits() bits. Succeeds iff the
+  /// error pattern has weight <= t (or is a more-probable coset leader the
+  /// code happens to decode); returns the corrected payload.
+  DecodeResult decode(const BitVec& received) const;
+
+  /// Convenience: number of bit positions in which two words differ.
+  static int hamming_distance(const BitVec& a, const BitVec& b);
+
+ private:
+  /// Computes syndromes S_1..S_2t of the received polynomial. Returns true
+  /// if all are zero (no detectable error).
+  bool syndromes(const BitVec& received, std::vector<std::uint32_t>* s) const;
+
+  GaloisField gf_;
+  int t_;
+  int data_bits_;
+  std::vector<std::uint8_t> generator_;  // g(x) coefficients, degree order.
+};
+
+}  // namespace rdsim::ecc

@@ -1,0 +1,38 @@
+#include "ecc/crc32.h"
+
+#include <array>
+
+namespace rdsim::ecc {
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const auto t = make_table();
+  return t;
+}
+
+}  // namespace
+
+void Crc32::update(std::span<const std::uint8_t> data) {
+  const auto& t = table();
+  for (std::uint8_t byte : data)
+    state_ = t[(state_ ^ byte) & 0xFFU] ^ (state_ >> 8);
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  Crc32 crc;
+  crc.update(data);
+  return crc.value();
+}
+
+}  // namespace rdsim::ecc

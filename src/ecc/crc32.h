@@ -1,0 +1,27 @@
+// rdsim/ecc/crc32.h
+//
+// CRC-32 (IEEE 802.3, reflected) used by the FTL to protect mapping-table
+// snapshots and by tests as a cheap whole-page integrity check on top of
+// BCH.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace rdsim::ecc {
+
+/// CRC-32 of a byte span (init 0xFFFFFFFF, final xor 0xFFFFFFFF).
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Incremental interface: feed chunks, then finish.
+class Crc32 {
+ public:
+  void update(std::span<const std::uint8_t> data);
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFU; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFU;
+};
+
+}  // namespace rdsim::ecc

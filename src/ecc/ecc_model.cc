@@ -1,0 +1,58 @@
+#include "ecc/ecc_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rdsim::ecc {
+
+EccModel::EccModel(const EccConfig& config) : config_(config) {
+  assert(config_.codeword_data_bits > 0);
+  assert(config_.correctable_bits >= 0);
+  assert(config_.codewords_per_page > 0);
+  assert(config_.reserved_margin >= 0.0 && config_.reserved_margin < 1.0);
+}
+
+double EccModel::rber_capability() const {
+  return static_cast<double>(config_.correctable_bits) /
+         static_cast<double>(config_.codeword_data_bits);
+}
+
+int EccModel::usable_capability() const {
+  return static_cast<int>(std::floor((1.0 - config_.reserved_margin) *
+                                     config_.correctable_bits));
+}
+
+int EccModel::margin(int max_estimated_errors) const {
+  return std::max(0, usable_capability() - max_estimated_errors);
+}
+
+double EccModel::codeword_failure_prob(double rber) const {
+  const int n = config_.codeword_data_bits;
+  const int c = config_.correctable_bits;
+  if (rber <= 0.0) return 0.0;
+  if (rber >= 1.0) return 1.0;
+  // P(X > c), X ~ Binomial(n, rber). Sum the head in log-space for
+  // numerical stability; n*rber is small (<= ~40) in all our regimes, so
+  // the head has few dominant terms.
+  double head = 0.0;
+  double log_term = n * std::log1p(-rber);  // k = 0 term
+  head += std::exp(log_term);
+  for (int k = 1; k <= c; ++k) {
+    log_term += std::log(static_cast<double>(n - k + 1) / k) +
+                std::log(rber) - std::log1p(-rber);
+    head += std::exp(log_term);
+  }
+  return std::clamp(1.0 - head, 0.0, 1.0);
+}
+
+double EccModel::page_failure_prob(double rber) const {
+  const double cw_ok = 1.0 - codeword_failure_prob(rber);
+  return 1.0 - std::pow(cw_ok, config_.codewords_per_page);
+}
+
+double EccModel::expected_errors(double rber) const {
+  return rber * config_.codeword_data_bits;
+}
+
+}  // namespace rdsim::ecc

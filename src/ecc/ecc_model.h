@@ -1,0 +1,72 @@
+// rdsim/ecc/ecc_model.h
+//
+// Capability-level ECC abstraction used by the simulator's controller
+// logic. The paper reasons about ECC as "can correct up to C raw bit errors
+// per codeword, RBER capability ~1e-3, with 20% of the capability held in
+// reserve" — this class captures exactly that arithmetic, while BchCode
+// (bch.h) provides a bit-true realization for the integration tests.
+#pragma once
+
+#include <cstdint>
+
+namespace rdsim::ecc {
+
+/// Static description of the ECC provisioning of a flash page.
+struct EccConfig {
+  int codeword_data_bits = 8192;  ///< Payload bits per codeword (1 KiB).
+  int correctable_bits = 9;       ///< C: max raw bit errors per codeword.
+  int codewords_per_page = 8;     ///< 8 KiB page -> 8 codewords.
+  double reserved_margin = 0.20;  ///< Fraction of C reserved (paper §3).
+
+  /// The paper's provisioning ratio: ECC tolerates an RBER of ~1e-3
+  /// (9 bits per 1 KiB codeword), 8 codewords per 8 KiB page.
+  static EccConfig paper_provisioning() { return EccConfig{}; }
+
+  /// Stronger provisioning matched to the Monte Carlo chip's 8192-bit
+  /// pages (one codeword per page, t = 40 — a typical modern BCH).
+  static EccConfig mc_provisioning() {
+    return EccConfig{8192, 40, 1, 0.20};
+  }
+};
+
+/// Pure arithmetic over an EccConfig; cheap enough to call per simulated
+/// page read.
+class EccModel {
+ public:
+  explicit EccModel(const EccConfig& config = EccConfig{});
+
+  const EccConfig& config() const { return config_; }
+
+  /// C: correctable raw bit errors per codeword.
+  int capability() const { return config_.correctable_bits; }
+
+  /// RBER at which a codeword is exactly at capability (C / data bits).
+  double rber_capability() const;
+
+  /// Usable error budget per codeword after the reserved margin:
+  /// floor((1 - reserved) * C). The paper's M = (1-0.2)C - MEE uses this.
+  int usable_capability() const;
+
+  /// True if a codeword with `errors` raw bit errors decodes.
+  bool correctable(int errors) const { return errors <= capability(); }
+
+  /// Remaining margin M for a codeword whose worst observed error count is
+  /// `max_estimated_errors` (MEE): M = usable_capability() - MEE, clamped
+  /// at 0.
+  int margin(int max_estimated_errors) const;
+
+  /// Probability that a codeword fails to decode when each bit flips
+  /// independently with probability `rber` (binomial upper tail beyond C).
+  double codeword_failure_prob(double rber) const;
+
+  /// Probability that at least one codeword in a page fails at `rber`.
+  double page_failure_prob(double rber) const;
+
+  /// Expected raw bit errors per codeword at `rber`.
+  double expected_errors(double rber) const;
+
+ private:
+  EccConfig config_;
+};
+
+}  // namespace rdsim::ecc

@@ -1,0 +1,80 @@
+#include "ecc/gf.h"
+
+#include <cassert>
+
+namespace rdsim::ecc {
+namespace {
+
+// Primitive polynomials over GF(2), indexed by degree m (bit i = coeff of
+// x^i). Standard minimal-weight choices.
+constexpr std::uint32_t kPrimPoly[17] = {
+    0, 0, 0,
+    0b1011,                // m=3:  x^3+x+1
+    0b10011,               // m=4:  x^4+x+1
+    0b100101,              // m=5:  x^5+x^2+1
+    0b1000011,             // m=6:  x^6+x+1
+    0b10001001,            // m=7:  x^7+x^3+1
+    0b100011101,           // m=8:  x^8+x^4+x^3+x^2+1
+    0b1000010001,          // m=9:  x^9+x^4+1
+    0b10000001001,         // m=10: x^10+x^3+1
+    0b100000000101,        // m=11: x^11+x^2+1
+    0b1000001010011,       // m=12: x^12+x^6+x^4+x+1
+    0b10000000011011,      // m=13: x^13+x^4+x^3+x+1
+    0b100010001000011,     // m=14: x^14+x^10+x^6+x+1
+    0b1000000000000011,    // m=15: x^15+x+1
+    0b10001000000001011,   // m=16: x^16+x^12+x^3+x+1
+};
+
+}  // namespace
+
+GaloisField::GaloisField(int m) : m_(m), n_((1U << m) - 1) {
+  assert(m >= 3 && m <= 16);
+  exp_.resize(2 * n_);
+  log_.assign(n_ + 1, 0);
+  const std::uint32_t poly = kPrimPoly[m];
+  std::uint32_t x = 1;
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    exp_[i] = x;
+    log_[x] = i;
+    x <<= 1;
+    if (x > n_) x ^= poly;
+  }
+  assert(x == 1 && "polynomial must be primitive");
+  for (std::uint32_t i = 0; i < n_; ++i) exp_[n_ + i] = exp_[i];
+}
+
+std::uint32_t GaloisField::alpha_pow(std::int64_t i) const {
+  std::int64_t r = i % static_cast<std::int64_t>(n_);
+  if (r < 0) r += n_;
+  return exp_[static_cast<std::size_t>(r)];
+}
+
+std::uint32_t GaloisField::log(std::uint32_t x) const {
+  assert(x != 0 && x <= n_);
+  return log_[x];
+}
+
+std::uint32_t GaloisField::mul(std::uint32_t a, std::uint32_t b) const {
+  if (a == 0 || b == 0) return 0;
+  return exp_[log_[a] + log_[b]];
+}
+
+std::uint32_t GaloisField::div(std::uint32_t a, std::uint32_t b) const {
+  assert(b != 0);
+  if (a == 0) return 0;
+  return exp_[log_[a] + n_ - log_[b]];
+}
+
+std::uint32_t GaloisField::inv(std::uint32_t x) const {
+  assert(x != 0);
+  return exp_[n_ - log_[x]];
+}
+
+std::uint32_t GaloisField::pow(std::uint32_t a, std::uint64_t e) const {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  const std::uint64_t le = (static_cast<std::uint64_t>(log_[a]) * e) % n_;
+  return exp_[static_cast<std::size_t>(le)];
+}
+
+}  // namespace rdsim::ecc

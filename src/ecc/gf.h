@@ -1,0 +1,47 @@
+// rdsim/ecc/gf.h
+//
+// Arithmetic over the binary extension field GF(2^m), 3 <= m <= 16, using
+// log/antilog tables. This is the algebra underneath the BCH codec that
+// models the error correction engine in a flash controller.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rdsim::ecc {
+
+/// GF(2^m) with a fixed primitive polynomial per m. Element 0 is the field
+/// zero; nonzero elements are powers of the primitive element alpha.
+class GaloisField {
+ public:
+  /// Constructs GF(2^m). Requires 3 <= m <= 16.
+  explicit GaloisField(int m);
+
+  int m() const { return m_; }
+  /// Number of nonzero elements (2^m - 1); also the order of alpha.
+  std::uint32_t n() const { return n_; }
+
+  /// alpha^i for any integer exponent (reduced mod n).
+  std::uint32_t alpha_pow(std::int64_t i) const;
+
+  /// Discrete log of a nonzero element. Requires x != 0.
+  std::uint32_t log(std::uint32_t x) const;
+
+  std::uint32_t add(std::uint32_t a, std::uint32_t b) const { return a ^ b; }
+  std::uint32_t mul(std::uint32_t a, std::uint32_t b) const;
+  /// Requires b != 0.
+  std::uint32_t div(std::uint32_t a, std::uint32_t b) const;
+  /// Requires x != 0.
+  std::uint32_t inv(std::uint32_t x) const;
+  std::uint32_t sqr(std::uint32_t a) const { return mul(a, a); }
+  /// a^e with e >= 0.
+  std::uint32_t pow(std::uint32_t a, std::uint64_t e) const;
+
+ private:
+  int m_;
+  std::uint32_t n_;
+  std::vector<std::uint32_t> exp_;  // exp_[i] = alpha^i, doubled for wrap.
+  std::vector<std::uint32_t> log_;
+};
+
+}  // namespace rdsim::ecc

@@ -1,0 +1,156 @@
+// rdsim/flash/params.h
+//
+// Every tunable coefficient of the 2Y-nm MLC flash reliability model, with
+// one factory (`FlashModelParams::default_2ynm`) whose values are
+// reconstructed from the paper's published figures. All voltages use the
+// paper's normalized threshold-voltage scale: GND = 0, nominal Vpass = 512.
+//
+// Calibration anchors (see DESIGN.md §2):
+//  * Fig. 3 slope table: RBER/read = 1.0e-9 * (PE/2000)^1.45.
+//  * Fig. 4: lowering Vpass by 2% cuts RBER roughly in half at 100K reads
+//    and shifts iso-RBER read counts by ~an order of magnitude per 3-4%;
+//    we model the disturb rate as exp(-kv * (Vnominal - Vpass)).
+//  * Fig. 5: additional read errors from relaxed Vpass stem from the
+//    upper tail of the top programmed state failing to pass through.
+//  * Fig. 6: ECC correction capability 1e-3 RBER, 20% reserved margin,
+//    safe Vpass reduction 4%..0% as retention age grows from 1 to 21 days.
+//  * Fig. 10: ~1e-3 RBER at 0 disturbs and ~1e-2 at 1M disturbs (8K P/E).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "flash/types.h"
+
+namespace rdsim::flash {
+
+/// Gaussian description of one state's threshold-voltage distribution on a
+/// fresh (0 P/E, 0 retention) block.
+struct StateDist {
+  double mean = 0.0;
+  double sd = 1.0;
+};
+
+/// All model coefficients. Plain aggregate: no invariants beyond "physically
+/// sensible"; validated by `is_sane()`.
+struct FlashModelParams {
+  // --- Geometry of the normalized voltage axis -----------------------------
+  double vpass_nominal = 512.0;  ///< Nominal pass-through voltage (paper §2).
+  double vref_a = 105.0;         ///< Read reference Va (ER | P1).
+  double vref_b = 225.0;         ///< Read reference Vb (P1 | P2).
+  double vref_c = 338.0;         ///< Read reference Vc (P2 | P3).
+
+  /// Fresh-chip state distributions, index by CellState.
+  std::array<StateDist, 4> states = {
+      StateDist{40.0, 14.5},    // ER
+      StateDist{160.0, 11.0},   // P1
+      StateDist{280.0, 10.5},   // P2
+      StateDist{400.0, 11.5},   // P3
+  };
+
+  // --- Program/erase wear ---------------------------------------------------
+  /// Distribution widening: sd *= (1 + wear_sd_growth * PE).
+  double wear_sd_growth = 2.8e-5;
+  /// Erased-state mean creeps up with wear (incomplete erase): mean_ER +=
+  /// wear_er_shift * PE.
+  double wear_er_shift = 1.5e-3;
+  /// Probability that programming leaves a cell one state off, per cell, on
+  /// a fresh block; grows as (1 + PE / wear_prog_error_pe).
+  double program_error_rate = 6.0e-5;
+  double wear_prog_error_pe = 4000.0;
+
+  // --- Retention loss -------------------------------------------------------
+  /// Cell leakage: dV = -ret_coeff * sqrt(V0 - er_mean_fresh) *
+  /// ln(1 + t / ret_tau_days) * (1 + PE / ret_wear_pe).
+  double ret_coeff = 0.092;
+  double ret_tau_days = 0.05;
+  double ret_wear_pe = 6000.0;
+  /// Per-cell leak-rate process variation: lognormal(0, ret_sigma)
+  /// multiplier. The fast-/slow-leaking split this produces is what RFR
+  /// (Retention Failure Recovery, the paper's companion mechanism to RDR)
+  /// exploits.
+  double ret_sigma = 0.35;
+
+  // --- Read disturb (the paper's subject) -----------------------------------
+  // Per-read tunneling law integrated in closed form:
+  //   dV/dn = A * exp(-B V) * exp(C (Vpass - Vnominal))
+  //   => V(n) = (1/B) ln(exp(B V0) + A B D),  D = disturb "dose"
+  //      D = sum over reads of exp(C (Vpass_i - Vnominal)),
+  // so cells with lower Vth shift more (finding #2 in §1) and a lower
+  // pass-through voltage exponentially weakens each read's disturbance.
+  double disturb_a = 5.44e-5;  ///< Calibrated: ER shifts ~25 units @1M reads,
+                               ///< 8K P/E (Figs. 2b and 10).
+  double disturb_b = 0.012;    ///< Vth self-limiting rate.
+  double disturb_c = 0.175;    ///< ln(6)/2% of 512: Fig. 4 Vpass sensitivity.
+  /// Disturb susceptibility process variation: per-cell multiplier is
+  /// lognormal(0, disturb_sigma). RDR exploits this variation.
+  double disturb_sigma = 0.45;
+  /// Wear acceleration of disturb: dose *= (PE/8000)^disturb_wear_exp,
+  /// consistent with the Fig. 3 slope fit.
+  double disturb_wear_exp = 1.45;
+
+  // --- Pass-through failure (bitline blocking) tail --------------------------
+  // Additional read errors when Vpass is relaxed come from the highest-Vth
+  // cells (over-programmed P3 tail) failing to conduct. Modeled as a
+  // Gaussian "top tail" of effective maximum cell voltage; see Fig. 5.
+  double tail_mean = 429.6;     ///< Effective top-tail center at day 0.
+  double tail_sd = 21.0;
+  double tail_ret_drop = 0.3;   ///< tail_mean -= tail_ret_drop*ln(1+t_days).
+  double tail_fraction = 0.25;  ///< Fraction of cells in the top state.
+  /// Monte Carlo realization of the same tail: each *bitline* has one
+  /// blocking threshold — the effective gate voltage its weakest string
+  /// needs in order to conduct — sampled at program time as
+  /// N(tail_mean + mc_tail_mean_adjust, tail_sd) and drifting down with
+  /// retention like the analytic tail. The adjustment aligns the MC
+  /// bit-error cost of a blocked bitline (~0.5 errors/bit read) with the
+  /// analytic pass_through_rber fit (tail_fraction = 0.25) near z ~ 3.
+  double mc_tail_mean_adjust = -4.9;
+
+  // --- Analytic RBER model (Figs. 3, 4, 6) -----------------------------------
+  /// Fig. 3 fit: disturb slope per read = slope_base *
+  /// (PE / slope_ref_pe)^disturb_wear_exp at nominal Vpass.
+  double slope_base = 1.0e-9;
+  double slope_ref_pe = 2000.0;
+  /// P/E cycling noise floor: rber = base_rber_8k * (PE/8000)^base_wear_exp.
+  double base_rber_8k = 3.5e-4;
+  double base_wear_exp = 1.6;
+  /// Retention-induced RBER at 8K P/E follows the digitized Fig. 6 curve
+  /// (kRet8kTable in rber_model.cc), scaled by (PE/8000)^ret_rber_wear_exp.
+  double ret_rber_wear_exp = 1.1;
+
+  // --- ECC provisioning (Fig. 6) ---------------------------------------------
+  double ecc_capability_rber = 1.0e-3;  ///< Max correctable RBER.
+  double ecc_reserved_margin = 0.20;    ///< Reserved fraction of capability.
+
+  // --- Extensions -------------------------------------------------------------
+  /// Concentrated read disturb (Zambelli et al., IRPS 2017, discussed in
+  /// the retrospective's related work): wordlines directly adjacent to the
+  /// repeatedly-read one receive this much *extra* unit dose on top of the
+  /// uniform block-wide disturbance. 0 disables the effect (the DSN 2015
+  /// model), keeping the original calibration intact.
+  double neighbor_dose_boost = 0.0;
+
+  /// Factory for the calibrated 2Y-nm MLC model used throughout the repo.
+  static FlashModelParams default_2ynm() { return FlashModelParams{}; }
+
+  /// Early 3D NAND (charge-trap, ~40 nm-class process): the retrospective
+  /// notes read disturb is greatly reduced by the larger process
+  /// technology, while early retention loss is faster. Relative factors
+  /// follow the cited 3D characterization work.
+  static FlashModelParams early_3d_nand() {
+    FlashModelParams p{};
+    p.disturb_a *= 0.05;      // Thicker oxide: far weaker tunneling.
+    p.slope_base *= 0.05;
+    p.wear_sd_growth *= 0.7;  // Smaller program variation at high P/E.
+    p.ret_coeff *= 1.3;       // Early retention loss.
+    p.ret_tau_days *= 0.2;
+    return p;
+  }
+
+  /// Basic physical sanity checks (ordering of references and states,
+  /// positive coefficients). Used by tests and constructors of dependent
+  /// models.
+  bool is_sane() const;
+};
+
+}  // namespace rdsim::flash

@@ -1,0 +1,154 @@
+#include "flash/rber_model.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/stats.h"
+
+namespace rdsim::flash {
+namespace {
+
+// Retention-induced RBER at 8K P/E for day 0..21, digitized from Fig. 6
+// (bar heights minus the P/E noise floor). The shape is the classic
+// fast-then-saturating charge-loss curve; together with the pass-through
+// tail model it reproduces Fig. 6's published safe-reduction annotation
+// (4%/3%/2%/1%/0% as age grows).
+constexpr std::array<double, 22> kRet8kTable = {
+    0.0e-3,    //  0 d
+    0.030e-3,  //  1 d
+    0.055e-3,  //  2 d
+    0.080e-3,  //  3 d
+    0.100e-3,  //  4 d
+    0.160e-3,  //  5 d
+    0.210e-3,  //  6 d
+    0.260e-3,  //  7 d
+    0.300e-3,  //  8 d
+    0.310e-3,  //  9 d
+    0.330e-3,  // 10 d
+    0.350e-3,  // 11 d
+    0.370e-3,  // 12 d
+    0.385e-3,  // 13 d
+    0.395e-3,  // 14 d
+    0.400e-3,  // 15 d
+    0.410e-3,  // 16 d
+    0.420e-3,  // 17 d
+    0.428e-3,  // 18 d
+    0.435e-3,  // 19 d
+    0.440e-3,  // 20 d
+    0.445e-3,  // 21 d
+};
+
+}  // namespace
+
+RberModel::RberModel(const FlashModelParams& params) : params_(params) {
+  assert(params_.is_sane());
+}
+
+double RberModel::base_rber(double pe_cycles) const {
+  if (pe_cycles <= 0.0) return params_.base_rber_8k * std::pow(1.0 / 8000.0,
+                                                               params_.base_wear_exp);
+  return params_.base_rber_8k *
+         std::pow(pe_cycles / 8000.0, params_.base_wear_exp);
+}
+
+double RberModel::retention_rber(double pe_cycles, double days) const {
+  if (days <= 0.0) return 0.0;
+  const double t = std::min(days, 21.0);
+  const auto lo = static_cast<std::size_t>(t);
+  const std::size_t hi = std::min<std::size_t>(lo + 1, 21);
+  const double frac = t - static_cast<double>(lo);
+  double at8k = kRet8kTable[lo] * (1.0 - frac) + kRet8kTable[hi] * frac;
+  if (days > 21.0) {
+    // Beyond the characterized window extrapolate logarithmically; the
+    // curve has nearly saturated by day 21.
+    at8k = kRet8kTable[21] * (1.0 + 0.08 * std::log(days / 21.0));
+  }
+  return at8k * std::pow(std::max(pe_cycles, 1.0) / 8000.0,
+                         params_.ret_rber_wear_exp);
+}
+
+double RberModel::disturb_slope(double pe_cycles) const {
+  return params_.slope_base *
+         std::pow(std::max(pe_cycles, 1.0) / params_.slope_ref_pe,
+                  params_.disturb_wear_exp);
+}
+
+double RberModel::disturb_rber(double pe_cycles, double reads,
+                               double vpass) const {
+  if (reads <= 0.0) return 0.0;
+  const double vpass_factor =
+      std::exp(-params_.disturb_c * (params_.vpass_nominal - vpass));
+  // The linear-in-reads law (Fig. 3) saturates once the disturb-prone ER
+  // population has been pushed across the read reference; cap at the
+  // ER-state bit share (25% of cells, one bit flip each -> 1/8 of bits).
+  return std::min(disturb_slope(pe_cycles) * reads * vpass_factor, 0.125);
+}
+
+double RberModel::pass_through_rber(double vpass, double days) const {
+  if (vpass >= params_.vpass_nominal) return 0.0;
+  const double mean =
+      params_.tail_mean - params_.tail_ret_drop * std::log1p(std::max(days, 0.0));
+  auto tail = [&](double v) {
+    return params_.tail_fraction * normal_sf((v - mean) / params_.tail_sd);
+  };
+  // Subtract the (tiny) tail at nominal Vpass so relaxation cost is zero at
+  // the nominal point, matching "Vpass can be lowered to some degree
+  // without inducing any read errors" (Fig. 5).
+  return std::max(0.0, tail(vpass) - tail(params_.vpass_nominal));
+}
+
+double RberModel::total_rber(const BlockCondition& c) const {
+  return base_rber(c.pe_cycles) + retention_rber(c.pe_cycles, c.retention_days) +
+         disturb_rber(c.pe_cycles, c.reads, c.vpass) +
+         pass_through_rber(c.vpass, c.retention_days);
+}
+
+double RberModel::usable_ecc_rber() const {
+  return (1.0 - params_.ecc_reserved_margin) * params_.ecc_capability_rber;
+}
+
+double RberModel::tolerable_reads(double pe_cycles, double days,
+                                  double vpass) const {
+  const double budget = usable_ecc_rber() - base_rber(pe_cycles) -
+                        retention_rber(pe_cycles, days) -
+                        pass_through_rber(vpass, days);
+  if (budget <= 0.0) return 0.0;
+  const double per_read =
+      disturb_rber(pe_cycles, 1.0, vpass);
+  if (per_read <= 0.0) return std::numeric_limits<double>::infinity();
+  return budget / per_read;
+}
+
+int RberModel::safe_vpass_reduction_percent(double pe_cycles, double days,
+                                            int max_percent) const {
+  const double margin = usable_ecc_rber() - base_rber(pe_cycles) -
+                        retention_rber(pe_cycles, days);
+  if (margin <= 0.0) return 0;
+  int best = 0;
+  for (int pct = 1; pct <= max_percent; ++pct) {
+    const double vpass =
+        params_.vpass_nominal * (1.0 - static_cast<double>(pct) / 100.0);
+    if (pass_through_rber(vpass, days) <= margin)
+      best = pct;
+    else
+      break;
+  }
+  return best;
+}
+
+double RberModel::lowest_safe_vpass(double margin_rber, double days,
+                                    double step) const {
+  assert(step > 0.0);
+  const double floor_v = params_.vpass_nominal * 0.90;
+  double v = params_.vpass_nominal;
+  while (v - step >= floor_v &&
+         pass_through_rber(v - step, days) <= margin_rber) {
+    v -= step;
+  }
+  return v;
+}
+
+}  // namespace rdsim::flash

@@ -1,0 +1,87 @@
+// rdsim/flash/rber_model.h
+//
+// Closed-form raw-bit-error-rate model calibrated to the paper's published
+// curves (Figs. 3-6). Where the Monte Carlo chip (src/nand) answers
+// "what happens to these particular cells", this model answers "what RBER
+// does a block with this history see" cheaply enough to drive whole-SSD
+// lifetime simulations (Fig. 8) and the Vpass Tuning controller.
+//
+//   rber(block) = base(PE)                 // P/E cycling noise floor
+//               + retention(PE, age)       // charge leakage (Fig. 6)
+//               + disturb(PE, reads, Vpass)// linear in reads (Fig. 3),
+//                                          // exponential in Vpass (Fig. 4)
+//               + pass_through(Vpass, age) // relaxation-induced (Fig. 5)
+#pragma once
+
+#include "flash/params.h"
+
+namespace rdsim::flash {
+
+/// Summary of one block's reliability-relevant history.
+struct BlockCondition {
+  double pe_cycles = 0.0;       ///< Program/erase wear.
+  double retention_days = 0.0;  ///< Age of the resident data.
+  double reads = 0.0;           ///< Read disturbs since last program.
+  double vpass = 512.0;         ///< Pass-through voltage used for the reads
+                                ///< (and for the evaluated read).
+};
+
+/// Closed-form RBER model; all rates are raw bit error probabilities.
+class RberModel {
+ public:
+  explicit RberModel(const FlashModelParams& params);
+
+  const FlashModelParams& params() const { return params_; }
+
+  /// P/E-cycling noise floor (no retention, no disturb).
+  double base_rber(double pe_cycles) const;
+
+  /// Retention-induced RBER after `days` at wear `pe_cycles` (Fig. 6 curve
+  /// digitized at 8K P/E and scaled with wear).
+  double retention_rber(double pe_cycles, double days) const;
+
+  /// Read-disturb RBER after `reads` reads performed at pass-through
+  /// voltage `vpass` on a block with `pe_cycles` wear. Linear in reads
+  /// (Fig. 3) with slope 1.0e-9*(PE/2000)^1.45, scaled by
+  /// exp(-c*(Vnominal - vpass)) (Fig. 4).
+  double disturb_rber(double pe_cycles, double reads, double vpass) const;
+
+  /// Fig. 3 slope: disturb RBER per read at nominal Vpass.
+  double disturb_slope(double pe_cycles) const;
+
+  /// Additional RBER caused by relaxing Vpass below nominal: the top-tail
+  /// cells fail to pass through (Fig. 5). Zero at nominal Vpass; decreases
+  /// with retention age.
+  double pass_through_rber(double vpass, double days) const;
+
+  /// Total expected RBER for a block in the given condition.
+  double total_rber(const BlockCondition& c) const;
+
+  /// Usable ECC budget after the reserved margin:
+  /// (1 - reserved) * capability.
+  double usable_ecc_rber() const;
+
+  /// Number of reads tolerable before total RBER exceeds the usable ECC
+  /// budget, for fixed wear/age/vpass. Returns +inf when the budget is
+  /// never exceeded and 0 when it is already exceeded.
+  double tolerable_reads(double pe_cycles, double days, double vpass) const;
+
+  /// Largest integer-percent Vpass reduction (0..max_percent) whose
+  /// pass-through errors fit in the remaining ECC margin at the given wear
+  /// and retention age, mirroring Fig. 6's annotation row. The margin is
+  /// usable_ecc_rber() minus the block's expected (base+retention) RBER.
+  int safe_vpass_reduction_percent(double pe_cycles, double days,
+                                   int max_percent = 8) const;
+
+  /// Finds the lowest Vpass (in normalized units, stepped by `step`) whose
+  /// pass-through errors stay within `margin_rber`; this is the analytic
+  /// shortcut for the controller's step search. Never returns below
+  /// vpass_nominal * 0.90.
+  double lowest_safe_vpass(double margin_rber, double days,
+                           double step = 2.0) const;
+
+ private:
+  FlashModelParams params_;
+};
+
+}  // namespace rdsim::flash

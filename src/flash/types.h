@@ -1,0 +1,63 @@
+// rdsim/flash/types.h
+//
+// Fundamental MLC flash value types: the four threshold-voltage states of a
+// 2-bit cell and their Gray-coded (LSB, MSB) data mapping, exactly as in
+// Fig. 1 of the paper: ER=11, P1=10, P2=00, P3=01.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace rdsim::flash {
+
+/// The four MLC states, ordered by increasing threshold voltage.
+enum class CellState : std::uint8_t { kEr = 0, kP1 = 1, kP2 = 2, kP3 = 3 };
+
+inline constexpr std::array<CellState, 4> kAllStates = {
+    CellState::kEr, CellState::kP1, CellState::kP2, CellState::kP3};
+
+/// Least-significant bit stored by `state` (Gray code of Fig. 1).
+constexpr int lsb_of(CellState state) {
+  switch (state) {
+    case CellState::kEr: return 1;  // 11
+    case CellState::kP1: return 1;  // 10
+    case CellState::kP2: return 0;  // 00
+    case CellState::kP3: return 0;  // 01
+  }
+  return 0;
+}
+
+/// Most-significant bit stored by `state` (Gray code of Fig. 1).
+constexpr int msb_of(CellState state) {
+  switch (state) {
+    case CellState::kEr: return 1;  // 11
+    case CellState::kP1: return 0;  // 10
+    case CellState::kP2: return 0;  // 00
+    case CellState::kP3: return 1;  // 01
+  }
+  return 0;
+}
+
+/// State encoding a given (LSB, MSB) pair.
+constexpr CellState state_of_bits(int lsb, int msb) {
+  if (lsb == 1) return msb == 1 ? CellState::kEr : CellState::kP1;
+  return msb == 0 ? CellState::kP2 : CellState::kP3;
+}
+
+/// Number of differing data bits between two states (0..2).
+constexpr int bit_errors_between(CellState a, CellState b) {
+  return (lsb_of(a) != lsb_of(b) ? 1 : 0) + (msb_of(a) != msb_of(b) ? 1 : 0);
+}
+
+constexpr std::string_view state_name(CellState state) {
+  switch (state) {
+    case CellState::kEr: return "ER";
+    case CellState::kP1: return "P1";
+    case CellState::kP2: return "P2";
+    case CellState::kP3: return "P3";
+  }
+  return "?";
+}
+
+}  // namespace rdsim::flash

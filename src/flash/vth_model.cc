@@ -1,0 +1,155 @@
+#include "flash/vth_model.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace rdsim::flash {
+
+bool FlashModelParams::is_sane() const {
+  const bool refs_ordered = 0 < vref_a && vref_a < vref_b && vref_b < vref_c &&
+                            vref_c < vpass_nominal;
+  bool states_ordered = true;
+  for (std::size_t i = 0; i + 1 < states.size(); ++i)
+    states_ordered &= states[i].mean < states[i + 1].mean;
+  bool sds_positive = true;
+  for (const auto& s : states) sds_positive &= s.sd > 0.0;
+  return refs_ordered && states_ordered && sds_positive && disturb_a > 0 &&
+         disturb_b > 0 && disturb_c > 0 && ecc_capability_rber > 0 &&
+         ecc_reserved_margin >= 0 && ecc_reserved_margin < 1;
+}
+
+VthModel::VthModel(const FlashModelParams& params) : params_(params) {
+  assert(params_.is_sane());
+}
+
+double VthModel::state_mean(CellState state, double pe_cycles) const {
+  const auto& s = params_.states[static_cast<std::size_t>(state)];
+  if (state == CellState::kEr)
+    return s.mean + params_.wear_er_shift * pe_cycles;
+  return s.mean;
+}
+
+double VthModel::state_sd(CellState state, double pe_cycles) const {
+  const auto& s = params_.states[static_cast<std::size_t>(state)];
+  return s.sd * (1.0 + params_.wear_sd_growth * pe_cycles);
+}
+
+CellGroundTruth VthModel::sample_program(CellState state, double pe_cycles,
+                                         Rng& rng) const {
+  CellGroundTruth cell;
+  cell.programmed = state;
+  CellState landed = state;
+  const double perr = params_.program_error_rate *
+                      (1.0 + pe_cycles / params_.wear_prog_error_pe);
+  if (rng.bernoulli(perr)) {
+    // Mis-program to an adjacent state (towards the middle for the ends).
+    const int idx = static_cast<int>(state);
+    const int delta = (idx == 0) ? 1 : (idx == 3) ? -1 : (rng.bernoulli(0.5) ? 1 : -1);
+    landed = static_cast<CellState>(idx + delta);
+  }
+  cell.v0 = static_cast<float>(
+      rng.normal(state_mean(landed, pe_cycles), state_sd(landed, pe_cycles)));
+  cell.susceptibility =
+      static_cast<float>(std::exp(rng.normal(0.0, params_.disturb_sigma)));
+  cell.leak_rate =
+      static_cast<float>(std::exp(rng.normal(0.0, params_.ret_sigma)));
+  return cell;
+}
+
+double VthModel::disturb_dose(double reads, double vpass,
+                              double pe_cycles) const {
+  const double vpass_factor =
+      std::exp(params_.disturb_c * (vpass - params_.vpass_nominal));
+  const double wear_factor =
+      std::pow(std::max(pe_cycles, 1.0) / 8000.0, params_.disturb_wear_exp);
+  return reads * vpass_factor * wear_factor;
+}
+
+double VthModel::apply_disturb(double v0, double susceptibility,
+                               double dose) const {
+  if (dose <= 0.0) return v0;
+  const double b = params_.disturb_b;
+  const double a = params_.disturb_a * susceptibility;
+  // V(D) = (1/B) ln(exp(B V0) + A B D); evaluate via the shift form to stay
+  // numerically stable for large V0:
+  //   V - V0 = (1/B) ln(1 + A B D exp(-B V0)).
+  const double y = a * b * dose * std::exp(-b * v0);
+  return v0 + std::log1p(y) / b;
+}
+
+double VthModel::retention_shift(double v0, double days,
+                                 double pe_cycles) const {
+  if (days <= 0.0) return 0.0;
+  const double er_mean_fresh = params_.states[0].mean;
+  const double headroom = v0 - er_mean_fresh;
+  if (headroom <= 0.0) return 0.0;  // Erased-level cells do not leak down.
+  const double wear = 1.0 + pe_cycles / params_.ret_wear_pe;
+  return -params_.ret_coeff * std::sqrt(headroom) *
+         std::log1p(days / params_.ret_tau_days) * wear;
+}
+
+double VthModel::present_vth(const CellGroundTruth& cell, double dose,
+                             double days, double pe_cycles) const {
+  const double retained =
+      cell.v0 +
+      cell.leak_rate * retention_shift(cell.v0, days, pe_cycles);
+  return apply_disturb(retained, cell.susceptibility, dose);
+}
+
+CellState VthModel::classify(double vth) const {
+  if (vth < params_.vref_a) return CellState::kEr;
+  if (vth < params_.vref_b) return CellState::kP1;
+  if (vth < params_.vref_c) return CellState::kP2;
+  return CellState::kP3;
+}
+
+double VthModel::pdf_intersection(CellState lower, double pe_cycles,
+                                  double days, double dose) const {
+  assert(lower != CellState::kP3);
+  const auto higher = static_cast<CellState>(static_cast<int>(lower) + 1);
+  // Means after retention and disturb; sds from wear. Solve for the
+  // equal-density point of the two Gaussians between the two means by
+  // bisection on log pdf difference (robust to unequal variances).
+  auto center = [&](CellState s) {
+    const double m = state_mean(s, pe_cycles);
+    const double retained = m + retention_shift(m, days, pe_cycles);
+    return apply_disturb(retained, 1.0, dose);
+  };
+  const double m1 = center(lower), m2 = center(higher);
+  const double s1 = state_sd(lower, pe_cycles), s2 = state_sd(higher, pe_cycles);
+  auto logpdf_diff = [&](double x) {
+    const double z1 = (x - m1) / s1, z2 = (x - m2) / s2;
+    return (-0.5 * z1 * z1 - std::log(s1)) - (-0.5 * z2 * z2 - std::log(s2));
+  };
+  double lo = m1, hi = m2;
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (logpdf_diff(mid) > 0.0)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double VthModel::boundary_shift(CellState lower, double pe_cycles, double days,
+                                double base_dose, double extra_dose) const {
+  const double v = pdf_intersection(lower, pe_cycles, days);
+  // Shift of a nominal (susceptibility 1) cell at the boundary when the
+  // block's dose grows from base_dose to base_dose + extra_dose. Since the
+  // boundary voltage is the *post-base-dose* Vth, invert the disturb law to
+  // recover the equivalent v0 first.
+  const double b = params_.disturb_b;
+  const double a = params_.disturb_a;
+  const double ebv = std::exp(b * v);
+  const double ebv0 = std::max(ebv - a * b * base_dose, 1.0);
+  const double v0 = std::log(ebv0) / b;
+  const double after =
+      apply_disturb(v0, 1.0, base_dose + extra_dose);
+  return after - v;
+}
+
+}  // namespace rdsim::flash

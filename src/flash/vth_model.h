@@ -1,0 +1,92 @@
+// rdsim/flash/vth_model.h
+//
+// Cell-level threshold-voltage physics: how a cell's Vth depends on its
+// programmed state, process variation, program/erase wear, retention age,
+// and accumulated read-disturb dose. This is the ground-truth model that the
+// Monte Carlo chip simulator (src/nand) evaluates per cell, and that the
+// analytic RBER model approximates in closed form.
+#pragma once
+
+#include "common/rng.h"
+#include "flash/params.h"
+#include "flash/types.h"
+
+namespace rdsim::flash {
+
+/// Immutable per-cell ground truth, sampled at program time.
+struct CellGroundTruth {
+  CellState programmed = CellState::kEr;  ///< Intended state.
+  float v0 = 0.0F;           ///< Vth right after programming (normalized).
+  float susceptibility = 1.0F;  ///< Per-cell disturb multiplier (lognormal).
+  float leak_rate = 1.0F;    ///< Per-cell retention-leak multiplier
+                             ///< (lognormal); RFR's classification signal.
+};
+
+/// Evaluates the Vth physics for a given parameter set.
+///
+/// The read-disturb state of a block is summarized by a scalar *dose*
+///   D = sum_i n_i * exp(disturb_c * (vpass_i - vpass_nominal))
+/// accumulated over reads; the cell's present Vth is then the closed-form
+/// integral of the tunneling law (see params.h), shifted down by retention
+/// leakage. This lets the chip simulator apply millions of reads in O(1).
+class VthModel {
+ public:
+  explicit VthModel(const FlashModelParams& params);
+
+  const FlashModelParams& params() const { return params_; }
+
+  /// Mean Vth of `state` on a block with `pe_cycles` of wear (no retention,
+  /// no disturb).
+  double state_mean(CellState state, double pe_cycles) const;
+
+  /// Vth standard deviation of `state` under wear.
+  double state_sd(CellState state, double pe_cycles) const;
+
+  /// Samples the post-program Vth of a cell intended to hold `state`,
+  /// including the program-error channel (cell lands one state off with a
+  /// wear-dependent probability). Returns the ground truth record.
+  CellGroundTruth sample_program(CellState state, double pe_cycles,
+                                 Rng& rng) const;
+
+  /// Read-disturb dose contributed by `reads` read operations performed at
+  /// pass-through voltage `vpass` on a block with `pe_cycles` of wear.
+  double disturb_dose(double reads, double vpass, double pe_cycles) const;
+
+  /// Vth after applying disturb dose `dose` to a cell that had voltage `v0`
+  /// and per-cell `susceptibility`. Monotonically increasing in dose;
+  /// lower-v0 cells shift more.
+  double apply_disturb(double v0, double susceptibility, double dose) const;
+
+  /// Retention leakage: Vth shift (<= 0 for programmed cells) after
+  /// `days` of retention on a block with `pe_cycles` wear, for a cell
+  /// programmed at `v0`.
+  double retention_shift(double v0, double days, double pe_cycles) const;
+
+  /// Full evaluation: present Vth of a cell given its ground truth, the
+  /// block's disturb dose, retention age, and wear.
+  double present_vth(const CellGroundTruth& cell, double dose, double days,
+                     double pe_cycles) const;
+
+  /// Hard-decision state for a threshold voltage using the three read
+  /// references (Va, Vb, Vc).
+  CellState classify(double vth) const;
+
+  /// Vth at which the PDFs of two adjacent states intersect (the optimal
+  /// read point and RDR's boundary), for the given wear/retention and an
+  /// optional accumulated disturb dose (which shifts both distributions,
+  /// the lower one more). `lower` must be ER..P2; the pair is
+  /// (lower, lower+1).
+  double pdf_intersection(CellState lower, double pe_cycles, double days,
+                          double dose = 0.0) const;
+
+  /// Expected disturb-induced Vth shift of a cell sitting exactly at the
+  /// boundary `pdf_intersection(lower,...)` when `extra_dose` more dose is
+  /// applied; RDR uses this as its delta-Vref classification threshold.
+  double boundary_shift(CellState lower, double pe_cycles, double days,
+                        double base_dose, double extra_dose) const;
+
+ private:
+  FlashModelParams params_;
+};
+
+}  // namespace rdsim::flash

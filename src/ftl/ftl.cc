@@ -1,0 +1,289 @@
+#include "ftl/ftl.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "ecc/crc32.h"
+
+namespace rdsim::ftl {
+
+Ftl::Ftl(const FtlConfig& config, std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      blocks_(config.blocks),
+      l2p_(config.logical_pages(), kUnmapped),
+      p2l_(config.physical_pages(), kUnmapped),
+      free_count_(config.blocks) {
+  assert(config_.blocks > config_.gc_free_target + 1);
+  assert(config_.overprovision > 0.0 && config_.overprovision < 1.0);
+}
+
+std::uint32_t Ftl::allocate_block() {
+  // Wear-aware allocation: among free blocks pick the least-worn one
+  // (simple but effective wear leveling for the simulator's purposes).
+  std::uint32_t best = kUnmappedBlock;
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b) {
+    if (blocks_[b].state != BlockInfo::State::kFree) continue;
+    if (best == kUnmappedBlock ||
+        blocks_[b].pe_cycles < blocks_[best].pe_cycles) {
+      best = b;
+    }
+  }
+  if (best == kUnmappedBlock)
+    throw std::runtime_error("FTL out of free blocks");
+  auto& info = blocks_[best];
+  info.state = BlockInfo::State::kOpen;
+  info.write_ptr = 0;
+  info.valid_pages = 0;
+  info.reads_since_program = 0;
+  info.program_day = now_days_;
+  --free_count_;
+  return best;
+}
+
+std::pair<std::uint32_t, std::uint32_t> Ftl::append_page(std::uint64_t lpn,
+                                                         bool counts_as_host) {
+  (void)counts_as_host;
+  if (open_block_ == kUnmappedBlock ||
+      blocks_[open_block_].write_ptr >= config_.pages_per_block) {
+    if (open_block_ != kUnmappedBlock)
+      blocks_[open_block_].state = BlockInfo::State::kFull;
+    open_block_ = allocate_block();
+  }
+  auto& info = blocks_[open_block_];
+  const std::uint32_t page = info.write_ptr++;
+  ++info.valid_pages;
+  const std::uint64_t packed =
+      static_cast<std::uint64_t>(open_block_) * config_.pages_per_block + page;
+  // Invalidate the previous location of this lpn.
+  const std::uint64_t old = l2p_[lpn];
+  if (old != kUnmapped) {
+    p2l_[old] = kUnmapped;
+    auto& old_info = blocks_[old / config_.pages_per_block];
+    assert(old_info.valid_pages > 0);
+    --old_info.valid_pages;
+  }
+  l2p_[lpn] = packed;
+  p2l_[packed] = lpn;
+  const std::uint32_t written_block = open_block_;
+  if (info.write_ptr == config_.pages_per_block) {
+    info.state = BlockInfo::State::kFull;
+    open_block_ = kUnmappedBlock;  // Full blocks are eligible for refresh
+                                   // and GC immediately.
+  }
+  return {written_block, page};
+}
+
+std::uint32_t Ftl::write(std::uint64_t lpn) {
+  assert(lpn < l2p_.size());
+  const auto [block, page] = append_page(lpn, true);
+  (void)page;
+  ++stats_.host_writes;
+  if (free_count_ <= config_.gc_free_target) collect_garbage();
+  return block;
+}
+
+std::uint32_t Ftl::read(std::uint64_t lpn) {
+  assert(lpn < l2p_.size());
+  ++stats_.host_reads;
+  const std::uint64_t packed = l2p_[lpn];
+  if (packed == kUnmapped) return kUnmappedBlock;
+  const auto block = static_cast<std::uint32_t>(packed / config_.pages_per_block);
+  ++blocks_[block].reads_since_program;
+  return block;
+}
+
+std::uint32_t Ftl::pick_gc_victim() const {
+  // Greedy: full block with the fewest valid pages; ties broken toward
+  // higher read counts so disturb-loaded blocks turn over sooner.
+  std::uint32_t best = kUnmappedBlock;
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b) {
+    const auto& info = blocks_[b];
+    if (info.state != BlockInfo::State::kFull) continue;
+    if (best == kUnmappedBlock ||
+        info.valid_pages < blocks_[best].valid_pages ||
+        (info.valid_pages == blocks_[best].valid_pages &&
+         info.reads_since_program > blocks_[best].reads_since_program)) {
+      best = b;
+    }
+  }
+  return best;
+}
+
+void Ftl::evacuate(std::uint32_t b, std::uint64_t* counter) {
+  const std::uint64_t base =
+      static_cast<std::uint64_t>(b) * config_.pages_per_block;
+  for (std::uint32_t p = 0; p < config_.pages_per_block; ++p) {
+    const std::uint64_t lpn = p2l_[base + p];
+    if (lpn == kUnmapped) continue;
+    append_page(lpn, false);
+    ++*counter;
+  }
+  assert(blocks_[b].valid_pages == 0);
+}
+
+void Ftl::erase_block(std::uint32_t b) {
+  auto& info = blocks_[b];
+  assert(info.valid_pages == 0);
+  info.state = BlockInfo::State::kFree;
+  info.write_ptr = 0;
+  info.reads_since_program = 0;
+  ++info.pe_cycles;
+  ++free_count_;
+}
+
+void Ftl::collect_garbage() {
+  while (free_count_ <= config_.gc_free_target) {
+    const std::uint32_t victim = pick_gc_victim();
+    if (victim == kUnmappedBlock) return;  // Nothing reclaimable.
+    evacuate(victim, &stats_.gc_writes);
+    erase_block(victim);
+    ++stats_.gc_erases;
+  }
+}
+
+std::vector<std::uint32_t> Ftl::blocks_due_refresh() const {
+  std::vector<std::uint32_t> due;
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b) {
+    const auto& info = blocks_[b];
+    if (info.state == BlockInfo::State::kFree || info.valid_pages == 0)
+      continue;
+    if (b == open_block_) continue;
+    if (now_days_ - info.program_day >= config_.refresh_interval_days)
+      due.push_back(b);
+  }
+  return due;
+}
+
+void Ftl::refresh_block(std::uint32_t block) {
+  auto& info = blocks_[block];
+  if (info.state == BlockInfo::State::kFree || block == open_block_) return;
+  evacuate(block, &stats_.refresh_writes);
+  erase_block(block);
+  ++stats_.refreshes;
+}
+
+int Ftl::apply_read_reclaim() {
+  if (config_.read_reclaim_threshold == 0) return 0;
+  int reclaimed = 0;
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b) {
+    const auto& info = blocks_[b];
+    if (info.state != BlockInfo::State::kFull || info.valid_pages == 0)
+      continue;
+    if (info.reads_since_program >= config_.read_reclaim_threshold) {
+      evacuate(b, &stats_.reclaim_writes);
+      erase_block(b);
+      ++stats_.reclaims;
+      ++reclaimed;
+    }
+  }
+  return reclaimed;
+}
+
+std::uint32_t Ftl::max_pe() const {
+  std::uint32_t m = 0;
+  for (const auto& b : blocks_) m = std::max(m, b.pe_cycles);
+  return m;
+}
+
+namespace {
+
+constexpr std::uint32_t kSnapshotMagic = 0x52444654;  // "RDFT"
+
+template <typename T>
+void append_pod(std::vector<std::uint8_t>* out, const T& value) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+  out->insert(out->end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+bool read_pod(const std::vector<std::uint8_t>& in, std::size_t* offset,
+              T* value) {
+  if (*offset + sizeof(T) > in.size()) return false;
+  std::memcpy(value, in.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Ftl::snapshot() const {
+  std::vector<std::uint8_t> out;
+  append_pod(&out, kSnapshotMagic);
+  append_pod(&out, config_.blocks);
+  append_pod(&out, config_.pages_per_block);
+  append_pod(&out, now_days_);
+  append_pod(&out, open_block_);
+  append_pod(&out, free_count_);
+  append_pod(&out, stats_);
+  for (const auto& b : blocks_) append_pod(&out, b);
+  for (const auto packed : l2p_) append_pod(&out, packed);
+  for (const auto lpn : p2l_) append_pod(&out, lpn);
+  const std::uint32_t crc = ecc::crc32(out);
+  append_pod(&out, crc);
+  return out;
+}
+
+bool Ftl::restore(const std::vector<std::uint8_t>& snapshot) {
+  if (snapshot.size() < sizeof(kSnapshotMagic) + sizeof(std::uint32_t))
+    return false;
+  const std::size_t body = snapshot.size() - sizeof(std::uint32_t);
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, snapshot.data() + body, sizeof(stored_crc));
+  if (ecc::crc32({snapshot.data(), body}) != stored_crc) return false;
+
+  std::size_t offset = 0;
+  std::uint32_t magic = 0, blocks = 0, ppb = 0;
+  if (!read_pod(snapshot, &offset, &magic) || magic != kSnapshotMagic)
+    return false;
+  if (!read_pod(snapshot, &offset, &blocks) ||
+      !read_pod(snapshot, &offset, &ppb) || blocks != config_.blocks ||
+      ppb != config_.pages_per_block)
+    return false;
+
+  Ftl staged(config_);
+  if (!read_pod(snapshot, &offset, &staged.now_days_) ||
+      !read_pod(snapshot, &offset, &staged.open_block_) ||
+      !read_pod(snapshot, &offset, &staged.free_count_) ||
+      !read_pod(snapshot, &offset, &staged.stats_))
+    return false;
+  for (auto& b : staged.blocks_)
+    if (!read_pod(snapshot, &offset, &b)) return false;
+  for (auto& packed : staged.l2p_)
+    if (!read_pod(snapshot, &offset, &packed)) return false;
+  for (auto& lpn : staged.p2l_)
+    if (!read_pod(snapshot, &offset, &lpn)) return false;
+  if (offset != body) return false;
+  if (!staged.check_invariants()) return false;
+  *this = std::move(staged);
+  return true;
+}
+
+bool Ftl::check_invariants() const {
+  std::vector<std::uint32_t> valid_count(blocks_.size(), 0);
+  for (std::uint64_t lpn = 0; lpn < l2p_.size(); ++lpn) {
+    const std::uint64_t packed = l2p_[lpn];
+    if (packed == kUnmapped) continue;
+    if (packed >= p2l_.size()) return false;
+    if (p2l_[packed] != lpn) return false;
+    ++valid_count[packed / config_.pages_per_block];
+  }
+  for (std::uint64_t phys = 0; phys < p2l_.size(); ++phys) {
+    const std::uint64_t lpn = p2l_[phys];
+    if (lpn == kUnmapped) continue;
+    if (lpn >= l2p_.size() || l2p_[lpn] != phys) return false;
+  }
+  std::uint32_t free_seen = 0;
+  for (std::uint32_t b = 0; b < blocks_.size(); ++b) {
+    if (blocks_[b].valid_pages != valid_count[b]) return false;
+    if (blocks_[b].state == BlockInfo::State::kFree) {
+      if (valid_count[b] != 0) return false;
+      ++free_seen;
+    }
+  }
+  return free_seen == free_count_;
+}
+
+}  // namespace rdsim::ftl

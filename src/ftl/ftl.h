@@ -1,0 +1,163 @@
+// rdsim/ftl/ftl.h
+//
+// Page-mapped flash translation layer: the controller substrate the
+// paper's mechanisms live in. Provides logical-to-physical mapping,
+// greedy garbage collection, wear-aware allocation, periodic remap-based
+// refresh (the 7-day interval of §3), and the read-reclaim baseline
+// mitigation (remap a block after a fixed read count) that prior work
+// [21, 29, 30, 40] used.
+//
+// The FTL tracks per-block reliability state (P/E cycles, reads since
+// program, data age, tuned Vpass) but delegates error-rate evaluation to
+// flash::RberModel — whole-drive simulations would not fit a per-cell
+// Monte Carlo model.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rdsim::ftl {
+
+inline constexpr std::uint64_t kUnmapped =
+    std::numeric_limits<std::uint64_t>::max();
+
+/// Drive shape and policy knobs.
+struct FtlConfig {
+  std::uint32_t blocks = 2048;
+  std::uint32_t pages_per_block = 256;
+  double overprovision = 0.125;   ///< Fraction of physical space reserved.
+  std::uint32_t gc_free_target = 8;  ///< GC keeps at least this many free
+                                     ///< blocks.
+  double refresh_interval_days = 7.0;
+  /// Read-reclaim threshold (reads to a block before its data is moved).
+  /// 0 disables read reclaim. The Yaffs-style default for MLC is 50K.
+  std::uint64_t read_reclaim_threshold = 0;
+
+  std::uint64_t physical_pages() const {
+    return static_cast<std::uint64_t>(blocks) * pages_per_block;
+  }
+  std::uint64_t logical_pages() const {
+    return static_cast<std::uint64_t>(static_cast<double>(physical_pages()) *
+                                      (1.0 - overprovision));
+  }
+};
+
+/// Per-block reliability and allocation state.
+struct BlockInfo {
+  enum class State : std::uint8_t { kFree, kOpen, kFull };
+  State state = State::kFree;
+  std::uint32_t pe_cycles = 0;
+  std::uint32_t write_ptr = 0;    ///< Next page to program.
+  std::uint32_t valid_pages = 0;
+  std::uint64_t reads_since_program = 0;
+  double program_day = 0.0;       ///< Day the block was (first) programmed.
+  double vpass = 0.0;             ///< Tuned pass-through voltage (0 = unset;
+                                  ///< the SSD layer initializes it).
+};
+
+/// Counters the simulator reports.
+struct FtlStats {
+  std::uint64_t host_reads = 0;       // pages
+  std::uint64_t host_writes = 0;      // pages
+  std::uint64_t gc_writes = 0;        // pages copied by GC
+  std::uint64_t refresh_writes = 0;   // pages copied by refresh
+  std::uint64_t reclaim_writes = 0;   // pages copied by read reclaim
+  std::uint64_t gc_erases = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t reclaims = 0;
+
+  double waf() const {
+    const double host = static_cast<double>(host_writes);
+    if (host == 0.0) return 1.0;
+    return (host + static_cast<double>(gc_writes + refresh_writes +
+                                       reclaim_writes)) /
+           host;
+  }
+};
+
+class Ftl {
+ public:
+  explicit Ftl(const FtlConfig& config, std::uint64_t seed = 1);
+
+  const FtlConfig& config() const { return config_; }
+  const FtlStats& stats() const { return stats_; }
+  double now_days() const { return now_days_; }
+
+  std::size_t block_count() const { return blocks_.size(); }
+  const BlockInfo& block(std::size_t i) const { return blocks_[i]; }
+  /// Mutable access for the SSD layer (Vpass tuning writes back here).
+  BlockInfo& block_mut(std::size_t i) { return blocks_[i]; }
+
+  /// Advances the FTL clock.
+  void advance_time(double days) { now_days_ += days; }
+
+  /// Host write of one logical page. Returns the physical block that
+  /// received the data.
+  std::uint32_t write(std::uint64_t lpn);
+
+  /// Host read of one logical page. Returns the physical block read, or
+  /// kUnmapped32 if the page was never written (reads of unwritten space
+  /// are served from the mapping without touching flash).
+  std::uint32_t read(std::uint64_t lpn);
+  static constexpr std::uint32_t kUnmappedBlock =
+      std::numeric_limits<std::uint32_t>::max();
+
+  /// Runs garbage collection until the free-block target is met.
+  void collect_garbage();
+
+  /// Blocks whose data age exceeds the refresh interval.
+  std::vector<std::uint32_t> blocks_due_refresh() const;
+
+  /// Remaps all valid data of `block` into fresh blocks and erases it
+  /// (remap-based refresh / read reclaim both use this).
+  void refresh_block(std::uint32_t block);
+
+  /// Applies read-reclaim policy: refreshes any block whose read count
+  /// passed the threshold. Returns the number of blocks reclaimed.
+  int apply_read_reclaim();
+
+  /// Number of free blocks.
+  std::uint32_t free_blocks() const { return free_count_; }
+
+  /// Highest P/E count across blocks (drive wear indicator).
+  std::uint32_t max_pe() const;
+
+  /// Validates internal invariants (mapping/reverse-mapping agreement,
+  /// valid counts). Used by tests; returns false on corruption.
+  bool check_invariants() const;
+
+  /// Serializes the mapping tables and per-block state into a
+  /// CRC32-protected byte buffer (the persisted metadata a controller
+  /// keeps across power cycles — including each block's tuned Vpass).
+  std::vector<std::uint8_t> snapshot() const;
+
+  /// Restores a snapshot taken from an FTL with the same configuration.
+  /// Returns false (leaving the FTL untouched) if the buffer is truncated,
+  /// CRC-corrupt, or shaped for a different geometry.
+  bool restore(const std::vector<std::uint8_t>& snapshot);
+
+ private:
+  std::uint32_t allocate_block();
+  /// Appends a page into the current open block; returns (block, page).
+  std::pair<std::uint32_t, std::uint32_t> append_page(std::uint64_t lpn,
+                                                      bool counts_as_host);
+  void erase_block(std::uint32_t b);
+  std::uint32_t pick_gc_victim() const;
+  /// Copies valid pages out of `b` (GC/refresh path), charging `counter`.
+  void evacuate(std::uint32_t b, std::uint64_t* counter);
+
+  FtlConfig config_;
+  Rng rng_;
+  std::vector<BlockInfo> blocks_;
+  std::vector<std::uint64_t> l2p_;  ///< lpn -> packed phys (block*ppb+page).
+  std::vector<std::uint64_t> p2l_;  ///< packed phys -> lpn or kUnmapped.
+  std::uint32_t open_block_ = kUnmappedBlock;
+  std::uint32_t free_count_ = 0;
+  double now_days_ = 0.0;
+  FtlStats stats_;
+};
+
+}  // namespace rdsim::ftl

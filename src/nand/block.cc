@@ -1,0 +1,173 @@
+#include "nand/block.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace rdsim::nand {
+
+using flash::CellState;
+
+Block::Block(const Geometry& geometry, const flash::VthModel& model, Rng rng)
+    : geometry_(geometry),
+      model_(&model),
+      rng_(rng),
+      cells_(geometry.cells_per_block()),
+      vpass_(model.params().vpass_nominal),
+      self_dose_(geometry.wordlines_per_block, 0.0),
+      blocking_threshold_(geometry.bitlines,
+                          std::numeric_limits<float>::infinity()) {}
+
+void Block::erase() {
+  for (auto& c : cells_) c = flash::CellGroundTruth{};
+  programmed_ = false;
+  dose_total_ = 0.0;
+  std::fill(self_dose_.begin(), self_dose_.end(), 0.0);
+  std::fill(blocking_threshold_.begin(), blocking_threshold_.end(),
+            std::numeric_limits<float>::infinity());
+}
+
+void Block::add_wear(std::uint32_t pe) {
+  erase();
+  pe_cycles_ += pe;
+}
+
+void Block::program_random() {
+  PageBits lsb(geometry_.bitlines), msb(geometry_.bitlines);
+  for (std::uint32_t wl = 0; wl < geometry_.wordlines_per_block; ++wl) {
+    for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl) {
+      lsb[bl] = static_cast<std::uint8_t>(rng_.next() & 1);
+      msb[bl] = static_cast<std::uint8_t>(rng_.next() & 1);
+    }
+    program_wordline(wl, lsb, msb);
+  }
+}
+
+void Block::program_wordline(std::uint32_t wl, const PageBits& lsb,
+                             const PageBits& msb) {
+  assert(wl < geometry_.wordlines_per_block);
+  assert(lsb.size() == geometry_.bitlines && msb.size() == geometry_.bitlines);
+  const double pe = pe_cycles_;
+  for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl) {
+    const CellState state = flash::state_of_bits(lsb[bl], msb[bl]);
+    cells_[index(wl, bl)] = model_->sample_program(state, pe, rng_);
+  }
+  if (wl + 1 == geometry_.wordlines_per_block) {
+    // Whole block programmed: account the P/E cycle, timestamp the data,
+    // and draw each bitline's pass-through blocking threshold from the
+    // calibrated top-tail distribution.
+    ++pe_cycles_;
+    programmed_ = true;
+    programmed_day_ = now_days_;
+    const auto& p = model_->params();
+    for (auto& thr : blocking_threshold_) {
+      thr = static_cast<float>(
+          rng_.normal(p.tail_mean + p.mc_tail_mean_adjust, p.tail_sd));
+    }
+  }
+}
+
+void Block::apply_reads(std::uint32_t wl, double count) {
+  assert(wl < geometry_.wordlines_per_block);
+  const double dose = model_->disturb_dose(count, vpass_, pe_cycles_);
+  dose_total_ += dose;
+  self_dose_[wl] += dose;
+}
+
+double Block::dose_for_wordline(std::uint32_t wl) const {
+  double dose = dose_total_ - self_dose_[wl];
+  const double boost = model_->params().neighbor_dose_boost;
+  if (boost > 0.0) {
+    // Concentrated disturb extension: reads addressed at the direct
+    // neighbors hit this wordline harder than the block average.
+    if (wl > 0) dose += boost * self_dose_[wl - 1];
+    if (wl + 1 < geometry_.wordlines_per_block)
+      dose += boost * self_dose_[wl + 1];
+  }
+  return dose;
+}
+
+double Block::present_vth(std::uint32_t wl, std::uint32_t bl) const {
+  return model_->present_vth(cells_[index(wl, bl)], dose_for_wordline(wl),
+                             retention_days(), pe_cycles_);
+}
+
+double Block::present_blocking(std::uint32_t bl) const {
+  const auto& p = model_->params();
+  return static_cast<double>(blocking_threshold_[bl]) -
+         p.tail_ret_drop * std::log1p(std::max(retention_days(), 0.0));
+}
+
+CellState Block::sense(std::uint32_t wl, std::uint32_t bl,
+                       bool* blocked) const {
+  // Pass-through check: if the bitline's blocking threshold exceeds the
+  // present Vpass, some unread cell fails to conduct and the whole string
+  // senses as non-conducting — i.e. as the highest state.
+  if (present_blocking(bl) > vpass_) {
+    if (blocked != nullptr) *blocked = true;
+    return CellState::kP3;
+  }
+  if (blocked != nullptr) *blocked = false;
+  return model_->classify(present_vth(wl, bl));
+}
+
+ReadResult Block::read_page(PageAddress address) {
+  assert(programmed_);
+  ReadResult result;
+  result.bits.resize(geometry_.bitlines);
+  for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl) {
+    const CellState observed = sense(address.wordline, bl, nullptr);
+    const CellState truth = cells_[index(address.wordline, bl)].programmed;
+    const int bit = address.kind == PageKind::kLsb ? flash::lsb_of(observed)
+                                                   : flash::msb_of(observed);
+    const int want = address.kind == PageKind::kLsb ? flash::lsb_of(truth)
+                                                    : flash::msb_of(truth);
+    result.bits[bl] = static_cast<std::uint8_t>(bit);
+    result.raw_bit_errors += bit != want;
+  }
+  apply_reads(address.wordline, 1.0);
+  return result;
+}
+
+int Block::count_errors(PageAddress address) const {
+  int errors = 0;
+  for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl) {
+    const CellState observed = sense(address.wordline, bl, nullptr);
+    const CellState truth = cells_[index(address.wordline, bl)].programmed;
+    if (address.kind == PageKind::kLsb)
+      errors += flash::lsb_of(observed) != flash::lsb_of(truth);
+    else
+      errors += flash::msb_of(observed) != flash::msb_of(truth);
+  }
+  return errors;
+}
+
+int Block::count_blocked_bitlines(std::uint32_t wl, double vpass) const {
+  (void)wl;  // The blocker is virtually never on the addressed wordline.
+  int blocked = 0;
+  for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl)
+    blocked += present_blocking(bl) > vpass;
+  return blocked;
+}
+
+std::vector<double> Block::read_retry_scan(std::uint32_t wl, double lo,
+                                           double hi, double step) const {
+  assert(step > 0.0 && hi > lo);
+  std::vector<double> out(geometry_.bitlines);
+  for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl) {
+    const double v = present_vth(wl, bl);
+    if (v < lo) {
+      out[bl] = lo;
+    } else if (v >= hi) {
+      out[bl] = hi;
+    } else {
+      // First retry step at which the cell conducts.
+      const double k = std::ceil((v - lo) / step);
+      out[bl] = std::min(lo + k * step, hi);
+    }
+  }
+  return out;
+}
+
+}  // namespace rdsim::nand

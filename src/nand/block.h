@@ -1,0 +1,146 @@
+// rdsim/nand/block.h
+//
+// Monte Carlo model of one NAND flash block: a wordlines x bitlines array
+// of MLC cells with per-cell ground truth, block-level disturb dose
+// accounting, retention aging, and read operations that reproduce the two
+// error channels the paper studies:
+//   (1) read disturb — every page read adds tunneling dose to the *other*
+//       wordlines, shifting their threshold voltages upward;
+//   (2) pass-through failures — with a relaxed Vpass, the highest-Vth cell
+//       elsewhere on a bitline can fail to conduct, corrupting the sensed
+//       value of the cell actually being read.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "flash/params.h"
+#include "flash/vth_model.h"
+#include "nand/geometry.h"
+
+namespace rdsim::nand {
+
+/// One page's worth of bits (values 0/1, one byte per bit).
+using PageBits = std::vector<std::uint8_t>;
+
+/// Result of reading a page.
+struct ReadResult {
+  PageBits bits;            ///< Sensed data.
+  int raw_bit_errors = 0;   ///< Mismatches vs programmed ground truth.
+};
+
+class Block {
+ public:
+  /// `model` must outlive the block.
+  Block(const Geometry& geometry, const flash::VthModel& model, Rng rng);
+
+  const Geometry& geometry() const { return geometry_; }
+  const flash::VthModel& model() const { return *model_; }
+  std::uint32_t pe_cycles() const { return pe_cycles_; }
+  double dose() const { return dose_total_; }
+  double vpass() const { return vpass_; }
+  bool programmed() const { return programmed_; }
+  /// Retention age of the resident data in days.
+  double retention_days() const { return now_days_ - programmed_day_; }
+
+  /// Sets the pass-through voltage used by subsequent reads (the knob the
+  /// paper's Vpass Tuning mechanism controls).
+  void set_vpass(double vpass) { vpass_ = vpass; }
+
+  /// Erases the block (one P/E half) — data is gone, dose resets.
+  void erase();
+
+  /// Pre-ages the block by `pe` program/erase cycles without simulating
+  /// each cycle's data (the paper pre-cycles blocks the same way before
+  /// characterizing them). Leaves the block erased.
+  void add_wear(std::uint32_t pe);
+
+  /// Programs every wordline with pseudo-random data, counting one P/E
+  /// cycle together with the preceding erase. Requires erased state.
+  void program_random();
+
+  /// Programs one wordline with explicit LSB/MSB pages (bits 0/1, size ==
+  /// bitlines). Wordlines must be programmed in order after an erase.
+  void program_wordline(std::uint32_t wl, const PageBits& lsb,
+                        const PageBits& msb);
+
+  /// Advances wall-clock time; affects retention age.
+  void advance_time(double days) { now_days_ += days; }
+
+  /// Applies `count` read operations addressed at wordline `wl` (any page
+  /// kind) without materializing the data: disturb dose accumulates on all
+  /// *other* wordlines. This is how characterization loops apply millions
+  /// of disturbs in O(1).
+  void apply_reads(std::uint32_t wl, double count);
+
+  /// Reads a page: senses each cell against the read references, honoring
+  /// pass-through blocking at the current Vpass, then accounts the read's
+  /// disturb dose. Ground-truth mismatches are reported.
+  ReadResult read_page(PageAddress address);
+
+  /// Number of raw bit errors a read of `address` would return right now,
+  /// without disturbing the block (used by tests and the tuning oracle).
+  int count_errors(PageAddress address) const;
+
+  /// Count of bitlines that fail to conduct (read as all-off) for a read
+  /// of wordline `wl` at pass-through voltage `vpass` — Step 2 of the
+  /// paper's Vpass identification counts exactly this "number of 0s".
+  int count_blocked_bitlines(std::uint32_t wl, double vpass) const;
+
+  /// Present threshold voltage of one cell.
+  double present_vth(std::uint32_t wl, std::uint32_t bl) const;
+
+  /// Ground truth record of one cell.
+  const flash::CellGroundTruth& cell(std::uint32_t wl, std::uint32_t bl) const {
+    return cells_[index(wl, bl)];
+  }
+
+  /// Read-retry scan: quantized threshold voltage of every cell on
+  /// wordline `wl`, stepping the read reference from `lo` to `hi` by
+  /// `step` (mimics the retry interface real MLC parts expose). Cells at
+  /// or above `hi` report `hi`.
+  std::vector<double> read_retry_scan(std::uint32_t wl, double lo, double hi,
+                                      double step) const;
+
+  /// Disturb dose experienced by cells of wordline `wl` (total block dose
+  /// minus the dose from reads addressed to `wl` itself).
+  double dose_for_wordline(std::uint32_t wl) const;
+
+ private:
+  std::size_t index(std::uint32_t wl, std::uint32_t bl) const {
+    return static_cast<std::size_t>(wl) * geometry_.bitlines + bl;
+  }
+
+  /// Sense one cell against the references; returns the observed state.
+  flash::CellState sense(std::uint32_t wl, std::uint32_t bl,
+                         bool* blocked) const;
+
+  Geometry geometry_;
+  const flash::VthModel* model_;
+  Rng rng_;
+
+  std::vector<flash::CellGroundTruth> cells_;
+  std::uint32_t pe_cycles_ = 0;
+  bool programmed_ = false;
+  double vpass_;
+  double dose_total_ = 0.0;          ///< Unit-vpass-adjusted dose (see
+                                     ///< VthModel::disturb_dose).
+  std::vector<double> self_dose_;    ///< Dose from reads addressed per WL.
+  double now_days_ = 0.0;
+  double programmed_day_ = 0.0;
+
+  /// Per-bitline blocking threshold: the lowest Vpass at which every cell
+  /// on the bitline's string still conducts (day-0 value; retention drifts
+  /// it down). Sampled at program time from the calibrated top-tail
+  /// distribution; +inf while erased. The responsible cell is, with
+  /// overwhelming probability, on a different wordline than the one being
+  /// read, so no self-exclusion is modeled.
+  std::vector<float> blocking_threshold_;
+
+  /// Present blocking threshold of a bitline (retention drift applied).
+  double present_blocking(std::uint32_t bl) const;
+};
+
+}  // namespace rdsim::nand

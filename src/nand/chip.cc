@@ -1,0 +1,23 @@
+#include "nand/chip.h"
+
+namespace rdsim::nand {
+
+Chip::Chip(const Geometry& geometry, const flash::FlashModelParams& params,
+           std::uint64_t seed)
+    : geometry_(geometry), model_(params) {
+  Rng root(seed);
+  blocks_.reserve(geometry.blocks);
+  for (std::uint32_t i = 0; i < geometry.blocks; ++i) {
+    blocks_.emplace_back(geometry_, model_, root.fork());
+  }
+}
+
+void Chip::advance_time(double days) {
+  for (auto& b : blocks_) b.advance_time(days);
+}
+
+void Chip::wear_block(std::size_t i, std::uint32_t pe) {
+  blocks_[i].add_wear(pe);
+}
+
+}  // namespace rdsim::nand

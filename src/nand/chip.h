@@ -1,0 +1,47 @@
+// rdsim/nand/chip.h
+//
+// A simulated MLC NAND chip: a set of blocks sharing one Vth physics model
+// and one wall clock. This is the software stand-in for the paper's
+// FPGA-attached 2Y-nm parts; experiments drive it through the same
+// operations a flash controller would issue (erase, program, read,
+// read-retry).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "flash/params.h"
+#include "flash/vth_model.h"
+#include "nand/block.h"
+#include "nand/geometry.h"
+
+namespace rdsim::nand {
+
+class Chip {
+ public:
+  Chip(const Geometry& geometry, const flash::FlashModelParams& params,
+       std::uint64_t seed);
+
+  const Geometry& geometry() const { return geometry_; }
+  const flash::VthModel& model() const { return model_; }
+
+  std::size_t block_count() const { return blocks_.size(); }
+  Block& block(std::size_t i) { return blocks_[i]; }
+  const Block& block(std::size_t i) const { return blocks_[i]; }
+
+  /// Advances every block's wall clock.
+  void advance_time(double days);
+
+  /// Pre-ages a block: `pe` program/erase cycles of wear, ending erased.
+  /// Wear is applied in bulk (no per-cycle data retention simulation),
+  /// mirroring how the paper's characterization pre-cycles blocks.
+  void wear_block(std::size_t i, std::uint32_t pe);
+
+ private:
+  Geometry geometry_;
+  flash::VthModel model_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace rdsim::nand

@@ -1,0 +1,39 @@
+// rdsim/nand/geometry.h
+//
+// Physical organization of the simulated MLC NAND chip. An MLC wordline
+// stores two pages (LSB page and MSB page); cells along a wordline belong
+// to distinct bitlines, and all wordlines of a block share its bitlines —
+// which is exactly why reading one page disturbs the others (§1).
+#pragma once
+
+#include <cstdint>
+
+namespace rdsim::nand {
+
+struct Geometry {
+  std::uint32_t wordlines_per_block = 64;
+  std::uint32_t bitlines = 8192;  ///< Cells per wordline = bits per page.
+  std::uint32_t blocks = 1;       ///< Blocks per simulated chip.
+
+  std::uint32_t pages_per_block() const { return 2 * wordlines_per_block; }
+  std::uint64_t cells_per_block() const {
+    return static_cast<std::uint64_t>(wordlines_per_block) * bitlines;
+  }
+  std::uint64_t bits_per_block() const { return 2 * cells_per_block(); }
+
+  /// Small geometry for unit tests (fast to program and scan).
+  static Geometry tiny() { return Geometry{16, 1024, 4}; }
+  /// Characterization geometry: one observable block comparable to the
+  /// paper's per-block measurements.
+  static Geometry characterization() { return Geometry{64, 8192, 1}; }
+};
+
+/// Identifies one page: wordline + which of the two MLC pages.
+enum class PageKind : std::uint8_t { kLsb = 0, kMsb = 1 };
+
+struct PageAddress {
+  std::uint32_t wordline = 0;
+  PageKind kind = PageKind::kLsb;
+};
+
+}  // namespace rdsim::nand

@@ -1,0 +1,35 @@
+#include "nand/randomizer.h"
+
+namespace rdsim::nand {
+namespace {
+
+std::uint64_t mix(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+void Randomizer::apply(std::uint32_t block, std::uint32_t page,
+                       std::span<std::uint8_t> data) const {
+  std::uint64_t state = mix(device_key_ ^ (static_cast<std::uint64_t>(block) << 32 |
+                                           page));
+  std::uint64_t stream = 0;
+  int have = 0;
+  for (auto& byte : data) {
+    if (have == 0) {
+      state = mix(state + 0x9E3779B97F4A7C15ULL);
+      stream = state;
+      have = 8;
+    }
+    byte ^= static_cast<std::uint8_t>(stream);
+    stream >>= 8;
+    --have;
+  }
+}
+
+}  // namespace rdsim::nand

@@ -1,0 +1,28 @@
+// rdsim/nand/randomizer.h
+//
+// Data randomizer (scrambler) of the kind flash controllers place in the
+// write path so that cell states are uniformly distributed regardless of
+// host data — the assumption behind every distribution in the paper. XORs
+// the payload with a per-page keystream derived from the physical address.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace rdsim::nand {
+
+/// Stateless scrambler: scramble and descramble are the same operation.
+class Randomizer {
+ public:
+  explicit Randomizer(std::uint64_t device_key = 0x52D5A4D1E9F0B6C3ULL)
+      : device_key_(device_key) {}
+
+  /// XORs `data` in place with the keystream for (block, page).
+  void apply(std::uint32_t block, std::uint32_t page,
+             std::span<std::uint8_t> data) const;
+
+ private:
+  std::uint64_t device_key_;
+};
+
+}  // namespace rdsim::nand

@@ -1,0 +1,190 @@
+#include "ssd/ssd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rdsim::ssd {
+namespace {
+
+/// BlockProbe over the SSD's per-block analytic reliability state, so the
+/// real VpassTuningController makes the daily decisions.
+class SsdBlockProbe : public core::BlockProbe {
+ public:
+  SsdBlockProbe(const flash::RberModel& model, const ecc::EccConfig& ecc,
+                double worst_page_factor, double pe, double age_days,
+                double disturb_rber)
+      : model_(&model),
+        page_bits_(ecc.codeword_data_bits * ecc.codewords_per_page),
+        codewords_(ecc.codewords_per_page),
+        worst_(worst_page_factor),
+        pe_(pe),
+        age_(age_days),
+        disturb_rber_(disturb_rber) {}
+
+  int measure_worst_page_errors() override {
+    const double rber = worst_ * (model_->base_rber(pe_) +
+                                  model_->retention_rber(pe_, age_) +
+                                  disturb_rber_);
+    return static_cast<int>(std::lround(rber * page_bits_));
+  }
+
+  int count_read_zeros(double vpass) override {
+    return static_cast<int>(
+        std::lround(model_->pass_through_rber(vpass, age_) * page_bits_));
+  }
+
+  int codewords_per_page() const override { return codewords_; }
+
+ private:
+  const flash::RberModel* model_;
+  int page_bits_;
+  int codewords_;
+  double worst_;
+  double pe_;
+  double age_;
+  double disturb_rber_;
+};
+
+}  // namespace
+
+Ssd::Ssd(const SsdConfig& config, const flash::FlashModelParams& params,
+         std::uint64_t seed)
+    : config_(config),
+      model_(params),
+      ecc_(config.ecc),
+      controller_(ecc_, params.vpass_nominal, config.tuning),
+      ftl_(config.ftl, seed),
+      disturb_rber_(config.ftl.blocks, 0.0),
+      reads_snapshot_(config.ftl.blocks, 0),
+      pe_seen_(config.ftl.blocks, 0),
+      last_refresh_day_(config.ftl.blocks, 0.0) {
+  for (std::uint32_t b = 0; b < config_.ftl.blocks; ++b)
+    ftl_.block_mut(b).vpass = params.vpass_nominal;
+}
+
+void Ssd::submit(const workload::IoRequest& request) {
+  const std::uint64_t logical = ftl_.config().logical_pages();
+  for (std::uint32_t i = 0; i < request.pages; ++i) {
+    const std::uint64_t lpn = (request.lpn + i) % logical;
+    if (request.is_write) {
+      ftl_.write(lpn);
+      stats_.host_io_seconds += config_.latency.program_s;
+    } else {
+      ftl_.read(lpn);
+      stats_.host_io_seconds += config_.latency.read_s;
+    }
+  }
+}
+
+void Ssd::run_day(const std::vector<workload::IoRequest>& day) {
+  for (const auto& r : day) submit(r);
+  end_of_day();
+}
+
+void Ssd::sync_block_epochs() {
+  for (std::uint32_t b = 0; b < disturb_rber_.size(); ++b) {
+    const auto& info = ftl_.block(b);
+    if (info.pe_cycles != pe_seen_[b]) {
+      // Block was erased (GC, refresh, or reclaim) since the last scan:
+      // its resident data, and therefore its accumulated retention and
+      // disturb error state, is new.
+      pe_seen_[b] = info.pe_cycles;
+      disturb_rber_[b] = 0.0;
+      reads_snapshot_[b] = 0;
+      last_refresh_day_[b] = ftl_.now_days();
+      ftl_.block_mut(b).vpass = model_.params().vpass_nominal;
+    }
+  }
+}
+
+void Ssd::end_of_day() {
+  ftl_.advance_time(1.0);
+  ++stats_.days;
+
+  // 1. Remap-based refresh of aged blocks, then read reclaim if enabled.
+  for (const std::uint32_t b : ftl_.blocks_due_refresh()) ftl_.refresh_block(b);
+  ftl_.apply_read_reclaim();
+  ftl_.collect_garbage();
+  sync_block_epochs();
+  // Background busy time for the whole day, including GC triggered inline
+  // by host writes: one read + one program per moved page, plus erases.
+  const auto& fs = ftl_.stats();
+  const std::uint64_t bg_writes_total =
+      fs.gc_writes + fs.refresh_writes + fs.reclaim_writes;
+  const std::uint64_t erases_total =
+      fs.gc_erases + fs.refreshes + fs.reclaims;
+  stats_.background_seconds +=
+      static_cast<double>(bg_writes_total - bg_writes_seen_) *
+          (config_.latency.read_s + config_.latency.program_s) +
+      static_cast<double>(erases_total - erases_seen_) *
+          config_.latency.erase_s;
+  bg_writes_seen_ = bg_writes_total;
+  erases_seen_ = erases_total;
+
+  // 2. Account today's reads at the Vpass each block actually used.
+  for (std::uint32_t b = 0; b < disturb_rber_.size(); ++b) {
+    const auto& info = ftl_.block(b);
+    const std::uint64_t reads_today =
+        info.reads_since_program - reads_snapshot_[b];
+    reads_snapshot_[b] = info.reads_since_program;
+    if (reads_today > 0) {
+      disturb_rber_[b] += model_.disturb_rber(
+          info.pe_cycles, static_cast<double>(reads_today), info.vpass);
+    }
+    max_reads_per_interval_ =
+        std::max(max_reads_per_interval_, info.reads_since_program);
+  }
+
+  // 3. Daily Vpass tuning (the paper's mechanism) for blocks with data.
+  for (std::uint32_t b = 0; b < disturb_rber_.size(); ++b) {
+    auto& info = ftl_.block_mut(b);
+    if (info.state == ftl::BlockInfo::State::kFree || info.valid_pages == 0)
+      continue;
+    const double age = ftl_.now_days() - info.program_day;
+
+    if (config_.vpass_tuning) {
+      SsdBlockProbe probe(model_, config_.ecc, config_.worst_page_factor,
+                          info.pe_cycles, age, disturb_rber_[b]);
+      const bool refreshed_today = age <= 1.0;
+      const core::TuningDecision decision =
+          refreshed_today ? controller_.relearn(probe)
+                          : controller_.verify_or_raise(probe, info.vpass);
+      info.vpass = decision.vpass;
+      // Probe cost: the MEE read plus each step-search verification read.
+      stats_.tuning_probe_seconds +=
+          static_cast<double>(1 + decision.probe_steps) *
+          config_.latency.read_s;
+      stats_.tuning_fallbacks += decision.fallback ? 1 : 0;
+      stats_.sum_vpass_reduction_pct +=
+          (model_.params().vpass_nominal - decision.vpass) /
+          model_.params().vpass_nominal * 100.0;
+      ++stats_.tuned_block_days;
+    }
+
+    // 4. Reliability scan: uncorrectable when the worst page exceeds the
+    // full ECC capability.
+    if (block_worst_rber(b) > ecc_.rber_capability())
+      ++stats_.uncorrectable_page_events;
+  }
+}
+
+double Ssd::block_worst_rber(std::uint32_t b) const {
+  const auto& info = ftl_.block(b);
+  if (info.state == ftl::BlockInfo::State::kFree || info.valid_pages == 0)
+    return 0.0;
+  const double age = ftl_.now_days() - info.program_day;
+  return config_.worst_page_factor *
+             (model_.base_rber(info.pe_cycles) +
+              model_.retention_rber(info.pe_cycles, age) + disturb_rber_[b]) +
+         model_.pass_through_rber(info.vpass, age);
+}
+
+double Ssd::max_worst_rber() const {
+  double m = 0.0;
+  for (std::uint32_t b = 0; b < disturb_rber_.size(); ++b)
+    m = std::max(m, block_worst_rber(b));
+  return m;
+}
+
+}  // namespace rdsim::ssd

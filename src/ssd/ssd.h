@@ -1,0 +1,127 @@
+// rdsim/ssd/ssd.h
+//
+// Whole-drive simulator: trace replay through the FTL with per-block
+// reliability tracking (P/E wear, data age, read disturb accumulated at
+// the block's tuned Vpass) and the paper's daily maintenance loop —
+// remap-based refresh, optional read reclaim, and per-block Vpass Tuning
+// driven by the real VpassTuningController.
+//
+// Error rates come from the analytic flash::RberModel; a per-cell Monte
+// Carlo model would not scale to a drive. The same controller logic is
+// exercised against the Monte Carlo chip in tests and examples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/vpass_tuning.h"
+#include "ecc/ecc_model.h"
+#include "flash/params.h"
+#include "flash/rber_model.h"
+#include "ftl/ftl.h"
+#include "workload/trace.h"
+
+namespace rdsim::ssd {
+
+/// Flash operation latencies for the drive's time accounting.
+struct LatencyParams {
+  double read_s = 75e-6;      ///< Page read (tR).
+  double program_s = 1.3e-3;  ///< Page program (tProg).
+  double erase_s = 3.5e-3;    ///< Block erase (tBERS).
+};
+
+struct SsdConfig {
+  ftl::FtlConfig ftl;
+  ecc::EccConfig ecc = ecc::EccConfig::paper_provisioning();
+  bool vpass_tuning = true;        ///< Enable the mitigation mechanism.
+  double worst_page_factor = 1.3;  ///< Worst page vs block mean RBER.
+  core::VpassTuningOptions tuning;
+  LatencyParams latency;
+};
+
+struct SsdStats {
+  std::uint64_t days = 0;
+  std::uint64_t uncorrectable_page_events = 0;  ///< Block-days where the
+                                                ///< worst page exceeded the
+                                                ///< full ECC capability.
+  std::uint64_t tuning_fallbacks = 0;
+  double sum_vpass_reduction_pct = 0.0;  ///< Sum over tuned block-days.
+  std::uint64_t tuned_block_days = 0;
+
+  // Time accounting (seconds of flash busy time).
+  double host_io_seconds = 0.0;       ///< Host reads + writes.
+  double background_seconds = 0.0;    ///< GC + refresh + reclaim traffic.
+  double tuning_probe_seconds = 0.0;  ///< Vpass Tuning probe reads (the
+                                      ///< paper's §4 daily overhead).
+
+  double mean_vpass_reduction_pct() const {
+    return tuned_block_days == 0
+               ? 0.0
+               : sum_vpass_reduction_pct / static_cast<double>(tuned_block_days);
+  }
+  /// Mean tuning overhead per simulated day, in seconds.
+  double tuning_seconds_per_day() const {
+    return days == 0 ? 0.0 : tuning_probe_seconds / static_cast<double>(days);
+  }
+};
+
+class Ssd {
+ public:
+  Ssd(const SsdConfig& config, const flash::FlashModelParams& params,
+      std::uint64_t seed = 1);
+
+  const SsdConfig& config() const { return config_; }
+  const ftl::Ftl& ftl() const { return ftl_; }
+  ftl::Ftl& ftl_mut() { return ftl_; }
+  const SsdStats& stats() const { return stats_; }
+  const flash::RberModel& rber_model() const { return model_; }
+
+  /// Submits one request (expands multi-page requests).
+  void submit(const workload::IoRequest& request);
+
+  /// Submits a day of requests, then runs the nightly maintenance
+  /// (refresh, read reclaim, Vpass tuning, reliability scan).
+  void run_day(const std::vector<workload::IoRequest>& day);
+
+  /// Current worst-page RBER of a block (0 for blocks without data).
+  double block_worst_rber(std::uint32_t b) const;
+
+  /// Highest worst-page RBER across all blocks with valid data.
+  double max_worst_rber() const;
+
+  /// Accumulated disturb RBER of a block (sum over days of slope * reads
+  /// at the Vpass in effect that day).
+  double block_disturb_rber(std::uint32_t b) const { return disturb_rber_[b]; }
+
+  /// Largest number of reads any block absorbed within one refresh
+  /// interval so far (the limiting disturb pressure for endurance).
+  std::uint64_t max_reads_per_interval() const {
+    return max_reads_per_interval_;
+  }
+
+ private:
+  void end_of_day();
+  /// Detects blocks erased since the last scan and resets their
+  /// reliability accumulators.
+  void sync_block_epochs();
+
+  SsdConfig config_;
+  flash::RberModel model_;
+  ecc::EccModel ecc_;
+  core::VpassTuningController controller_;
+  ftl::Ftl ftl_;
+
+  // Per-block reliability accumulators (parallel to FTL block table).
+  std::vector<double> disturb_rber_;
+  std::vector<std::uint64_t> reads_snapshot_;  ///< reads at last scan.
+  std::vector<std::uint32_t> pe_seen_;         ///< epoch detector.
+  std::vector<double> last_refresh_day_;
+
+  std::uint64_t max_reads_per_interval_ = 0;
+  // Day-over-day counters for background time accounting.
+  std::uint64_t bg_writes_seen_ = 0;
+  std::uint64_t erases_seen_ = 0;
+  SsdStats stats_;
+};
+
+}  // namespace rdsim::ssd

@@ -1,0 +1,64 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rdsim::workload {
+
+TraceGenerator::TraceGenerator(const WorkloadProfile& profile,
+                               std::uint64_t logical_pages,
+                               std::uint64_t seed)
+    : profile_(profile),
+      footprint_pages_(std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(profile.footprint_fraction *
+                                        static_cast<double>(logical_pages)))),
+      read_ranks_(footprint_pages_, profile.read_zipf_theta),
+      write_ranks_(footprint_pages_, profile.write_zipf_theta),
+      rng_(seed) {
+  const double requests_per_day =
+      profile_.daily_page_ios / profile_.mean_request_pages;
+  mean_interarrival_s_ = 86400.0 / std::max(1.0, requests_per_day);
+}
+
+std::uint64_t TraceGenerator::rank_to_lpn(std::uint64_t rank,
+                                          std::uint64_t salt) const {
+  // Fibonacci-hash permutation of ranks onto the footprint: deterministic,
+  // cheap, and spreads the hot set over the address space.
+  const std::uint64_t h = (rank ^ salt) * 0x9E3779B97F4A7C15ULL;
+  return h % footprint_pages_;
+}
+
+IoRequest TraceGenerator::next() {
+  IoRequest r;
+  clock_s_ += rng_.exponential(1.0 / mean_interarrival_s_);
+  r.time_s = clock_s_;
+  r.is_write = !rng_.bernoulli(profile_.read_fraction);
+  const auto& ranks = r.is_write ? write_ranks_ : read_ranks_;
+  r.lpn = rank_to_lpn(ranks.sample(rng_),
+                      r.is_write ? 0x9D9F1C7E3B5A2D4FULL : 0);
+  // Geometric request sizes with the profile's mean.
+  const double p = 1.0 / profile_.mean_request_pages;
+  std::uint32_t pages = 1;
+  while (pages < 64 && !rng_.bernoulli(p)) ++pages;
+  r.pages = pages;
+  return r;
+}
+
+std::vector<IoRequest> TraceGenerator::day() {
+  std::vector<IoRequest> out;
+  const double day_end = clock_s_ + 86400.0;
+  out.reserve(static_cast<std::size_t>(profile_.daily_page_ios /
+                                       profile_.mean_request_pages * 1.1));
+  while (true) {
+    IoRequest r = next();
+    if (r.time_s >= day_end) {
+      clock_s_ = day_end;
+      break;
+    }
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace rdsim::workload

@@ -1,0 +1,53 @@
+// rdsim/workload/generator.h
+//
+// Turns a WorkloadProfile into a reproducible request stream. Reads and
+// writes draw their logical pages from independent Zipf popularity
+// rankings over the workload's footprint, with a per-workload random
+// permutation so the hot set is not trivially the lowest addresses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "workload/profiles.h"
+#include "workload/trace.h"
+#include "workload/zipf.h"
+
+namespace rdsim::workload {
+
+class TraceGenerator {
+ public:
+  /// `logical_pages` is the drive's exported logical space; the workload
+  /// touches the first footprint_fraction of it (after permutation).
+  TraceGenerator(const WorkloadProfile& profile, std::uint64_t logical_pages,
+                 std::uint64_t seed);
+
+  const WorkloadProfile& profile() const { return profile_; }
+  std::uint64_t footprint_pages() const { return footprint_pages_; }
+
+  /// Generates one request with Poisson-ish arrival spacing so that one
+  /// simulated day contains ~daily_page_ios page accesses.
+  IoRequest next();
+
+  /// Generates a full day of requests (time_s in [0, 86400)).
+  std::vector<IoRequest> day();
+
+ private:
+  /// Maps a popularity rank to a logical page, spreading hot ranks across
+  /// the footprint deterministically. Reads and writes use different
+  /// permutations (`salt`): in real systems the read-hot set is largely
+  /// disjoint from the write-hot set, and that disjointness is what lets
+  /// read counts accumulate on a block between refreshes.
+  std::uint64_t rank_to_lpn(std::uint64_t rank, std::uint64_t salt) const;
+
+  WorkloadProfile profile_;
+  std::uint64_t footprint_pages_;
+  ZipfSampler read_ranks_;
+  ZipfSampler write_ranks_;
+  Rng rng_;
+  double clock_s_ = 0.0;
+  double mean_interarrival_s_;
+};
+
+}  // namespace rdsim::workload

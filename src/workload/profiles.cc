@@ -1,0 +1,40 @@
+#include "workload/profiles.h"
+
+#include <stdexcept>
+
+namespace rdsim::workload {
+
+std::vector<WorkloadProfile> standard_suite() {
+  // Read fractions and locality reconstructed from the published
+  // descriptions of each trace family: UMass WebSearch is ~99% reads with
+  // extreme locality; Financial (OLTP) is write-heavy; MSR volumes span
+  // the middle; Postmark and Cello99 are mixed filesystem loads; the FIU
+  // dedup traces are read-mostly desktop/server images.
+  // Write locality is high (>= 1.0) across the suite: real volumes
+  // concentrate writes on a small hot set, which is what lets read-hot
+  // blocks survive long enough to accumulate disturb between refreshes.
+  // Daily volumes are a few percent of the footprint (as on real volumes)
+  // while reads concentrate heavily (theta ~0.75-1.15): read-hot blocks
+  // then survive between weekly refreshes and absorb 5K-300K reads per
+  // interval, the disturb regime the paper characterizes.
+  return {
+      {"postmark", 0.45, 0.30, 2.5e5, 0.95, 1.05, 4.0},
+      {"fiu-homes", 0.62, 0.40, 1.8e5, 1.00, 1.10, 4.0},
+      {"fiu-mail", 0.70, 0.35, 3.0e5, 0.95, 1.10, 2.0},
+      {"fiu-web-vm", 0.78, 0.25, 2.2e5, 1.10, 1.00, 4.0},
+      {"msr-prn", 0.25, 0.55, 1.5e5, 0.80, 1.15, 8.0},
+      {"msr-proj", 0.55, 0.60, 2.0e5, 0.90, 1.10, 8.0},
+      {"msr-src", 0.65, 0.45, 1.6e5, 0.95, 1.05, 8.0},
+      {"cello99", 0.40, 0.50, 1.2e5, 0.85, 1.10, 4.0},
+      {"umass-fin", 0.20, 0.35, 2.8e5, 0.75, 1.20, 2.0},
+      {"umass-web", 0.99, 0.45, 4.0e5, 1.15, 0.80, 2.0},
+  };
+}
+
+WorkloadProfile profile_by_name(const std::string& name) {
+  for (const auto& p : standard_suite())
+    if (p.name == name) return p;
+  throw std::out_of_range("unknown workload profile: " + name);
+}
+
+}  // namespace rdsim::workload

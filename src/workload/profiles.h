@@ -1,0 +1,36 @@
+// rdsim/workload/profiles.h
+//
+// Synthetic stand-ins for the paper's evaluation traces [38, 43, 65, 83,
+// 89]. Each profile captures the published, behaviour-relevant properties
+// of its trace family — read/write mix, working-set footprint, daily I/O
+// volume, and read locality — because those are what determine per-block
+// read disturb pressure between refreshes (the quantity Fig. 8 depends
+// on). See DESIGN.md §4 for the substitution rationale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rdsim::workload {
+
+struct WorkloadProfile {
+  std::string name;
+  double read_fraction = 0.5;     ///< Fraction of page accesses that read.
+  double footprint_fraction = 0.5;  ///< Fraction of the drive's logical
+                                    ///< space the workload touches.
+  double daily_page_ios = 2.0e6;  ///< Page-granularity accesses per day.
+  double read_zipf_theta = 0.9;   ///< Read locality (higher = hotter).
+  double write_zipf_theta = 0.6;  ///< Write locality.
+  double mean_request_pages = 4.0;  ///< Average request size in pages.
+};
+
+/// The nine-trace evaluation suite mirroring the families the paper used:
+/// Postmark (mail-server filesystem benchmark), FIU I/O-dedup homes/mail/
+/// web-vm, MSR-Cambridge prn/proj/src, HP Cello99, and UMass Financial/
+/// WebSearch.
+std::vector<WorkloadProfile> standard_suite();
+
+/// Looks up a profile by name; throws std::out_of_range if unknown.
+WorkloadProfile profile_by_name(const std::string& name);
+
+}  // namespace rdsim::workload

@@ -1,0 +1,40 @@
+// rdsim/workload/trace.h
+//
+// I/O trace records consumed by the SSD simulator. The paper evaluates
+// Vpass Tuning on real traces (MSR-Cambridge write off-loading, FIU I/O
+// deduplication, Postmark, Cello99, UMass); we replay the same *kind* of
+// streams from synthetic generators (see profiles.h) because the original
+// trace files are not redistributable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdsim::workload {
+
+/// One host request, already normalized to page granularity.
+struct IoRequest {
+  double time_s = 0.0;       ///< Arrival time within the trace day.
+  std::uint64_t lpn = 0;     ///< Logical page number of the first page.
+  std::uint32_t pages = 1;   ///< Number of consecutive pages.
+  bool is_write = false;
+};
+
+/// Aggregate statistics of a request stream.
+struct TraceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t read_pages = 0;
+  std::uint64_t write_pages = 0;
+
+  double read_fraction() const {
+    const auto total = read_pages + write_pages;
+    return total == 0 ? 0.0 : static_cast<double>(read_pages) / total;
+  }
+  void add(const IoRequest& r) {
+    ++requests;
+    (r.is_write ? write_pages : read_pages) += r.pages;
+  }
+};
+
+}  // namespace rdsim::workload

@@ -1,0 +1,125 @@
+#include "workload/trace_io.h"
+
+#include <charconv>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rdsim::workload {
+namespace {
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = line.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(line.substr(start));
+      break;
+    }
+    out.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& s, const char* what) {
+  std::uint64_t v = 0;
+  const auto* begin = s.data();
+  const auto* end = s.data() + s.size();
+  const auto result = std::from_chars(begin, end, v);
+  if (result.ec != std::errc{} || result.ptr != end)
+    throw std::runtime_error(std::string("bad ") + what + ": '" + s + "'");
+  return v;
+}
+
+double parse_double(const std::string& s, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("bad ") + what + ": '" + s + "'");
+  }
+}
+
+}  // namespace
+
+void write_trace_csv(std::ostream& out, const std::vector<IoRequest>& trace) {
+  out << "time_s,op,lpn,pages\n";
+  char buf[96];
+  for (const auto& r : trace) {
+    std::snprintf(buf, sizeof(buf), "%.6f,%c,%llu,%u\n", r.time_s,
+                  r.is_write ? 'W' : 'R',
+                  static_cast<unsigned long long>(r.lpn), r.pages);
+    out << buf;
+  }
+}
+
+std::vector<IoRequest> read_trace_csv(std::istream& in) {
+  std::vector<IoRequest> trace;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (first && line.rfind("time_s", 0) == 0) {
+      first = false;
+      continue;
+    }
+    first = false;
+    const auto fields = split(line, ',');
+    if (fields.size() != 4)
+      throw std::runtime_error("bad trace row: '" + line + "'");
+    IoRequest r;
+    r.time_s = parse_double(fields[0], "time");
+    if (fields[1] != "R" && fields[1] != "W")
+      throw std::runtime_error("bad op: '" + fields[1] + "'");
+    r.is_write = fields[1] == "W";
+    r.lpn = parse_u64(fields[2], "lpn");
+    r.pages = static_cast<std::uint32_t>(parse_u64(fields[3], "pages"));
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+bool parse_msr_line(const std::string& line, std::uint32_t page_bytes,
+                    std::uint64_t first_tick, IoRequest* out) {
+  if (line.empty() || line[0] == '#') return false;
+  const auto fields = split(line, ',');
+  if (fields.size() < 6)
+    throw std::runtime_error("bad MSR row: '" + line + "'");
+  const std::uint64_t ticks = parse_u64(fields[0], "timestamp");
+  const std::string& type = fields[3];
+  const std::uint64_t offset = parse_u64(fields[4], "offset");
+  const std::uint64_t size = parse_u64(fields[5], "size");
+  out->time_s = static_cast<double>(ticks - first_tick) * 1e-7;
+  out->is_write = type == "Write" || type == "write" || type == "W";
+  out->lpn = offset / page_bytes;
+  const std::uint64_t last = (offset + (size == 0 ? 1 : size) - 1) / page_bytes;
+  out->pages = static_cast<std::uint32_t>(last - out->lpn + 1);
+  return true;
+}
+
+std::vector<IoRequest> read_msr_trace(std::istream& in,
+                                      std::uint32_t page_bytes) {
+  std::vector<IoRequest> trace;
+  std::string line;
+  std::uint64_t first_tick = 0;
+  bool have_first = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (!have_first) {
+      // Peek the timestamp to rebase.
+      const auto fields = split(line, ',');
+      if (fields.empty())
+        throw std::runtime_error("bad MSR row: '" + line + "'");
+      first_tick = parse_u64(fields[0], "timestamp");
+      have_first = true;
+    }
+    IoRequest r;
+    if (parse_msr_line(line, page_bytes, first_tick, &r)) trace.push_back(r);
+  }
+  return trace;
+}
+
+}  // namespace rdsim::workload

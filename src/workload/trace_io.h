@@ -1,0 +1,41 @@
+// rdsim/workload/trace_io.h
+//
+// Trace file I/O: lets the SSD simulator replay externally supplied
+// traces and lets the generators export their streams for inspection.
+// Two formats:
+//   * rdsim CSV: "time_s,op,lpn,pages" with op in {R, W};
+//   * MSR-Cambridge SNIA format: "Timestamp,Hostname,DiskNumber,Type,
+//     Offset,Size,ResponseTime" with byte offsets/sizes, converted to
+//     page granularity on load (the trace family the paper evaluates on).
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "workload/trace.h"
+
+namespace rdsim::workload {
+
+/// Writes requests in rdsim CSV format (with a header line).
+void write_trace_csv(std::ostream& out, const std::vector<IoRequest>& trace);
+
+/// Reads rdsim CSV (header line optional). Throws std::runtime_error on
+/// malformed rows.
+std::vector<IoRequest> read_trace_csv(std::istream& in);
+
+/// Parses one MSR-Cambridge record into page granularity. Returns false
+/// for blank/comment lines. Throws std::runtime_error on malformed rows.
+/// MSR timestamps are Windows ticks (100 ns); they are rebased by the
+/// caller-supplied `first_tick` (pass 0 to keep absolute seconds).
+bool parse_msr_line(const std::string& line, std::uint32_t page_bytes,
+                    std::uint64_t first_tick, IoRequest* out);
+
+/// Reads a full MSR-Cambridge trace; timestamps are rebased so the first
+/// record is t = 0.
+std::vector<IoRequest> read_msr_trace(std::istream& in,
+                                      std::uint32_t page_bytes = 8192);
+
+}  // namespace rdsim::workload

@@ -1,0 +1,67 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rdsim::workload {
+namespace {
+
+// Integral of x^-theta from a to b (a,b >= 1).
+double power_integral(double theta, double a, double b) {
+  if (b <= a) return 0.0;
+  if (std::abs(theta - 1.0) < 1e-12) return std::log(b / a);
+  return (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) / (1.0 - theta);
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n >= 1);
+  assert(theta >= 0.0);
+  const std::uint64_t head = std::min(n_, kHead);
+  head_cdf_.resize(head);
+  double acc = 0.0;
+  for (std::uint64_t k = 0; k < head; ++k) {
+    acc += std::pow(static_cast<double>(k + 1), -theta_);
+    head_cdf_[k] = acc;
+  }
+  head_mass_ = acc;
+  // Tail mass via the midpoint-continuity approximation:
+  // sum_{k=head+1..n} k^-theta ~= integral over [head+0.5, n+0.5].
+  tail_norm_ = n_ > head ? power_integral(theta_, static_cast<double>(head) + 0.5,
+                                          static_cast<double>(n_) + 0.5)
+                         : 0.0;
+  harmonic_ = head_mass_ + tail_norm_;
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform() * harmonic_;
+  if (u < head_mass_ || tail_norm_ == 0.0) {
+    const auto it = std::lower_bound(head_cdf_.begin(), head_cdf_.end(),
+                                     std::min(u, head_mass_));
+    return static_cast<std::uint64_t>(it - head_cdf_.begin());
+  }
+  // Invert the continuous tail CDF.
+  const double frac = (u - head_mass_) / tail_norm_;
+  const double a = static_cast<double>(std::min(n_, kHead)) + 0.5;
+  const double b = static_cast<double>(n_) + 0.5;
+  double x;
+  if (std::abs(theta_ - 1.0) < 1e-12) {
+    x = a * std::pow(b / a, frac);
+  } else {
+    const double pa = std::pow(a, 1.0 - theta_);
+    const double pb = std::pow(b, 1.0 - theta_);
+    x = std::pow(pa + frac * (pb - pa), 1.0 / (1.0 - theta_));
+  }
+  const auto rank = static_cast<std::uint64_t>(x - 0.5);
+  return std::min(rank, n_ - 1);
+}
+
+double ZipfSampler::pmf(std::uint64_t rank) const {
+  assert(rank < n_);
+  return std::pow(static_cast<double>(rank + 1), -theta_) / harmonic_;
+}
+
+}  // namespace rdsim::workload

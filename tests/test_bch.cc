@@ -1,0 +1,160 @@
+// Unit and property tests for the BCH codec — the flash controller's ECC.
+#include "ecc/bch.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/rng.h"
+
+namespace rdsim::ecc {
+namespace {
+
+BitVec random_bits(int n, Rng& rng) {
+  BitVec v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.next() & 1);
+  return v;
+}
+
+// Flips `count` positions; repeats cancel, so the injected error weight is
+// at most `count` (sufficient for the beyond-capacity test below).
+void inject_errors(BitVec* word, int count, Rng& rng) {
+  for (int i = 0; i < count; ++i) (*word)[rng.uniform_u64(word->size())] ^= 1;
+}
+
+TEST(Bch, CodeGeometry) {
+  const BchCode code(13, 8, 4096);
+  EXPECT_EQ(code.data_bits(), 4096);
+  EXPECT_EQ(code.t(), 8);
+  EXPECT_EQ(code.parity_bits(), 13 * 8);
+  EXPECT_EQ(code.codeword_bits(), 4096 + 104);
+}
+
+TEST(Bch, EncodeDecodeClean) {
+  Rng rng(1);
+  const BchCode code(13, 4, 512);
+  const auto data = random_bits(512, rng);
+  const auto word = code.encode(data);
+  const auto result = code.decode(word);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.corrected, 0);
+  EXPECT_EQ(result.data, data);
+}
+
+TEST(Bch, CorrectsSingleError) {
+  Rng rng(2);
+  const BchCode code(13, 4, 512);
+  const auto data = random_bits(512, rng);
+  for (std::size_t pos : {std::size_t{0}, std::size_t{511}, std::size_t{512},
+                          std::size_t{563}}) {
+    auto word = code.encode(data);
+    word[pos] ^= 1;
+    const auto result = code.decode(word);
+    ASSERT_TRUE(result.ok) << "error at " << pos;
+    EXPECT_EQ(result.corrected, 1);
+    EXPECT_EQ(result.data, data);
+  }
+}
+
+TEST(Bch, DetectsBeyondCapacity) {
+  Rng rng(3);
+  const BchCode code(13, 4, 512);
+  const auto data = random_bits(512, rng);
+  int uncorrectable = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    auto word = code.encode(data);
+    inject_errors(&word, 2 * code.t() + 3, rng);
+    const auto result = code.decode(word);
+    if (!result.ok) ++uncorrectable;
+    // If it "decodes", it must decode to *some* codeword, but miscorrection
+    // to the original data is essentially impossible at this distance.
+    if (result.ok) {
+      EXPECT_NE(result.data, data);
+    }
+  }
+  EXPECT_GT(uncorrectable, 15);  // Overwhelmingly detected.
+}
+
+TEST(Bch, HammingDistance) {
+  const BitVec a = {0, 1, 0, 1};
+  const BitVec b = {1, 1, 0, 0};
+  EXPECT_EQ(BchCode::hamming_distance(a, b), 2);
+  EXPECT_EQ(BchCode::hamming_distance(a, a), 0);
+}
+
+using BchParam = std::tuple<int, int, int>;  // m, t, data_bits
+
+class BchCapacity : public ::testing::TestWithParam<BchParam> {};
+
+TEST_P(BchCapacity, CorrectsUpToT) {
+  const auto [m, t, k] = GetParam();
+  const BchCode code(m, t, k);
+  Rng rng(m * 100 + t);
+  for (int errors : {1, t / 2, t}) {
+    if (errors < 1) continue;
+    const auto data = random_bits(k, rng);
+    auto word = code.encode(data);
+    // Flip exactly `errors` distinct positions.
+    std::vector<std::size_t> positions;
+    while (static_cast<int>(positions.size()) < errors) {
+      const auto p = rng.uniform_u64(word.size());
+      bool dup = false;
+      for (auto q : positions) dup |= q == p;
+      if (!dup) {
+        positions.push_back(p);
+        word[p] ^= 1;
+      }
+    }
+    const auto result = code.decode(word);
+    ASSERT_TRUE(result.ok) << "m=" << m << " t=" << t << " errors=" << errors;
+    EXPECT_EQ(result.corrected, errors);
+    EXPECT_EQ(result.data, data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codes, BchCapacity,
+    ::testing::Values(BchParam{13, 2, 256}, BchParam{13, 8, 1024},
+                      BchParam{13, 16, 4096}, BchParam{13, 40, 4096},
+                      BchParam{14, 9, 8192}, BchParam{14, 40, 8192},
+                      BchParam{10, 5, 500}, BchParam{8, 4, 128}));
+
+TEST(Bch, AllParityOfShortMessage) {
+  // Degenerate payloads still round-trip.
+  const BchCode code(10, 3, 8);
+  const BitVec zeros(8, 0);
+  const BitVec ones(8, 1);
+  EXPECT_EQ(code.decode(code.encode(zeros)).data, zeros);
+  EXPECT_EQ(code.decode(code.encode(ones)).data, ones);
+}
+
+TEST(Bch, ParityBitErrorsAlsoCorrected) {
+  Rng rng(5);
+  const BchCode code(13, 6, 1024);
+  const auto data = random_bits(1024, rng);
+  auto word = code.encode(data);
+  // Flip parity bits only.
+  for (int i = 0; i < 6; ++i) word[1024 + i * 7] ^= 1;
+  const auto result = code.decode(word);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.corrected, 6);
+  EXPECT_EQ(result.data, data);
+}
+
+TEST(Bch, PaperProvisioningCorrectsRberCapability) {
+  // The paper's "ECC tolerates 1e-3 RBER": t=9 over 8192+126 bits covers
+  // an average of ~1e-3 raw errors per codeword.
+  const BchCode code(14, 9, 8192);
+  EXPECT_NEAR(static_cast<double>(code.t()) / code.data_bits(), 1.1e-3,
+              0.15e-3);
+  Rng rng(6);
+  const auto data = random_bits(8192, rng);
+  auto word = code.encode(data);
+  for (int i = 0; i < 9; ++i) word[i * 911] ^= 1;
+  const auto result = code.decode(word);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.data, data);
+}
+
+}  // namespace
+}  // namespace rdsim::ecc

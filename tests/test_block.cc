@@ -1,0 +1,229 @@
+// Unit and behaviour tests for the Monte Carlo NAND block.
+#include "nand/block.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nand/chip.h"
+#include "nand/randomizer.h"
+
+namespace rdsim::nand {
+namespace {
+
+class BlockTest : public ::testing::Test {
+ protected:
+  flash::FlashModelParams params_ = flash::FlashModelParams::default_2ynm();
+  Geometry geom_ = Geometry::tiny();  // 16 x 1024 x 4 blocks.
+  Chip chip_{geom_, params_, 11};
+};
+
+TEST_F(BlockTest, FreshBlockState) {
+  const auto& b = chip_.block(0);
+  EXPECT_EQ(b.pe_cycles(), 0u);
+  EXPECT_FALSE(b.programmed());
+  EXPECT_DOUBLE_EQ(b.dose(), 0.0);
+}
+
+TEST_F(BlockTest, ProgramIncrementsPeAndTimestamps) {
+  auto& b = chip_.block(0);
+  b.advance_time(3.0);
+  b.program_random();
+  EXPECT_TRUE(b.programmed());
+  EXPECT_EQ(b.pe_cycles(), 1u);
+  EXPECT_DOUBLE_EQ(b.retention_days(), 0.0);
+  b.advance_time(2.5);
+  EXPECT_DOUBLE_EQ(b.retention_days(), 2.5);
+}
+
+TEST_F(BlockTest, EraseClearsState) {
+  auto& b = chip_.block(0);
+  b.program_random();
+  b.apply_reads(0, 1000);
+  b.erase();
+  EXPECT_FALSE(b.programmed());
+  EXPECT_DOUBLE_EQ(b.dose(), 0.0);
+  EXPECT_EQ(b.pe_cycles(), 1u);  // Wear persists.
+}
+
+TEST_F(BlockTest, AddWearAccumulates) {
+  auto& b = chip_.block(0);
+  b.add_wear(5000);
+  b.add_wear(3000);
+  EXPECT_EQ(b.pe_cycles(), 8000u);
+  EXPECT_FALSE(b.programmed());
+}
+
+TEST_F(BlockTest, ProgramStoresGroundTruth) {
+  auto& b = chip_.block(0);
+  PageBits lsb(geom_.bitlines, 1), msb(geom_.bitlines, 0);  // All P1.
+  for (std::uint32_t wl = 0; wl < geom_.wordlines_per_block; ++wl)
+    b.program_wordline(wl, lsb, msb);
+  for (std::uint32_t bl = 0; bl < 20; ++bl)
+    EXPECT_EQ(b.cell(3, bl).programmed, flash::CellState::kP1);
+}
+
+TEST_F(BlockTest, FreshReadNearlyErrorFree) {
+  auto& b = chip_.block(0);
+  b.program_random();
+  int errors = 0;
+  for (std::uint32_t wl = 0; wl < geom_.wordlines_per_block; ++wl) {
+    errors += b.count_errors({wl, PageKind::kLsb});
+    errors += b.count_errors({wl, PageKind::kMsb});
+  }
+  // Only program errors (~1e-4 of cells) contribute on a fresh block.
+  EXPECT_LT(errors, 20);
+}
+
+TEST_F(BlockTest, ReadPageReportsAndAccumulatesDose) {
+  auto& b = chip_.block(0);
+  b.program_random();
+  const double before = b.dose();
+  const auto result = b.read_page({2, PageKind::kLsb});
+  EXPECT_EQ(result.bits.size(), geom_.bitlines);
+  EXPECT_GT(b.dose(), before);
+}
+
+TEST_F(BlockTest, SelfDoseExcluded) {
+  auto& b = chip_.block(0);
+  b.program_random();
+  b.apply_reads(5, 1e5);
+  // The addressed wordline does not disturb itself.
+  EXPECT_DOUBLE_EQ(b.dose_for_wordline(5), 0.0);
+  EXPECT_GT(b.dose_for_wordline(4), 0.0);
+  EXPECT_DOUBLE_EQ(b.dose_for_wordline(4), b.dose_for_wordline(6));
+}
+
+TEST_F(BlockTest, DisturbRaisesErrorsOnOtherWordlines) {
+  auto& b = chip_.block(0);
+  b.add_wear(8000);
+  b.program_random();
+  const int before = b.count_errors({3, PageKind::kMsb});
+  b.apply_reads(4, 1e6);
+  const int after = b.count_errors({3, PageKind::kMsb});
+  EXPECT_GT(after, before + 5);
+}
+
+TEST_F(BlockTest, DisturbErrorsGrowWithWear) {
+  int errors_low = 0, errors_high = 0;
+  {
+    Chip chip(geom_, params_, 21);
+    auto& b = chip.block(0);
+    b.add_wear(2000);
+    b.program_random();
+    b.apply_reads(0, 5e5);
+    for (std::uint32_t wl = 1; wl < geom_.wordlines_per_block; ++wl)
+      errors_low += b.count_errors({wl, PageKind::kMsb});
+  }
+  {
+    Chip chip(geom_, params_, 21);
+    auto& b = chip.block(0);
+    b.add_wear(12000);
+    b.program_random();
+    b.apply_reads(0, 5e5);
+    for (std::uint32_t wl = 1; wl < geom_.wordlines_per_block; ++wl)
+      errors_high += b.count_errors({wl, PageKind::kMsb});
+  }
+  EXPECT_GT(errors_high, errors_low);
+}
+
+TEST_F(BlockTest, LowerVpassReducesDisturb) {
+  Chip chip_a(geom_, params_, 31), chip_b(geom_, params_, 31);
+  auto& a = chip_a.block(0);
+  auto& b = chip_b.block(0);
+  for (auto* blk : {&a, &b}) {
+    blk->add_wear(8000);
+    blk->program_random();
+  }
+  b.set_vpass(512.0 * 0.96);
+  a.apply_reads(0, 1e6);
+  b.apply_reads(0, 1e6);
+  int ea = 0, eb = 0;
+  for (std::uint32_t wl = 1; wl < geom_.wordlines_per_block; ++wl) {
+    ea += a.count_errors({wl, PageKind::kMsb});
+    eb += b.count_errors({wl, PageKind::kMsb});
+  }
+  EXPECT_LT(eb, ea / 2);
+}
+
+TEST_F(BlockTest, BlockedBitlinesMonotoneInVpass) {
+  auto& b = chip_.block(0);
+  b.add_wear(8000);
+  b.program_random();
+  int prev = 0;
+  for (double v = 512; v >= 460; v -= 4) {
+    const int n = b.count_blocked_bitlines(0, v);
+    EXPECT_GE(n, prev);
+    prev = n;
+  }
+  EXPECT_GT(prev, 0);  // Deep relaxation must block something.
+  EXPECT_EQ(b.count_blocked_bitlines(0, 512.0), 0);
+}
+
+TEST_F(BlockTest, BlockingRelaxesWithRetention) {
+  auto& b = chip_.block(0);
+  b.add_wear(8000);
+  b.program_random();
+  const int young = b.count_blocked_bitlines(0, 490.0);
+  b.advance_time(21.0);
+  const int old = b.count_blocked_bitlines(0, 490.0);
+  EXPECT_LE(old, young);
+}
+
+TEST_F(BlockTest, ReadRetryScanQuantizes) {
+  auto& b = chip_.block(0);
+  b.program_random();
+  const auto scan = b.read_retry_scan(0, 0.0, 520.0, 2.0);
+  ASSERT_EQ(scan.size(), geom_.bitlines);
+  for (std::uint32_t bl = 0; bl < geom_.bitlines; ++bl) {
+    const double v = b.present_vth(0, bl);
+    EXPECT_GE(scan[bl], v);
+    EXPECT_LE(scan[bl] - v, 2.0 + 1e-9);
+    // Scan values sit on the retry grid.
+    const double steps = (scan[bl] - 0.0) / 2.0;
+    EXPECT_NEAR(steps, std::round(steps), 1e-9);
+  }
+}
+
+TEST_F(BlockTest, RetentionLowersProgrammedVth) {
+  auto& b = chip_.block(0);
+  b.program_random();
+  // Find a P3 cell and check leakage.
+  for (std::uint32_t bl = 0; bl < geom_.bitlines; ++bl) {
+    if (b.cell(0, bl).programmed == flash::CellState::kP3) {
+      const double young = b.present_vth(0, bl);
+      b.advance_time(21.0);
+      EXPECT_LT(b.present_vth(0, bl), young);
+      break;
+    }
+  }
+}
+
+TEST(Randomizer, RoundTripAndKeyVariation) {
+  Randomizer r;
+  std::vector<std::uint8_t> data(257);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i);
+  auto scrambled = data;
+  r.apply(3, 7, scrambled);
+  EXPECT_NE(scrambled, data);
+  r.apply(3, 7, scrambled);  // Involution.
+  EXPECT_EQ(scrambled, data);
+  // Different addresses produce different keystreams.
+  auto a = data, b = data;
+  r.apply(3, 7, a);
+  r.apply(3, 8, b);
+  EXPECT_NE(a, b);
+}
+
+TEST(RandomizerStats, OutputBalanced) {
+  Randomizer r;
+  std::vector<std::uint8_t> zeros(4096, 0);
+  r.apply(0, 0, zeros);
+  int ones = 0;
+  for (auto byte : zeros) ones += __builtin_popcount(byte);
+  EXPECT_NEAR(ones, 4096 * 4, 400);
+}
+
+}  // namespace
+}  // namespace rdsim::nand

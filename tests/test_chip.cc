@@ -1,0 +1,62 @@
+// Unit tests for the chip container.
+#include "nand/chip.h"
+
+#include <gtest/gtest.h>
+
+namespace rdsim::nand {
+namespace {
+
+TEST(Chip, GeometryAndBlockCount) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  Chip chip(Geometry::tiny(), params, 1);
+  EXPECT_EQ(chip.block_count(), 4u);
+  EXPECT_EQ(chip.geometry().wordlines_per_block, 16u);
+}
+
+TEST(Chip, BlocksHaveIndependentRandomness) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  Chip chip(Geometry::tiny(), params, 2);
+  chip.block(0).program_random();
+  chip.block(1).program_random();
+  int same = 0, total = 0;
+  for (std::uint32_t bl = 0; bl < 200; ++bl) {
+    same += chip.block(0).cell(0, bl).programmed ==
+            chip.block(1).cell(0, bl).programmed;
+    ++total;
+  }
+  EXPECT_LT(same, total * 0.45);
+  EXPECT_GT(same, total * 0.05);
+}
+
+TEST(Chip, SameSeedReproduces) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  Chip a(Geometry::tiny(), params, 3), b(Geometry::tiny(), params, 3);
+  a.block(0).program_random();
+  b.block(0).program_random();
+  for (std::uint32_t bl = 0; bl < 100; ++bl) {
+    EXPECT_EQ(a.block(0).cell(1, bl).programmed,
+              b.block(0).cell(1, bl).programmed);
+    EXPECT_FLOAT_EQ(a.block(0).cell(1, bl).v0, b.block(0).cell(1, bl).v0);
+  }
+}
+
+TEST(Chip, AdvanceTimeAgesAllBlocks) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  Chip chip(Geometry::tiny(), params, 4);
+  chip.block(0).program_random();
+  chip.block(2).program_random();
+  chip.advance_time(5.0);
+  EXPECT_DOUBLE_EQ(chip.block(0).retention_days(), 5.0);
+  EXPECT_DOUBLE_EQ(chip.block(2).retention_days(), 5.0);
+}
+
+TEST(Chip, WearBlockTargetsOneBlock) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  Chip chip(Geometry::tiny(), params, 5);
+  chip.wear_block(1, 7000);
+  EXPECT_EQ(chip.block(1).pe_cycles(), 7000u);
+  EXPECT_EQ(chip.block(0).pe_cycles(), 0u);
+}
+
+}  // namespace
+}  // namespace rdsim::nand

@@ -1,0 +1,47 @@
+// Unit tests for ecc/crc32.h.
+#include "ecc/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+namespace rdsim::ecc {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const char* s) {
+  std::vector<std::uint8_t> v(std::strlen(s));
+  std::memcpy(v.data(), s, v.size());
+  return v;
+}
+
+TEST(Crc32, KnownVector) {
+  // The canonical CRC-32 check value.
+  EXPECT_EQ(crc32(bytes_of("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInput) {
+  EXPECT_EQ(crc32({}), 0x00000000u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const auto data = bytes_of("the quick brown fox jumps over the lazy dog");
+  Crc32 inc;
+  inc.update(std::span(data).subspan(0, 10));
+  inc.update(std::span(data).subspan(10));
+  EXPECT_EQ(inc.value(), crc32(data));
+}
+
+TEST(Crc32, SensitiveToSingleBit) {
+  auto a = bytes_of("hello world");
+  auto b = a;
+  b[4] ^= 1;
+  EXPECT_NE(crc32(a), crc32(b));
+}
+
+TEST(Crc32, SensitiveToOrder) {
+  EXPECT_NE(crc32(bytes_of("ab")), crc32(bytes_of("ba")));
+}
+
+}  // namespace
+}  // namespace rdsim::ecc

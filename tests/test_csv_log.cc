@@ -1,0 +1,63 @@
+// Unit tests for common/csv.h and common/log.h.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/log.h"
+
+namespace rdsim {
+namespace {
+
+TEST(Csv, SimpleRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row("a", 1, 2.5);
+  EXPECT_EQ(out.str(), "a,1,2.5\n");
+}
+
+TEST(Csv, QuotesCommas) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row("x,y", "plain");
+  EXPECT_EQ(out.str(), "\"x,y\",plain\n");
+}
+
+TEST(Csv, EscapesQuotes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row("say \"hi\"");
+  EXPECT_EQ(out.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, RowVec) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row_vec({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, EmptyRow) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row_vec({});
+  EXPECT_EQ(out.str(), "\n");
+}
+
+TEST(Log, LevelFiltering) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Filtered calls must be safe no-ops.
+  log_debug("dropped ", 1);
+  log_info("dropped");
+  log_warn("dropped");
+  set_log_level(before);
+}
+
+TEST(Log, ConcatFormatsMixedTypes) {
+  EXPECT_EQ(detail::concat("a=", 1, ", b=", 2.5), "a=1, b=2.5");
+}
+
+}  // namespace
+}  // namespace rdsim

@@ -1,0 +1,123 @@
+// Tests for the DRAM RowHammer population model (Figs. 11-12).
+#include "dram/rowhammer.h"
+
+#include <gtest/gtest.h>
+
+namespace rdsim::dram {
+namespace {
+
+TEST(RowHammer, PopulationSizeAndVintageEnvelope) {
+  Rng rng(1);
+  const auto modules = sample_population(rng, 129);
+  EXPECT_EQ(modules.size(), 129u);
+  for (const auto& m : modules) {
+    EXPECT_GE(m.year, 2008);
+    EXPECT_LE(m.year, 2014);
+    EXPECT_GE(m.week, 1);
+    EXPECT_LE(m.week, 52);
+    if (m.year < 2010) {
+      EXPECT_FALSE(m.vulnerable);
+    }
+    if (m.year == 2012 || m.year == 2013) {
+      EXPECT_TRUE(m.vulnerable);
+    }
+  }
+}
+
+TEST(RowHammer, MostModulesVulnerable) {
+  Rng rng(2);
+  const auto modules = sample_population(rng, 129);
+  int vulnerable = 0;
+  for (const auto& m : modules) vulnerable += m.vulnerable;
+  // Paper: 110 of 129.
+  EXPECT_GT(vulnerable, 95);
+  EXPECT_LT(vulnerable, 125);
+}
+
+TEST(RowHammer, ErrorRateZeroIffInvulnerable) {
+  Rng rng(3);
+  const auto modules = sample_population(rng, 60);
+  for (const auto& m : modules) {
+    const double rate = errors_per_billion_cells(m, rng);
+    if (!m.vulnerable) {
+      EXPECT_DOUBLE_EQ(rate, 0.0);
+    } else {
+      EXPECT_GE(rate, 0.0);
+    }
+  }
+}
+
+TEST(RowHammer, NewerVulnerableModulesWorse) {
+  Rng rng(4);
+  // Aggregate by year over a large population: mean error rate must grow
+  // with manufacture year among vulnerable modules.
+  const auto modules = sample_population(rng, 2000);
+  double sum2010 = 0, n2010 = 0, sum2013 = 0, n2013 = 0;
+  for (const auto& m : modules) {
+    if (!m.vulnerable) continue;
+    if (m.year == 2010) {
+      sum2010 += m.row_victim_mean;
+      ++n2010;
+    } else if (m.year == 2013) {
+      sum2013 += m.row_victim_mean;
+      ++n2013;
+    }
+  }
+  ASSERT_GT(n2010, 0);
+  ASSERT_GT(n2013, 0);
+  EXPECT_GT(sum2013 / n2013, sum2010 / n2010 * 10);
+}
+
+TEST(RowHammer, VictimHistogramConservesRows) {
+  Rng rng(5);
+  const auto modules = representative_modules();
+  for (const auto& m : modules) {
+    const auto hist = victim_histogram(m, rng, 120);
+    std::uint64_t total = 0;
+    for (const auto c : hist) total += c;
+    EXPECT_EQ(total, m.rows);
+  }
+}
+
+TEST(RowHammer, VictimDistributionLongTailed) {
+  Rng rng(6);
+  const auto m = representative_modules()[0];  // A-module, mean ~9.5.
+  const auto hist = victim_histogram(m, rng, 120);
+  // Rows with zero victims exist, and so do rows with > 50 victims.
+  EXPECT_GT(hist[0], 0u);
+  std::uint64_t heavy = 0;
+  for (int v = 50; v <= 120; ++v) heavy += hist[v];
+  EXPECT_GT(heavy, 0u);
+}
+
+TEST(RowHammer, RepresentativeTrioDistinct) {
+  const auto trio = representative_modules();
+  ASSERT_EQ(trio.size(), 3u);
+  EXPECT_EQ(trio[0].manufacturer, Manufacturer::kA);
+  EXPECT_EQ(trio[1].manufacturer, Manufacturer::kB);
+  EXPECT_EQ(trio[2].manufacturer, Manufacturer::kC);
+  EXPECT_NE(trio[0].row_victim_mean, trio[1].row_victim_mean);
+}
+
+TEST(RowHammer, LabelFormat) {
+  DramModule m;
+  m.manufacturer = Manufacturer::kB;
+  m.year = 2011;
+  m.week = 46;
+  EXPECT_EQ(m.label(), "B-1146");
+}
+
+TEST(RowHammer, HammerAllRowsScalesWithVictimMean) {
+  Rng rng(7);
+  DramModule weak;
+  weak.vulnerable = true;
+  weak.row_victim_mean = 0.5;
+  DramModule strong = weak;
+  strong.row_victim_mean = 8.0;
+  const auto weak_errors = hammer_all_rows(weak, rng);
+  const auto strong_errors = hammer_all_rows(strong, rng);
+  EXPECT_GT(strong_errors, weak_errors * 8);
+}
+
+}  // namespace
+}  // namespace rdsim::dram

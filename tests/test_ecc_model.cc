@@ -1,0 +1,86 @@
+// Unit tests for the capability-level ECC model.
+#include "ecc/ecc_model.h"
+
+#include <gtest/gtest.h>
+
+namespace rdsim::ecc {
+namespace {
+
+TEST(EccModel, PaperProvisioningNumbers) {
+  const EccModel ecc{EccConfig::paper_provisioning()};
+  EXPECT_EQ(ecc.capability(), 9);
+  // RBER capability ~1e-3 as the paper states.
+  EXPECT_NEAR(ecc.rber_capability(), 1.1e-3, 0.1e-3);
+  // 20% reserved: usable = floor(0.8 * 9) = 7.
+  EXPECT_EQ(ecc.usable_capability(), 7);
+}
+
+TEST(EccModel, McProvisioningNumbers) {
+  const EccModel ecc{EccConfig::mc_provisioning()};
+  EXPECT_EQ(ecc.capability(), 40);
+  EXPECT_EQ(ecc.usable_capability(), 32);
+  EXPECT_EQ(ecc.config().codewords_per_page, 1);
+}
+
+TEST(EccModel, MarginArithmetic) {
+  const EccModel ecc{EccConfig::paper_provisioning()};
+  EXPECT_EQ(ecc.margin(0), 7);
+  EXPECT_EQ(ecc.margin(5), 2);
+  EXPECT_EQ(ecc.margin(7), 0);
+  EXPECT_EQ(ecc.margin(100), 0);  // Clamped.
+}
+
+TEST(EccModel, Correctable) {
+  const EccModel ecc{EccConfig::paper_provisioning()};
+  EXPECT_TRUE(ecc.correctable(0));
+  EXPECT_TRUE(ecc.correctable(9));
+  EXPECT_FALSE(ecc.correctable(10));
+}
+
+TEST(EccModel, FailureProbEdges) {
+  const EccModel ecc{EccConfig::paper_provisioning()};
+  EXPECT_DOUBLE_EQ(ecc.codeword_failure_prob(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ecc.codeword_failure_prob(1.0), 1.0);
+}
+
+TEST(EccModel, FailureProbMonotoneInRber) {
+  const EccModel ecc{EccConfig::paper_provisioning()};
+  double prev = 0.0;
+  for (double rber = 1e-5; rber <= 1e-2; rber *= 2) {
+    const double p = ecc.codeword_failure_prob(rber);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(EccModel, FailureProbSmallBelowCapability) {
+  const EccModel ecc{EccConfig::paper_provisioning()};
+  // At 1/3 of capability RBER, failure should be rare.
+  EXPECT_LT(ecc.codeword_failure_prob(3.5e-4), 0.01);
+  // Well beyond capability, failure is near-certain.
+  EXPECT_GT(ecc.codeword_failure_prob(5e-3), 0.99);
+}
+
+TEST(EccModel, PageFailureAtLeastCodeword) {
+  const EccModel ecc{EccConfig::paper_provisioning()};
+  for (double rber : {1e-4, 5e-4, 1e-3, 2e-3}) {
+    EXPECT_GE(ecc.page_failure_prob(rber), ecc.codeword_failure_prob(rber));
+    EXPECT_LE(ecc.page_failure_prob(rber),
+              8 * ecc.codeword_failure_prob(rber) + 1e-12);
+  }
+}
+
+TEST(EccModel, ExpectedErrors) {
+  const EccModel ecc{EccConfig::paper_provisioning()};
+  EXPECT_DOUBLE_EQ(ecc.expected_errors(1e-3), 8.192);
+}
+
+TEST(EccModel, ZeroReserveUsesFullCapability) {
+  EccConfig cfg = EccConfig::paper_provisioning();
+  cfg.reserved_margin = 0.0;
+  const EccModel ecc{cfg};
+  EXPECT_EQ(ecc.usable_capability(), ecc.capability());
+}
+
+}  // namespace
+}  // namespace rdsim::ecc

@@ -1,0 +1,134 @@
+// Tests for the model extensions: early-3D-NAND parameters, concentrated
+// (neighbor-boosted) read disturb, and PARA mitigation for DRAM.
+#include <gtest/gtest.h>
+
+#include "dram/rowhammer.h"
+#include "flash/rber_model.h"
+#include "nand/chip.h"
+
+namespace rdsim {
+namespace {
+
+TEST(Ext3dNand, ParamsSane) {
+  const auto p = flash::FlashModelParams::early_3d_nand();
+  EXPECT_TRUE(p.is_sane());
+}
+
+TEST(Ext3dNand, DisturbGreatlyReduced) {
+  const flash::RberModel planar(flash::FlashModelParams::default_2ynm());
+  const flash::RberModel v3d(flash::FlashModelParams::early_3d_nand());
+  EXPECT_LT(v3d.disturb_slope(8000) * 10, planar.disturb_slope(8000));
+}
+
+TEST(Ext3dNand, EarlyRetentionLossFaster) {
+  const flash::VthModel planar(flash::FlashModelParams::default_2ynm());
+  const flash::VthModel v3d(flash::FlashModelParams::early_3d_nand());
+  // Within the first hours, the 3D model loses more charge.
+  EXPECT_LT(v3d.retention_shift(400, 0.05, 8000),
+            planar.retention_shift(400, 0.05, 8000));
+}
+
+TEST(Ext3dNand, McDisturbErrorsDrop) {
+  int planar_errors, v3d_errors;
+  {
+    nand::Chip chip(nand::Geometry{64, 8192, 1},
+                    flash::FlashModelParams::default_2ynm(), 5);
+    auto& b = chip.block(0);
+    b.add_wear(8000);
+    b.program_random();
+    b.apply_reads(31, 1e6);
+    planar_errors = b.count_errors({30, nand::PageKind::kMsb});
+  }
+  {
+    nand::Chip chip(nand::Geometry{64, 8192, 1},
+                    flash::FlashModelParams::early_3d_nand(), 5);
+    auto& b = chip.block(0);
+    b.add_wear(8000);
+    b.program_random();
+    b.apply_reads(31, 1e6);
+    v3d_errors = b.count_errors({30, nand::PageKind::kMsb});
+  }
+  EXPECT_LT(v3d_errors * 5, planar_errors);
+}
+
+TEST(ExtConcentrated, DisabledByDefault) {
+  const auto p = flash::FlashModelParams::default_2ynm();
+  EXPECT_DOUBLE_EQ(p.neighbor_dose_boost, 0.0);
+  nand::Chip chip(nand::Geometry::tiny(), p, 6);
+  auto& b = chip.block(0);
+  b.program_random();
+  b.apply_reads(5, 1e5);
+  // Uniform dose on every non-addressed wordline.
+  EXPECT_DOUBLE_EQ(b.dose_for_wordline(4), b.dose_for_wordline(10));
+}
+
+TEST(ExtConcentrated, NeighborsGetMoreDose) {
+  auto p = flash::FlashModelParams::default_2ynm();
+  p.neighbor_dose_boost = 10.0;
+  nand::Chip chip(nand::Geometry::tiny(), p, 7);
+  auto& b = chip.block(0);
+  b.program_random();
+  b.apply_reads(5, 1e5);
+  EXPECT_GT(b.dose_for_wordline(4), b.dose_for_wordline(10));
+  EXPECT_GT(b.dose_for_wordline(6), b.dose_for_wordline(10));
+  EXPECT_DOUBLE_EQ(b.dose_for_wordline(4), b.dose_for_wordline(6));
+  // The addressed wordline still excludes its own (uniform) dose but
+  // receives no neighbor boost from itself.
+  EXPECT_DOUBLE_EQ(b.dose_for_wordline(5), 0.0);
+}
+
+TEST(ExtConcentrated, NeighborErrorsExceedFarErrors) {
+  auto p = flash::FlashModelParams::default_2ynm();
+  p.neighbor_dose_boost = 30.0;
+  nand::Chip chip(nand::Geometry{64, 8192, 1}, p, 8);
+  auto& b = chip.block(0);
+  b.add_wear(8000);
+  b.program_random();
+  b.apply_reads(31, 3e5);
+  EXPECT_GT(b.count_errors({30, nand::PageKind::kMsb}),
+            10 * b.count_errors({10, nand::PageKind::kMsb}) + 10);
+}
+
+TEST(ExtConcentrated, EdgeWordlinesHandled) {
+  auto p = flash::FlashModelParams::default_2ynm();
+  p.neighbor_dose_boost = 5.0;
+  nand::Chip chip(nand::Geometry::tiny(), p, 9);
+  auto& b = chip.block(0);
+  b.program_random();
+  b.apply_reads(0, 1e4);   // First wordline: only wl 1 is a neighbor.
+  b.apply_reads(15, 1e4);  // Last wordline: only wl 14 is a neighbor.
+  EXPECT_GT(b.dose_for_wordline(1), b.dose_for_wordline(7));
+  EXPECT_GT(b.dose_for_wordline(14), b.dose_for_wordline(7));
+}
+
+TEST(ExtPara, ScaleEdges) {
+  EXPECT_DOUBLE_EQ(dram::para_error_scale(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(dram::para_error_scale(1.0), 0.0);
+}
+
+TEST(ExtPara, ClosesVulnerabilityAtTinyProbability) {
+  // The ISCA 2014 result: even p ~ 1e-4 essentially eliminates errors.
+  EXPECT_LT(dram::para_error_scale(1e-4), 0.01);
+  EXPECT_LT(dram::para_error_scale(2e-4), 1e-4);
+}
+
+TEST(ExtPara, MonotoneInProbability) {
+  double prev = 1.0;
+  for (double p : {1e-6, 1e-5, 1e-4, 1e-3}) {
+    const double s = dram::para_error_scale(p);
+    EXPECT_LT(s, prev);
+    prev = s;
+  }
+}
+
+TEST(ExtPara, ProtectedModuleErrorRate) {
+  Rng rng(10);
+  const auto module = dram::representative_modules()[0];
+  const double raw = dram::errors_per_billion_cells(module, rng);
+  const double guarded =
+      dram::errors_per_billion_cells_with_para(module, rng, 1e-4);
+  EXPECT_LT(guarded, raw * 0.02);
+}
+
+}  // namespace
+}  // namespace rdsim

@@ -1,0 +1,192 @@
+// Unit and property tests for the page-mapped FTL.
+#include "ftl/ftl.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rdsim::ftl {
+namespace {
+
+FtlConfig small_config() {
+  FtlConfig cfg;
+  cfg.blocks = 32;
+  cfg.pages_per_block = 16;
+  cfg.overprovision = 0.25;
+  cfg.gc_free_target = 3;
+  return cfg;
+}
+
+TEST(Ftl, GeometryDerivation) {
+  const auto cfg = small_config();
+  EXPECT_EQ(cfg.physical_pages(), 512u);
+  EXPECT_EQ(cfg.logical_pages(), 384u);
+}
+
+TEST(Ftl, FreshState) {
+  Ftl ftl(small_config());
+  EXPECT_EQ(ftl.free_blocks(), 32u);
+  EXPECT_TRUE(ftl.check_invariants());
+  EXPECT_EQ(ftl.max_pe(), 0u);
+}
+
+TEST(Ftl, WriteMapsAndReadFindsIt) {
+  Ftl ftl(small_config());
+  const auto block = ftl.write(5);
+  EXPECT_EQ(ftl.read(5), block);
+  EXPECT_EQ(ftl.stats().host_reads, 1u);
+  EXPECT_EQ(ftl.stats().host_writes, 1u);
+  EXPECT_TRUE(ftl.check_invariants());
+}
+
+TEST(Ftl, ReadOfUnwrittenPage) {
+  Ftl ftl(small_config());
+  EXPECT_EQ(ftl.read(7), Ftl::kUnmappedBlock);
+}
+
+TEST(Ftl, OverwriteInvalidatesOldCopy) {
+  Ftl ftl(small_config());
+  ftl.write(3);
+  ftl.write(3);
+  EXPECT_TRUE(ftl.check_invariants());
+  // Exactly one physical page may be valid for lpn 3.
+  std::uint32_t total_valid = 0;
+  for (std::size_t b = 0; b < ftl.block_count(); ++b)
+    total_valid += ftl.block(b).valid_pages;
+  EXPECT_EQ(total_valid, 1u);
+}
+
+TEST(Ftl, ReadsCountPerBlock) {
+  Ftl ftl(small_config());
+  const auto block = ftl.write(1);
+  for (int i = 0; i < 10; ++i) ftl.read(1);
+  EXPECT_EQ(ftl.block(block).reads_since_program, 10u);
+}
+
+TEST(Ftl, GcReclaimsSpace) {
+  Ftl ftl(small_config());
+  // Overwrite a small working set far beyond physical capacity.
+  for (int round = 0; round < 100; ++round)
+    for (std::uint64_t lpn = 0; lpn < 64; ++lpn) ftl.write(lpn);
+  EXPECT_GT(ftl.free_blocks(), 0u);
+  EXPECT_GT(ftl.stats().gc_erases, 0u);
+  EXPECT_TRUE(ftl.check_invariants());
+}
+
+TEST(Ftl, WafAboveOneUnderChurn) {
+  Ftl ftl(small_config());
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i)
+    ftl.write(rng.uniform_u64(ftl.config().logical_pages()));
+  EXPECT_GE(ftl.stats().waf(), 1.0);
+  EXPECT_LT(ftl.stats().waf(), 5.0);
+  EXPECT_TRUE(ftl.check_invariants());
+}
+
+TEST(Ftl, WearLevelingBoundsPeSpread) {
+  Ftl ftl(small_config());
+  Rng rng(2);
+  for (int i = 0; i < 20000; ++i)
+    ftl.write(rng.uniform_u64(ftl.config().logical_pages()));
+  std::uint32_t min_pe = 1u << 30, max_pe = 0;
+  for (std::size_t b = 0; b < ftl.block_count(); ++b) {
+    min_pe = std::min(min_pe, ftl.block(b).pe_cycles);
+    max_pe = std::max(max_pe, ftl.block(b).pe_cycles);
+  }
+  // Least-worn-first allocation keeps the spread tight under a uniform
+  // workload.
+  EXPECT_LE(max_pe - min_pe, max_pe / 2 + 3);
+}
+
+TEST(Ftl, RefreshDetectsAgedBlocks) {
+  Ftl ftl(small_config());
+  for (std::uint64_t lpn = 0; lpn < 32; ++lpn) ftl.write(lpn);
+  EXPECT_TRUE(ftl.blocks_due_refresh().empty());
+  ftl.advance_time(8.0);
+  const auto due = ftl.blocks_due_refresh();
+  EXPECT_FALSE(due.empty());
+}
+
+TEST(Ftl, RefreshMovesDataAndResetsAge) {
+  Ftl ftl(small_config());
+  for (std::uint64_t lpn = 0; lpn < 16; ++lpn) ftl.write(lpn);
+  ftl.advance_time(8.0);
+  const auto due = ftl.blocks_due_refresh();
+  ASSERT_FALSE(due.empty());
+  const auto victim = due[0];
+  const auto writes_before = ftl.stats().refresh_writes;
+  ftl.refresh_block(victim);
+  EXPECT_GT(ftl.stats().refresh_writes, writes_before);
+  EXPECT_EQ(ftl.block(victim).state, BlockInfo::State::kFree);
+  EXPECT_TRUE(ftl.check_invariants());
+  // All lpns still readable.
+  for (std::uint64_t lpn = 0; lpn < 16; ++lpn)
+    EXPECT_NE(ftl.read(lpn), Ftl::kUnmappedBlock);
+}
+
+TEST(Ftl, ReadReclaimDisabledByDefault) {
+  Ftl ftl(small_config());
+  ftl.write(0);
+  for (int i = 0; i < 1000; ++i) ftl.read(0);
+  EXPECT_EQ(ftl.apply_read_reclaim(), 0);
+}
+
+TEST(Ftl, ReadReclaimTriggersAtThreshold) {
+  auto cfg = small_config();
+  cfg.read_reclaim_threshold = 100;
+  Ftl ftl(cfg);
+  // Fill one block completely so it becomes kFull.
+  for (std::uint64_t lpn = 0; lpn < cfg.pages_per_block; ++lpn) ftl.write(lpn);
+  for (int i = 0; i < 150; ++i) ftl.read(0);
+  const int reclaimed = ftl.apply_read_reclaim();
+  EXPECT_EQ(reclaimed, 1);
+  EXPECT_GT(ftl.stats().reclaim_writes, 0u);
+  EXPECT_TRUE(ftl.check_invariants());
+  EXPECT_NE(ftl.read(0), Ftl::kUnmappedBlock);
+}
+
+TEST(Ftl, RandomOpsPreserveInvariants) {
+  Ftl ftl(small_config());
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    const auto lpn = rng.uniform_u64(ftl.config().logical_pages());
+    if (rng.bernoulli(0.4))
+      ftl.write(lpn);
+    else
+      ftl.read(lpn);
+    if (i % 4096 == 0) {
+      ftl.advance_time(1.0);
+      for (const auto b : ftl.blocks_due_refresh()) ftl.refresh_block(b);
+    }
+  }
+  EXPECT_TRUE(ftl.check_invariants());
+}
+
+TEST(Ftl, DataSurvivesHeavyChurn) {
+  Ftl ftl(small_config());
+  Rng rng(4);
+  // Track a victim lpn through churn: it must always stay mapped after
+  // its first write.
+  ftl.write(42);
+  for (int i = 0; i < 10000; ++i) {
+    ftl.write(rng.uniform_u64(ftl.config().logical_pages()));
+    if (i % 1000 == 0) {
+      EXPECT_NE(ftl.read(42), Ftl::kUnmappedBlock);
+    }
+  }
+}
+
+TEST(Ftl, EraseCountsTrackGcAndRefresh) {
+  Ftl ftl(small_config());
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i)
+    ftl.write(rng.uniform_u64(ftl.config().logical_pages()));
+  std::uint64_t total_pe = 0;
+  for (std::size_t b = 0; b < ftl.block_count(); ++b)
+    total_pe += ftl.block(b).pe_cycles;
+  EXPECT_GT(total_pe, 0u);
+  EXPECT_GE(total_pe, ftl.stats().gc_erases);
+}
+
+}  // namespace
+}  // namespace rdsim::ftl

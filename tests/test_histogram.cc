@@ -1,0 +1,83 @@
+// Unit tests for common/histogram.h.
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace rdsim {
+namespace {
+
+TEST(Histogram, BinsAndCenters) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bin_count(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 9.0);
+}
+
+TEST(Histogram, AddAndCount) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(9.9);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, OutOfRangeClamped) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(1e9);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, PdfIntegratesToOne) {
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 1000; ++i) h.add(i / 1000.0);
+  double integral = 0;
+  for (std::size_t i = 0; i < h.bin_count(); ++i)
+    integral += h.pdf(i) * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, MassSumsToOne) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5, 3);
+  h.add(3.5, 1);
+  EXPECT_DOUBLE_EQ(h.mass(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.mass(3), 0.25);
+}
+
+TEST(Histogram, WeightedAdd) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(5.0, 10);
+  EXPECT_EQ(h.count(2), 10u);
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(Histogram, MeanOfBinnedSamples) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(2.2);  // bin center 2.5
+  h.add(7.7);  // bin center 7.5
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(Histogram, EmptyBehaviour) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.pdf(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.mass(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.1);
+  h.clear();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.count(0), 0u);
+}
+
+}  // namespace
+}  // namespace rdsim

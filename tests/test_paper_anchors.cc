@@ -1,0 +1,144 @@
+// Paper-anchor regression suite: every headline number the paper reports
+// must keep coming out of the simulation stack. These tests guard the
+// calibration itself — if a model change breaks a figure, this file says
+// which one.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.h"
+#include "core/endurance.h"
+#include "core/rdr.h"
+#include "ecc/ecc_model.h"
+#include "flash/rber_model.h"
+#include "nand/chip.h"
+
+namespace rdsim {
+namespace {
+
+class PaperAnchors : public ::testing::Test {
+ protected:
+  flash::FlashModelParams params_ = flash::FlashModelParams::default_2ynm();
+  flash::RberModel model_{params_};
+};
+
+// Fig. 2: ER shift grows with read count, large for ER, tiny for P3.
+TEST_F(PaperAnchors, Fig2ErShiftMagnitudes) {
+  const flash::VthModel vth(params_);
+  auto er_shift = [&](double reads) {
+    const double er = vth.state_mean(flash::CellState::kEr, 8000);
+    return vth.apply_disturb(er, 1.0, vth.disturb_dose(reads, 512, 8000)) -
+           er;
+  };
+  EXPECT_NEAR(er_shift(1e6), 25.0, 4.0);
+  EXPECT_GT(er_shift(500e3), er_shift(250e3));
+  const double p3 = vth.state_mean(flash::CellState::kP3, 8000);
+  EXPECT_LT(vth.apply_disturb(p3, 1.0, vth.disturb_dose(1e6, 512, 8000)) - p3,
+            1.0);
+}
+
+// Fig. 3: the published slope table, each within 20%.
+TEST_F(PaperAnchors, Fig3SlopeTable) {
+  const std::vector<std::pair<double, double>> table = {
+      {2000, 1.00e-9}, {3000, 1.63e-9}, {4000, 2.37e-9}, {5000, 3.74e-9},
+      {8000, 7.50e-9}, {10000, 9.10e-9}, {15000, 1.90e-8}};
+  for (const auto& [pe, slope] : table)
+    EXPECT_NEAR(model_.disturb_slope(pe) / slope, 1.0, 0.20) << pe;
+}
+
+// Fig. 4: 2% Vpass reduction cuts RBER ~50% at 100K reads, 8K P/E.
+TEST_F(PaperAnchors, Fig4HeadlineReduction) {
+  const double full = model_.total_rber({8000, 0.5, 100e3, 512.0});
+  const double relaxed = model_.total_rber({8000, 0.5, 100e3, 501.76});
+  EXPECT_NEAR(1.0 - relaxed / full, 0.5, 0.1);
+}
+
+// Fig. 5: relaxation costs errors; older data costs less.
+TEST_F(PaperAnchors, Fig5AgeOrdering) {
+  for (double v : {485.0, 495.0, 505.0}) {
+    double prev = 1e9;
+    for (double age : {0.0, 2.0, 9.0, 21.0}) {
+      const double r = model_.pass_through_rber(v, age);
+      EXPECT_LE(r, prev);
+      prev = r;
+    }
+  }
+}
+
+// Fig. 6: safe reduction annotation row.
+TEST_F(PaperAnchors, Fig6AnnotationRow) {
+  const std::vector<int> expected = {4, 4, 4, 3, 3, 3, 3, 3, 2, 2, 2,
+                                     2, 2, 2, 1, 1, 1, 1, 0, 0, 0};
+  for (int day = 1; day <= 21; ++day)
+    EXPECT_EQ(model_.safe_vpass_reduction_percent(8000, day),
+              expected[day - 1])
+        << "day " << day;
+}
+
+// Fig. 7: mitigation cuts the interval peak below ECC capability for a
+// block that would otherwise die.
+TEST_F(PaperAnchors, Fig7PeakRescue) {
+  const ecc::EccModel ecc{ecc::EccConfig::paper_provisioning()};
+  const core::EnduranceEvaluator evaluator(model_, ecc);
+  const auto base = evaluator.simulate_interval(8000, 200e3, false);
+  const auto tuned = evaluator.simulate_interval(8000, 200e3, true);
+  EXPECT_GT(base.peak_rber, params_.ecc_capability_rber);
+  EXPECT_LT(tuned.peak_rber, params_.ecc_capability_rber);
+}
+
+// Fig. 8 regime: the endurance gain at moderate-to-high read pressure
+// brackets the paper's 21% average.
+TEST_F(PaperAnchors, Fig8GainRegime) {
+  const ecc::EccModel ecc{ecc::EccConfig::paper_provisioning()};
+  const core::EnduranceEvaluator evaluator(model_, ecc);
+  std::vector<double> gains;
+  for (double reads : {5e3, 15e3, 30e3, 60e3}) {
+    const double base = evaluator.endurance_pe(reads, false);
+    const double tuned = evaluator.endurance_pe(reads, true);
+    gains.push_back((tuned / base - 1.0) * 100.0);
+  }
+  const double avg = mean_of(gains);
+  EXPECT_GT(avg, 8.0);
+  EXPECT_LT(avg, 45.0);
+  // Gains grow with pressure in this regime.
+  EXPECT_LT(gains.front(), gains.back());
+}
+
+// Fig. 10: RDR reduction near 36% at 1M disturbs, 8K P/E.
+TEST_F(PaperAnchors, Fig10RdrHeadline) {
+  nand::Chip chip(nand::Geometry::characterization(), params_, 42);
+  auto& block = chip.block(0);
+  block.add_wear(8000);
+  block.program_random();
+  block.apply_reads(31, 1e6);
+  const auto r = core::ReadDisturbRecovery().recover(block, 30);
+  const double reduction = 1.0 - r.rber_after() / r.rber_before();
+  EXPECT_NEAR(reduction, 0.36, 0.12);
+  // And the no-recovery RBER magnitude is in the figure's band.
+  EXPECT_GT(r.rber_before(), 3e-3);
+  EXPECT_LT(r.rber_before(), 2e-2);
+}
+
+// Fig. 10 shape: reduction grows with read count.
+TEST_F(PaperAnchors, Fig10ReductionGrowsWithReads) {
+  auto reduction_at = [&](double reads) {
+    nand::Chip chip(nand::Geometry::characterization(), params_, 42);
+    auto& block = chip.block(0);
+    block.add_wear(8000);
+    block.program_random();
+    block.apply_reads(31, reads);
+    const auto r = core::ReadDisturbRecovery().recover(block, 30);
+    return 1.0 - r.rber_after() / r.rber_before();
+  };
+  EXPECT_GT(reduction_at(1.2e6), reduction_at(7e5));
+}
+
+// ECC provisioning: tolerates ~1e-3 RBER (paper §2.5).
+TEST_F(PaperAnchors, EccProvisioningRatio) {
+  const ecc::EccModel ecc{ecc::EccConfig::paper_provisioning()};
+  EXPECT_NEAR(ecc.rber_capability(), 1.1e-3, 0.15e-3);
+  EXPECT_DOUBLE_EQ(model_.usable_ecc_rber(), 0.8e-3);
+}
+
+}  // namespace
+}  // namespace rdsim

@@ -1,0 +1,195 @@
+// Cross-cutting property sweeps (TEST_P) over the simulator's operating
+// envelope: invariants that must hold at *every* corner, not just the
+// calibration points.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.h"
+#include "ecc/bch.h"
+#include "flash/rber_model.h"
+#include "flash/vth_model.h"
+#include "nand/chip.h"
+
+namespace rdsim {
+namespace {
+
+// --- Disturb physics across wear x Vpass --------------------------------------
+
+class DisturbEnvelope
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(DisturbEnvelope, DoseMonotoneInReadsAndShiftBounded) {
+  const auto [pe, vpass_frac] = GetParam();
+  const flash::VthModel model(flash::FlashModelParams::default_2ynm());
+  const double vpass = 512.0 * vpass_frac;
+  double prev_dose = -1.0;
+  for (double reads : {1e3, 1e4, 1e5, 1e6}) {
+    const double dose = model.disturb_dose(reads, vpass, pe);
+    EXPECT_GT(dose, prev_dose);
+    prev_dose = dose;
+    // Shifts never push a cell beyond the pass-through ceiling.
+    for (double v0 : {40.0, 160.0, 280.0, 400.0}) {
+      const double v = model.apply_disturb(v0, 3.0, dose);
+      EXPECT_GE(v, v0);
+      EXPECT_LT(v, 512.0);
+    }
+  }
+}
+
+TEST_P(DisturbEnvelope, OrderPreserving) {
+  // Disturb is a monotone map: cells cannot swap Vth order (equal
+  // susceptibility), so no new overlap is created *within* a population.
+  const auto [pe, vpass_frac] = GetParam();
+  const flash::VthModel model(flash::FlashModelParams::default_2ynm());
+  const double dose = model.disturb_dose(5e5, 512.0 * vpass_frac, pe);
+  double prev = -1e9;
+  for (double v0 = 20.0; v0 <= 440.0; v0 += 10.0) {
+    const double v = model.apply_disturb(v0, 1.0, dose);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Envelope, DisturbEnvelope,
+    ::testing::Combine(::testing::Values(1000.0, 4000.0, 8000.0, 15000.0),
+                       ::testing::Values(0.94, 0.97, 1.0)));
+
+// --- MLC data mapping ----------------------------------------------------------
+
+TEST(GrayMapping, RoundTripAllStates) {
+  for (auto s : flash::kAllStates)
+    EXPECT_EQ(flash::state_of_bits(flash::lsb_of(s), flash::msb_of(s)), s);
+}
+
+TEST(GrayMapping, AdjacentStatesDifferInOneBit) {
+  // The Gray property: every disturb/retention error across one boundary
+  // costs exactly one bit.
+  for (int i = 0; i + 1 < 4; ++i) {
+    EXPECT_EQ(flash::bit_errors_between(static_cast<flash::CellState>(i),
+                                        static_cast<flash::CellState>(i + 1)),
+              1);
+  }
+}
+
+TEST(GrayMapping, ErrorsBetweenSymmetric) {
+  for (auto a : flash::kAllStates)
+    for (auto b : flash::kAllStates) {
+      EXPECT_EQ(flash::bit_errors_between(a, b),
+                flash::bit_errors_between(b, a));
+      if (a == b) {
+        EXPECT_EQ(flash::bit_errors_between(a, b), 0);
+      }
+    }
+}
+
+// --- MC chip: error channels land on the right pages ---------------------------
+
+class PageAsymmetry : public ::testing::TestWithParam<double> {};
+
+TEST_P(PageAsymmetry, DisturbErrorsLandOnMsbPages) {
+  // ER->P1 transitions flip the MSB only (Fig. 1's Gray code), so read
+  // disturb must inflate MSB-page error counts far more than LSB ones.
+  const double reads = GetParam();
+  nand::Chip chip(nand::Geometry{64, 8192, 1},
+                  flash::FlashModelParams::default_2ynm(), 1234);
+  auto& b = chip.block(0);
+  b.add_wear(8000);
+  b.program_random();
+  b.apply_reads(31, reads);
+  int lsb = 0, msb = 0;
+  for (std::uint32_t wl = 0; wl < 64; wl += 8) {
+    if (wl == 31) continue;
+    lsb += b.count_errors({wl, nand::PageKind::kLsb});
+    msb += b.count_errors({wl, nand::PageKind::kMsb});
+  }
+  EXPECT_GT(msb, 3 * lsb);
+}
+
+INSTANTIATE_TEST_SUITE_P(ReadCounts, PageAsymmetry,
+                         ::testing::Values(4e5, 8e5, 1.2e6));
+
+// --- BCH: structured error patterns --------------------------------------------
+
+class BchPatterns : public ::testing::TestWithParam<int> {};
+
+TEST_P(BchPatterns, CorrectsBurstsUpToT) {
+  // BCH is not burst-optimized, but any t-bit pattern — including a
+  // contiguous burst — must decode.
+  const int t = GetParam();
+  const ecc::BchCode code(13, t, 2048);
+  Rng rng(t);
+  ecc::BitVec data(2048);
+  for (auto& bit : data) bit = static_cast<std::uint8_t>(rng.next() & 1);
+  auto word = code.encode(data);
+  const auto start = rng.uniform_u64(word.size() - t);
+  for (int i = 0; i < t; ++i) word[start + i] ^= 1;
+  const auto result = code.decode(word);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.corrected, t);
+  EXPECT_EQ(result.data, data);
+}
+
+TEST_P(BchPatterns, CorrectsExtremalPayloads) {
+  const int t = GetParam();
+  const ecc::BchCode code(13, t, 2048);
+  Rng rng(t + 100);
+  for (const std::uint8_t fill : {0, 1}) {
+    const ecc::BitVec data(2048, fill);
+    auto word = code.encode(data);
+    for (int i = 0; i < t; ++i) word[i * 37 + 5] ^= 1;
+    const auto result = code.decode(word);
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.data, data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strengths, BchPatterns,
+                         ::testing::Values(2, 5, 12, 24));
+
+// --- Analytic model: dimensional sanity -----------------------------------------
+
+class RberBounds
+    : public ::testing::TestWithParam<std::tuple<double, double, double>> {};
+
+TEST_P(RberBounds, AlwaysAProbability) {
+  const auto [pe, days, reads] = GetParam();
+  const flash::RberModel model(flash::FlashModelParams::default_2ynm());
+  for (double vpass : {460.8, 480.0, 500.0, 512.0}) {
+    const double r = model.total_rber({pe, days, reads, vpass});
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 0.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Extremes, RberBounds,
+    ::testing::Combine(::testing::Values(0.0, 8000.0, 30000.0),
+                       ::testing::Values(0.0, 21.0, 365.0),
+                       ::testing::Values(0.0, 1e6, 1e10)));
+
+// --- Determinism of the whole MC stack ------------------------------------------
+
+TEST(Determinism, IdenticalRunsBitIdentical) {
+  auto run = [] {
+    nand::Chip chip(nand::Geometry::tiny(),
+                    flash::FlashModelParams::default_2ynm(), 99);
+    auto& b = chip.block(0);
+    b.add_wear(5000);
+    b.program_random();
+    b.apply_reads(3, 2e5);
+    b.advance_time(4.0);
+    std::uint64_t fingerprint = 0;
+    for (std::uint32_t wl = 0; wl < 16; ++wl)
+      fingerprint = fingerprint * 1000003 +
+                    static_cast<std::uint64_t>(
+                        b.count_errors({wl, nand::PageKind::kMsb}));
+    return fingerprint;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace rdsim

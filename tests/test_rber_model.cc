@@ -1,0 +1,233 @@
+// Calibration and property tests for the analytic RBER model — each test
+// pins one of the paper's published anchors or a monotonicity the figures
+// rely on.
+#include "flash/rber_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+namespace rdsim::flash {
+namespace {
+
+class RberModelTest : public ::testing::Test {
+ protected:
+  FlashModelParams params_ = FlashModelParams::default_2ynm();
+  RberModel model_{params_};
+};
+
+// --- Fig. 3 calibration ------------------------------------------------------
+
+class SlopeTable
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(SlopeTable, MatchesPaperWithin20Pct) {
+  const auto [pe, paper_slope] = GetParam();
+  const RberModel model{FlashModelParams::default_2ynm()};
+  EXPECT_NEAR(model.disturb_slope(pe) / paper_slope, 1.0, 0.20);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSlopes, SlopeTable,
+    ::testing::Values(std::tuple{2000.0, 1.00e-9}, std::tuple{3000.0, 1.63e-9},
+                      std::tuple{4000.0, 2.37e-9}, std::tuple{5000.0, 3.74e-9},
+                      std::tuple{8000.0, 7.50e-9}, std::tuple{10000.0, 9.10e-9},
+                      std::tuple{15000.0, 1.90e-8}));
+
+TEST_F(RberModelTest, DisturbLinearInReads) {
+  const double r1 = model_.disturb_rber(8000, 10e3, 512);
+  const double r2 = model_.disturb_rber(8000, 20e3, 512);
+  EXPECT_NEAR(r2 / r1, 2.0, 1e-9);
+}
+
+TEST_F(RberModelTest, DisturbSaturates) {
+  EXPECT_LE(model_.disturb_rber(15000, 1e12, 512), 0.125 + 1e-12);
+}
+
+// --- Fig. 4 calibration ------------------------------------------------------
+
+TEST_F(RberModelTest, TwoPercentVpassHalvesRberAt100K) {
+  const double nominal = model_.total_rber({8000, 0.5, 100e3, 512.0});
+  const double relaxed = model_.total_rber({8000, 0.5, 100e3, 512.0 * 0.98});
+  const double reduction = 1.0 - relaxed / nominal;
+  EXPECT_GT(reduction, 0.45);
+  EXPECT_LT(reduction, 0.65);
+}
+
+TEST_F(RberModelTest, VpassReductionExponentiallyExtendsTolerableReads) {
+  // Per 1% of Vpass the iso-RBER read count must scale by a constant
+  // factor (exponential law).
+  const double r100 = model_.tolerable_reads(8000, 0.5, 512.0);
+  const double r99 = model_.tolerable_reads(8000, 0.5, 512.0 * 0.99);
+  const double r98 = model_.tolerable_reads(8000, 0.5, 512.0 * 0.98);
+  const double f1 = r99 / r100;
+  const double f2 = r98 / r99;
+  EXPECT_GT(f1, 1.5);
+  EXPECT_NEAR(f2 / f1, 1.0, 0.25);
+}
+
+TEST_F(RberModelTest, DisturbMonotoneInVpass) {
+  double prev = 0.0;
+  for (double v = 480; v <= 512; v += 4) {
+    const double r = model_.disturb_rber(8000, 1e5, v);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST_F(RberModelTest, DisturbMonotoneInWear) {
+  double prev = 0.0;
+  for (double pe : {1000.0, 2000.0, 5000.0, 10000.0, 15000.0}) {
+    const double r = model_.disturb_rber(pe, 1e5, 512);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+// --- Fig. 5 calibration ------------------------------------------------------
+
+TEST_F(RberModelTest, PassThroughZeroAtNominal) {
+  for (double days : {0.0, 7.0, 21.0})
+    EXPECT_DOUBLE_EQ(model_.pass_through_rber(512.0, days), 0.0);
+}
+
+TEST_F(RberModelTest, PassThroughGrowsAsVpassDrops) {
+  double prev = -1.0;
+  for (double v = 512; v >= 480; v -= 2) {
+    const double r = model_.pass_through_rber(v, 0.0);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+  EXPECT_GT(model_.pass_through_rber(480.0, 0.0), 5e-4);
+}
+
+TEST_F(RberModelTest, OlderDataTolerentToRelaxation) {
+  // Fig. 5: for a given Vpass, the additional error rate is lower when the
+  // retention age is longer.
+  for (double v : {485.0, 490.0, 495.0, 500.0}) {
+    EXPECT_LT(model_.pass_through_rber(v, 21.0),
+              model_.pass_through_rber(v, 0.0));
+  }
+}
+
+// --- Fig. 6 calibration ------------------------------------------------------
+
+TEST_F(RberModelTest, RetentionCurveAnchors) {
+  // Digitized curve: starts near zero, saturates by day 21 at ~0.445e-3
+  // (at 8K P/E).
+  EXPECT_LT(model_.retention_rber(8000, 0.5), 0.05e-3);
+  EXPECT_NEAR(model_.retention_rber(8000, 21), 0.445e-3, 0.01e-3);
+}
+
+TEST_F(RberModelTest, RetentionMonotoneInTimeAndWear) {
+  double prev = -1;
+  for (int d = 0; d <= 30; ++d) {
+    const double r = model_.retention_rber(8000, d);
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+  EXPECT_LT(model_.retention_rber(2000, 7), model_.retention_rber(8000, 7));
+}
+
+TEST_F(RberModelTest, RetentionContinuousAtTableEdges) {
+  // Interpolation must not jump at integer days or at day 21.
+  for (double d : {0.999, 1.001, 20.999, 21.001}) {
+    const double below = model_.retention_rber(8000, d - 1e-4);
+    const double above = model_.retention_rber(8000, d + 1e-4);
+    EXPECT_NEAR(below, above, 1e-6);
+  }
+}
+
+TEST_F(RberModelTest, SafeReductionBandsMatchFig6) {
+  // 4% while the retention age is low (< 4 days)...
+  EXPECT_EQ(model_.safe_vpass_reduction_percent(8000, 1), 4);
+  EXPECT_EQ(model_.safe_vpass_reduction_percent(8000, 2), 4);
+  EXPECT_EQ(model_.safe_vpass_reduction_percent(8000, 3), 4);
+  EXPECT_LT(model_.safe_vpass_reduction_percent(8000, 4), 4);
+  // ...decaying to 0% by day 21.
+  EXPECT_EQ(model_.safe_vpass_reduction_percent(8000, 21), 0);
+}
+
+TEST_F(RberModelTest, SafeReductionNonIncreasingWithAge) {
+  int prev = 100;
+  for (int d = 1; d <= 21; ++d) {
+    const int pct = model_.safe_vpass_reduction_percent(8000, d);
+    EXPECT_LE(pct, prev);
+    prev = pct;
+  }
+}
+
+TEST_F(RberModelTest, UsableEccBudget) {
+  EXPECT_NEAR(model_.usable_ecc_rber(), 0.8e-3, 1e-9);
+}
+
+// --- Derived quantities ------------------------------------------------------
+
+TEST_F(RberModelTest, TolerableReadsEdges) {
+  // Exhausted budget -> 0 reads.
+  EXPECT_DOUBLE_EQ(model_.tolerable_reads(20000, 21, 512.0), 0.0);
+  // Healthy young block tolerates plenty.
+  EXPECT_GT(model_.tolerable_reads(2000, 0.5, 512.0), 1e5);
+}
+
+TEST_F(RberModelTest, TolerableReadsConsistentWithTotal) {
+  const double reads = model_.tolerable_reads(8000, 1.0, 512.0);
+  const double rber = model_.total_rber({8000, 1.0, reads, 512.0});
+  EXPECT_NEAR(rber, model_.usable_ecc_rber(), 1e-9);
+}
+
+TEST_F(RberModelTest, LowestSafeVpassRespectsMargin) {
+  for (double margin : {1e-5, 1e-4, 5e-4}) {
+    const double v = model_.lowest_safe_vpass(margin, 2.0);
+    EXPECT_LE(model_.pass_through_rber(v, 2.0), margin);
+    EXPECT_GE(v, 512.0 * 0.90);
+  }
+}
+
+TEST_F(RberModelTest, LowestSafeVpassMonotoneInMargin) {
+  const double tight = model_.lowest_safe_vpass(1e-5, 2.0);
+  const double loose = model_.lowest_safe_vpass(5e-4, 2.0);
+  EXPECT_LE(loose, tight);
+}
+
+TEST_F(RberModelTest, TotalRberComposes) {
+  const BlockCondition c{8000, 7.0, 50e3, 500.0};
+  const double total = model_.total_rber(c);
+  const double parts = model_.base_rber(c.pe_cycles) +
+                       model_.retention_rber(c.pe_cycles, c.retention_days) +
+                       model_.disturb_rber(c.pe_cycles, c.reads, c.vpass) +
+                       model_.pass_through_rber(c.vpass, c.retention_days);
+  EXPECT_DOUBLE_EQ(total, parts);
+}
+
+TEST_F(RberModelTest, BaseRberWearExponent) {
+  EXPECT_NEAR(model_.base_rber(8000), 3.5e-4, 1e-8);
+  EXPECT_NEAR(model_.base_rber(16000) / model_.base_rber(8000),
+              std::pow(2.0, params_.base_wear_exp), 1e-9);
+}
+
+// Monotonicity sweep across the whole operating envelope.
+class TotalRberMonotone
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(TotalRberMonotone, InReadsAndWear) {
+  const auto [pe, days] = GetParam();
+  const RberModel model{FlashModelParams::default_2ynm()};
+  double prev = -1;
+  for (double reads = 0; reads <= 500e3; reads += 50e3) {
+    const double r = model.total_rber({pe, days, reads, 512.0});
+    EXPECT_GE(r, prev);
+    prev = r;
+  }
+  EXPECT_LE(model.total_rber({pe, days, 100e3, 512.0}),
+            model.total_rber({pe * 1.5, days, 100e3, 512.0}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Envelope, TotalRberMonotone,
+    ::testing::Combine(::testing::Values(2000.0, 5000.0, 8000.0, 12000.0),
+                       ::testing::Values(0.0, 1.0, 7.0, 21.0)));
+
+}  // namespace
+}  // namespace rdsim::flash

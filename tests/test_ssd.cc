@@ -1,0 +1,203 @@
+// Tests for the whole-drive simulator and its daily maintenance loop.
+#include "ssd/ssd.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+#include "workload/profiles.h"
+
+namespace rdsim::ssd {
+namespace {
+
+SsdConfig small_config(bool tuning) {
+  SsdConfig cfg;
+  cfg.ftl.blocks = 64;
+  cfg.ftl.pages_per_block = 32;
+  cfg.ftl.overprovision = 0.2;
+  cfg.ftl.gc_free_target = 4;
+  cfg.vpass_tuning = tuning;
+  return cfg;
+}
+
+void fill(Ssd& drive) {
+  for (std::uint64_t lpn = 0; lpn < drive.ftl().config().logical_pages();
+       ++lpn)
+    drive.ftl_mut().write(lpn);
+}
+
+std::vector<workload::IoRequest> synthetic_day(std::uint64_t logical,
+                                               int requests, double read_frac,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<workload::IoRequest> day;
+  day.reserve(requests);
+  for (int i = 0; i < requests; ++i) {
+    workload::IoRequest r;
+    r.time_s = i;
+    r.is_write = !rng.bernoulli(read_frac);
+    // Concentrate reads on a small hot range.
+    r.lpn = r.is_write ? rng.uniform_u64(logical)
+                       : rng.uniform_u64(logical / 64);
+    r.pages = 1;
+    day.push_back(r);
+  }
+  return day;
+}
+
+TEST(Ssd, HostCountersMatchSubmittedPages) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  Ssd drive(small_config(false), params, 1);
+  fill(drive);
+  const auto writes_before = drive.ftl().stats().host_writes;
+  workload::IoRequest r;
+  r.lpn = 0;
+  r.pages = 5;
+  r.is_write = true;
+  drive.submit(r);
+  EXPECT_EQ(drive.ftl().stats().host_writes, writes_before + 5);
+  r.is_write = false;
+  drive.submit(r);
+  EXPECT_EQ(drive.ftl().stats().host_reads, 5u);
+}
+
+TEST(Ssd, RunDayAdvancesClockAndStats) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  Ssd drive(small_config(false), params, 2);
+  fill(drive);
+  const auto logical = drive.ftl().config().logical_pages();
+  drive.run_day(synthetic_day(logical, 2000, 0.7, 3));
+  EXPECT_EQ(drive.stats().days, 1u);
+  EXPECT_DOUBLE_EQ(drive.ftl().now_days(), 1.0);
+}
+
+TEST(Ssd, RefreshBoundsDataAge) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  Ssd drive(small_config(false), params, 4);
+  fill(drive);
+  const auto logical = drive.ftl().config().logical_pages();
+  for (int day = 0; day < 20; ++day)
+    drive.run_day(synthetic_day(logical, 500, 0.9, day));
+  // After the refresh interval, no block's data may be older than the
+  // interval plus one maintenance day.
+  for (std::uint32_t b = 0; b < drive.ftl().block_count(); ++b) {
+    const auto& info = drive.ftl().block(b);
+    if (info.state == ftl::BlockInfo::State::kFree || info.valid_pages == 0)
+      continue;
+    EXPECT_LE(drive.ftl().now_days() - info.program_day,
+              drive.ftl().config().refresh_interval_days + 1.0);
+  }
+}
+
+TEST(Ssd, TuningLowersVpassOnDataBlocks) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  Ssd drive(small_config(true), params, 5);
+  fill(drive);
+  const auto logical = drive.ftl().config().logical_pages();
+  for (int day = 0; day < 3; ++day)
+    drive.run_day(synthetic_day(logical, 2000, 0.8, 50 + day));
+  EXPECT_GT(drive.stats().mean_vpass_reduction_pct(), 0.5);
+  // Every tuned Vpass must stay in the device envelope.
+  for (std::uint32_t b = 0; b < drive.ftl().block_count(); ++b) {
+    const auto& info = drive.ftl().block(b);
+    EXPECT_LE(info.vpass, params.vpass_nominal);
+    EXPECT_GE(info.vpass, params.vpass_nominal * 0.90);
+  }
+}
+
+TEST(Ssd, BaselineKeepsNominalVpass) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  Ssd drive(small_config(false), params, 6);
+  fill(drive);
+  const auto logical = drive.ftl().config().logical_pages();
+  for (int day = 0; day < 3; ++day)
+    drive.run_day(synthetic_day(logical, 1000, 0.8, 60 + day));
+  EXPECT_DOUBLE_EQ(drive.stats().mean_vpass_reduction_pct(), 0.0);
+  for (std::uint32_t b = 0; b < drive.ftl().block_count(); ++b)
+    EXPECT_DOUBLE_EQ(drive.ftl().block(b).vpass, params.vpass_nominal);
+}
+
+TEST(Ssd, DisturbAccumulatesOnReadHotBlocks) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  Ssd drive(small_config(false), params, 7);
+  fill(drive);
+  const auto logical = drive.ftl().config().logical_pages();
+  for (int day = 0; day < 2; ++day)
+    drive.run_day(synthetic_day(logical, 5000, 0.95, 70 + day));
+  double max_disturb = 0;
+  for (std::uint32_t b = 0; b < drive.ftl().block_count(); ++b)
+    max_disturb = std::max(max_disturb, drive.block_disturb_rber(b));
+  EXPECT_GT(max_disturb, 0.0);
+  EXPECT_GT(drive.max_reads_per_interval(), 100u);
+}
+
+TEST(Ssd, EpochResetClearsDisturbState) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  Ssd drive(small_config(false), params, 8);
+  fill(drive);
+  const auto logical = drive.ftl().config().logical_pages();
+  // Read-heavy days, then enough time for every block to be refreshed.
+  for (int day = 0; day < 2; ++day)
+    drive.run_day(synthetic_day(logical, 5000, 0.95, 80 + day));
+  for (int day = 0; day < 9; ++day) drive.run_day({});
+  // After refresh, accumulated disturb must have been reset along with
+  // the block epoch (fresh data has no disturb history).
+  for (std::uint32_t b = 0; b < drive.ftl().block_count(); ++b) {
+    const auto& info = drive.ftl().block(b);
+    if (info.state == ftl::BlockInfo::State::kFree) continue;
+    const double age = drive.ftl().now_days() - info.program_day;
+    if (age < 1.0) {
+      EXPECT_LT(drive.block_disturb_rber(b), 1e-5);
+    }
+  }
+}
+
+TEST(Ssd, WorstRberSaneAndBounded) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  Ssd drive(small_config(true), params, 9);
+  fill(drive);
+  const auto logical = drive.ftl().config().logical_pages();
+  for (int day = 0; day < 5; ++day)
+    drive.run_day(synthetic_day(logical, 2000, 0.7, 90 + day));
+  const double rber = drive.max_worst_rber();
+  EXPECT_GT(rber, 0.0);
+  EXPECT_LT(rber, 1e-3);  // Young, lightly-worn drive far from capability.
+  EXPECT_EQ(drive.stats().uncorrectable_page_events, 0u);
+}
+
+TEST(Ssd, TuningReducesAccumulatedDisturb) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  Ssd tuned(small_config(true), params, 10);
+  Ssd baseline(small_config(false), params, 10);
+  for (auto* d : {&tuned, &baseline}) fill(*d);
+  const auto logical = tuned.ftl().config().logical_pages();
+  for (int day = 0; day < 6; ++day) {
+    const auto requests = synthetic_day(logical, 4000, 0.95, 100 + day);
+    tuned.run_day(requests);
+    baseline.run_day(requests);
+  }
+  double tuned_max = 0, base_max = 0;
+  for (std::uint32_t b = 0; b < tuned.ftl().block_count(); ++b) {
+    tuned_max = std::max(tuned_max, tuned.block_disturb_rber(b));
+    base_max = std::max(base_max, baseline.block_disturb_rber(b));
+  }
+  EXPECT_LT(tuned_max, base_max);
+}
+
+TEST(Ssd, EndToEndWithGeneratedTrace) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  auto cfg = small_config(true);
+  cfg.ftl.blocks = 128;
+  Ssd drive(cfg, params, 11);
+  fill(drive);
+  auto profile = workload::profile_by_name("fiu-web-vm");
+  profile.daily_page_ios = 20000;  // Scale to the tiny test drive.
+  workload::TraceGenerator gen(profile,
+                               drive.ftl().config().logical_pages(), 123);
+  for (int day = 0; day < 8; ++day) drive.run_day(gen.day());
+  EXPECT_GT(drive.ftl().stats().host_reads, 10000u);
+  EXPECT_TRUE(drive.ftl().check_invariants());
+  EXPECT_GT(drive.stats().tuned_block_days, 0u);
+}
+
+}  // namespace
+}  // namespace rdsim::ssd

@@ -1,0 +1,103 @@
+// Tests for the SSD's time accounting and its agreement with the paper's
+// §4 overhead arithmetic.
+#include <gtest/gtest.h>
+
+#include "core/overheads.h"
+#include "ssd/ssd.h"
+
+namespace rdsim::ssd {
+namespace {
+
+SsdConfig tiny_config(bool tuning) {
+  SsdConfig cfg;
+  cfg.ftl.blocks = 64;
+  cfg.ftl.pages_per_block = 32;
+  cfg.ftl.overprovision = 0.2;
+  cfg.ftl.gc_free_target = 4;
+  cfg.vpass_tuning = tuning;
+  return cfg;
+}
+
+std::vector<workload::IoRequest> mixed_day(std::uint64_t logical, int n,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<workload::IoRequest> day(n);
+  for (int i = 0; i < n; ++i) {
+    day[i].time_s = i;
+    day[i].is_write = rng.bernoulli(0.3);
+    day[i].lpn = rng.uniform_u64(logical);
+    day[i].pages = 1;
+  }
+  return day;
+}
+
+TEST(SsdLatency, HostIoSecondsMatchArithmetic) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  Ssd drive(tiny_config(false), params, 1);
+  workload::IoRequest read{0.0, 0, 10, false};
+  workload::IoRequest write{0.0, 0, 10, true};
+  drive.submit(write);
+  drive.submit(read);
+  const auto& latency = drive.config().latency;
+  EXPECT_NEAR(drive.stats().host_io_seconds,
+              10 * latency.program_s + 10 * latency.read_s, 1e-12);
+}
+
+TEST(SsdLatency, BackgroundTimeAppearsUnderChurn) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  Ssd drive(tiny_config(false), params, 2);
+  const auto logical = drive.ftl().config().logical_pages();
+  for (std::uint64_t lpn = 0; lpn < logical; ++lpn) drive.ftl_mut().write(lpn);
+  for (int day = 0; day < 10; ++day)
+    drive.run_day(mixed_day(logical, 4000, 10 + day));
+  // GC + weekly refresh must have produced background busy time.
+  EXPECT_GT(drive.stats().background_seconds, 0.0);
+}
+
+TEST(SsdLatency, TuningProbeTimeOnlyWhenEnabled) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  Ssd tuned(tiny_config(true), params, 3);
+  Ssd base(tiny_config(false), params, 3);
+  for (auto* d : {&tuned, &base}) {
+    const auto logical = d->ftl().config().logical_pages();
+    for (std::uint64_t lpn = 0; lpn < logical; ++lpn)
+      d->ftl_mut().write(lpn);
+    for (int day = 0; day < 3; ++day)
+      d->run_day(mixed_day(logical, 1000, 20 + day));
+  }
+  EXPECT_GT(tuned.stats().tuning_probe_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(base.stats().tuning_probe_seconds, 0.0);
+  EXPECT_GT(tuned.stats().tuning_seconds_per_day(), 0.0);
+}
+
+TEST(SsdLatency, PerBlockProbeCostConsistentWithOverheadModel) {
+  // The replayed per-block-per-day probe cost must land near the §4
+  // overhead model's assumption (1 MEE read + ~1.5 step probes).
+  const auto params = flash::FlashModelParams::default_2ynm();
+  Ssd drive(tiny_config(true), params, 4);
+  const auto logical = drive.ftl().config().logical_pages();
+  for (std::uint64_t lpn = 0; lpn < logical; ++lpn) drive.ftl_mut().write(lpn);
+  for (int day = 0; day < 5; ++day)
+    drive.run_day(mixed_day(logical, 1000, 30 + day));
+  const double per_block_day =
+      drive.stats().tuning_probe_seconds /
+      static_cast<double>(drive.stats().tuned_block_days) /
+      drive.config().latency.read_s;
+  // Between 1 (MEE only) and ~12 probes per block-day.
+  EXPECT_GE(per_block_day, 1.0);
+  EXPECT_LE(per_block_day, 12.0);
+}
+
+TEST(SsdLatency, OverheadModelScalesFromReplay) {
+  // Cross-check: the closed-form 512 GB overhead equals per-block probe
+  // reads x block count x tR.
+  core::SsdShape shape;
+  const auto report = core::vpass_tuning_overheads(shape);
+  EXPECT_NEAR(report.daily_seconds,
+              static_cast<double>(report.blocks) *
+                  shape.probe_reads_per_block * shape.page_read_seconds,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace rdsim::ssd

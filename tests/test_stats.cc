@@ -1,0 +1,143 @@
+// Unit and property tests for common/stats.h.
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace rdsim {
+namespace {
+
+TEST(NormalPdf, StandardValues) {
+  EXPECT_NEAR(normal_pdf(0.0), 0.3989422804, 1e-9);
+  EXPECT_NEAR(normal_pdf(1.0), 0.2419707245, 1e-9);
+  EXPECT_NEAR(normal_pdf(-1.0), normal_pdf(1.0), 1e-15);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.9750021, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.0249979, 1e-6);
+}
+
+TEST(NormalSf, ComplementsCdf) {
+  for (double x = -4.0; x <= 4.0; x += 0.25)
+    EXPECT_NEAR(normal_sf(x), 1.0 - normal_cdf(x), 1e-12);
+}
+
+TEST(NormalSf, DeepTailAccuracy) {
+  // Q(6) ~ 9.866e-10; erfc-based evaluation must not lose it to
+  // cancellation.
+  EXPECT_NEAR(normal_sf(6.0) / 9.8659e-10, 1.0, 1e-3);
+  EXPECT_GT(normal_sf(8.0), 0.0);
+}
+
+class QuantileRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileRoundTrip, InvertsCdf) {
+  const double p = GetParam();
+  EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, QuantileRoundTrip,
+                         ::testing::Values(1e-6, 1e-4, 0.01, 0.1, 0.25, 0.5,
+                                           0.75, 0.9, 0.99, 0.9999,
+                                           1.0 - 1e-6));
+
+TEST(Quantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.95996, 1e-4);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.25);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 1.7) * 10.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(FitLine, ExactLine) {
+  const std::vector<double> x = {0, 1, 2, 3, 4};
+  const std::vector<double> y = {1, 3, 5, 7, 9};
+  const auto fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLine, NoisyLineRecoversSlope) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 100; ++i) {
+    x.push_back(i);
+    y.push_back(5.0 * i + 2.0 + ((i % 3) - 1.0) * 0.1);
+  }
+  const auto fit = fit_line(x, y);
+  EXPECT_NEAR(fit.slope, 5.0, 0.01);
+  EXPECT_GT(fit.r2, 0.999);
+}
+
+TEST(FitLine, ConstantX) {
+  const std::vector<double> x = {2, 2, 2};
+  const std::vector<double> y = {1, 2, 3};
+  const auto fit = fit_line(x, y);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+TEST(Percentile, InterpolatesAndClamps) {
+  std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25);
+  EXPECT_DOUBLE_EQ(percentile({5.0}, 73), 5.0);
+}
+
+TEST(MeanOf, Basics) {
+  const std::vector<double> v = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(mean_of(v), 2.0);
+}
+
+TEST(GeometricMean, Basics) {
+  const std::vector<double> v = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geometric_mean(v), 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rdsim

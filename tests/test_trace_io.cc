@@ -1,0 +1,195 @@
+// Tests for trace file I/O (rdsim CSV + MSR-Cambridge format) and FTL
+// snapshot persistence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ftl/ftl.h"
+#include "workload/generator.h"
+#include "workload/profiles.h"
+#include "workload/trace_io.h"
+
+namespace rdsim {
+namespace {
+
+using workload::IoRequest;
+
+TEST(TraceIo, CsvRoundTrip) {
+  std::vector<IoRequest> trace = {
+      {0.5, 100, 4, false},
+      {1.25, 200, 1, true},
+      {2.0, 0, 64, false},
+  };
+  std::stringstream ss;
+  workload::write_trace_csv(ss, trace);
+  const auto back = workload::read_trace_csv(ss);
+  ASSERT_EQ(back.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_NEAR(back[i].time_s, trace[i].time_s, 1e-6);
+    EXPECT_EQ(back[i].lpn, trace[i].lpn);
+    EXPECT_EQ(back[i].pages, trace[i].pages);
+    EXPECT_EQ(back[i].is_write, trace[i].is_write);
+  }
+}
+
+TEST(TraceIo, CsvHeaderOptional) {
+  std::stringstream ss("0.100000,R,7,2\n");
+  const auto trace = workload::read_trace_csv(ss);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].lpn, 7u);
+  EXPECT_FALSE(trace[0].is_write);
+}
+
+TEST(TraceIo, CsvRejectsMalformed) {
+  std::stringstream bad_op("0.1,X,7,2\n");
+  EXPECT_THROW(workload::read_trace_csv(bad_op), std::runtime_error);
+  std::stringstream short_row("0.1,R,7\n");
+  EXPECT_THROW(workload::read_trace_csv(short_row), std::runtime_error);
+  std::stringstream bad_num("0.1,R,seven,2\n");
+  EXPECT_THROW(workload::read_trace_csv(bad_num), std::runtime_error);
+}
+
+TEST(TraceIo, GeneratedDayRoundTrips) {
+  workload::TraceGenerator gen(workload::profile_by_name("cello99"),
+                               1u << 18, 5);
+  auto day = gen.day();
+  day.resize(std::min<std::size_t>(day.size(), 500));
+  std::stringstream ss;
+  workload::write_trace_csv(ss, day);
+  const auto back = workload::read_trace_csv(ss);
+  ASSERT_EQ(back.size(), day.size());
+  EXPECT_EQ(back[42].lpn, day[42].lpn);
+}
+
+TEST(TraceIo, MsrLineParsing) {
+  IoRequest r;
+  // 128 KB read at byte offset 81920 -> pages 10..25 with 8 KiB pages.
+  ASSERT_TRUE(workload::parse_msr_line(
+      "128166372003061419,usr,0,Read,81920,131072,1029", 8192, 0, &r));
+  EXPECT_FALSE(r.is_write);
+  EXPECT_EQ(r.lpn, 10u);
+  EXPECT_EQ(r.pages, 16u);
+}
+
+TEST(TraceIo, MsrWriteAndRebase) {
+  IoRequest r;
+  ASSERT_TRUE(workload::parse_msr_line(
+      "128166372013061419,usr,0,Write,8192,8192,100", 8192,
+      128166372003061419ULL, &r));
+  EXPECT_TRUE(r.is_write);
+  EXPECT_EQ(r.lpn, 1u);
+  EXPECT_EQ(r.pages, 1u);
+  EXPECT_NEAR(r.time_s, 1.0, 1e-6);  // 1e7 ticks = 1 s.
+}
+
+TEST(TraceIo, MsrSkipsComments) {
+  IoRequest r;
+  EXPECT_FALSE(workload::parse_msr_line("# header", 8192, 0, &r));
+  EXPECT_FALSE(workload::parse_msr_line("", 8192, 0, &r));
+}
+
+TEST(TraceIo, MsrFullStream) {
+  std::stringstream ss(
+      "128166372003061419,usr,0,Read,0,16384,10\n"
+      "128166372013061419,usr,0,Write,40960,4096,12\n");
+  const auto trace = workload::read_msr_trace(ss);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_NEAR(trace[0].time_s, 0.0, 1e-9);
+  EXPECT_NEAR(trace[1].time_s, 1.0, 1e-6);
+  EXPECT_EQ(trace[0].pages, 2u);
+  EXPECT_EQ(trace[1].lpn, 5u);
+}
+
+TEST(TraceIo, MsrSubPageWriteTouchesOnePage) {
+  IoRequest r;
+  ASSERT_TRUE(workload::parse_msr_line("1,h,0,Write,100,512,1", 8192, 1, &r));
+  EXPECT_EQ(r.lpn, 0u);
+  EXPECT_EQ(r.pages, 1u);
+}
+
+// --- FTL snapshots -----------------------------------------------------------
+
+ftl::FtlConfig snap_config() {
+  ftl::FtlConfig cfg;
+  cfg.blocks = 16;
+  cfg.pages_per_block = 8;
+  cfg.overprovision = 0.25;
+  cfg.gc_free_target = 2;
+  return cfg;
+}
+
+TEST(FtlSnapshot, RoundTripPreservesMapping) {
+  ftl::Ftl a(snap_config());
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i)
+    a.write(rng.uniform_u64(a.config().logical_pages()));
+  a.advance_time(3.5);
+  const auto snap = a.snapshot();
+
+  ftl::Ftl b(snap_config());
+  ASSERT_TRUE(b.restore(snap));
+  EXPECT_TRUE(b.check_invariants());
+  EXPECT_DOUBLE_EQ(b.now_days(), a.now_days());
+  EXPECT_EQ(b.free_blocks(), a.free_blocks());
+  EXPECT_EQ(b.stats().host_writes, a.stats().host_writes);
+  for (std::uint64_t lpn = 0; lpn < a.config().logical_pages(); ++lpn)
+    EXPECT_EQ(b.read(lpn), a.read(lpn));
+}
+
+TEST(FtlSnapshot, PreservesPerBlockVpass) {
+  ftl::Ftl a(snap_config());
+  a.write(0);
+  a.block_mut(0).vpass = 491.5;
+  const auto snap = a.snapshot();
+  ftl::Ftl b(snap_config());
+  ASSERT_TRUE(b.restore(snap));
+  bool found = false;
+  for (std::size_t i = 0; i < b.block_count(); ++i)
+    found |= b.block(i).vpass == 491.5;
+  EXPECT_TRUE(found);
+}
+
+TEST(FtlSnapshot, RejectsCorruption) {
+  ftl::Ftl a(snap_config());
+  a.write(1);
+  auto snap = a.snapshot();
+  snap[snap.size() / 2] ^= 0xFF;
+  ftl::Ftl b(snap_config());
+  EXPECT_FALSE(b.restore(snap));
+  // The failed restore must leave b usable and empty.
+  EXPECT_TRUE(b.check_invariants());
+  EXPECT_EQ(b.read(1), ftl::Ftl::kUnmappedBlock);
+}
+
+TEST(FtlSnapshot, RejectsTruncation) {
+  ftl::Ftl a(snap_config());
+  auto snap = a.snapshot();
+  snap.resize(snap.size() / 2);
+  ftl::Ftl b(snap_config());
+  EXPECT_FALSE(b.restore(snap));
+}
+
+TEST(FtlSnapshot, RejectsGeometryMismatch) {
+  ftl::Ftl a(snap_config());
+  const auto snap = a.snapshot();
+  auto other = snap_config();
+  other.blocks = 32;
+  ftl::Ftl b(other);
+  EXPECT_FALSE(b.restore(snap));
+}
+
+TEST(FtlSnapshot, SurvivesContinuedOperation) {
+  ftl::Ftl a(snap_config());
+  Rng rng(2);
+  for (int i = 0; i < 300; ++i)
+    a.write(rng.uniform_u64(a.config().logical_pages()));
+  const auto snap = a.snapshot();
+  ftl::Ftl b(snap_config());
+  ASSERT_TRUE(b.restore(snap));
+  for (int i = 0; i < 1000; ++i)
+    b.write(rng.uniform_u64(b.config().logical_pages()));
+  EXPECT_TRUE(b.check_invariants());
+}
+
+}  // namespace
+}  // namespace rdsim

@@ -1,0 +1,210 @@
+// Tests for the Vpass Tuning controller — the paper's mitigation
+// mechanism. A scripted fake probe pins the step-search logic exactly;
+// Monte Carlo and analytic probes then exercise it end to end.
+#include "core/vpass_tuning.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flash/rber_model.h"
+#include "nand/chip.h"
+
+namespace rdsim::core {
+namespace {
+
+/// Scripted probe: N(vpass) follows a deterministic staircase so tests can
+/// predict the search's every step.
+class FakeProbe : public BlockProbe {
+ public:
+  FakeProbe(int mee, double zeros_per_unit)
+      : mee_(mee), zeros_per_unit_(zeros_per_unit) {}
+
+  int measure_worst_page_errors() override { return mee_; }
+  int count_read_zeros(double vpass) override {
+    ++probes_;
+    return static_cast<int>(std::floor((512.0 - vpass) * zeros_per_unit_));
+  }
+  int codewords_per_page() const override { return 8; }
+
+  int probes() const { return probes_; }
+  void set_mee(int mee) { mee_ = mee; }
+
+ private:
+  int mee_;
+  double zeros_per_unit_;
+  int probes_ = 0;
+};
+
+ecc::EccModel paper_ecc() {
+  return ecc::EccModel{ecc::EccConfig::paper_provisioning()};
+}
+
+TEST(VpassTuning, UsablePageCapability) {
+  VpassTuningController ctl(paper_ecc(), 512.0);
+  FakeProbe probe(0, 1.0);
+  // floor(0.8 * 9) = 7 per codeword, 8 codewords.
+  EXPECT_EQ(ctl.usable_page_capability(probe), 56);
+}
+
+TEST(VpassTuning, RelearnFindsDeepestSafeVpass) {
+  VpassTuningController ctl(paper_ecc(), 512.0);
+  // 1 zero per unit of reduction; margin = 56 - 6 = 50 -> the search can
+  // go 50 units deep, limited to the 0.90 floor (460.8) -> 51.2 units
+  // available, so margin binds: lowest v with N <= 50 is 462 (floor(50)
+  // at v = 462: N = floor(50 * 1.0) = 50 <= 50).
+  FakeProbe probe(6, 1.0);
+  const auto decision = ctl.relearn(probe);
+  EXPECT_FALSE(decision.fallback);
+  EXPECT_EQ(decision.mee, 6);
+  EXPECT_EQ(decision.margin, 50);
+  EXPECT_LE(512.0 - decision.vpass, 50.0 + 2.0);
+  EXPECT_LE(probe.count_read_zeros(decision.vpass), 50);
+}
+
+TEST(VpassTuning, RelearnRespectsMargin) {
+  for (int mee : {0, 10, 30, 50, 55}) {
+    VpassTuningController ctl(paper_ecc(), 512.0);
+    FakeProbe probe(mee, 2.5);
+    const auto decision = ctl.relearn(probe);
+    ASSERT_FALSE(decision.fallback) << "mee=" << mee;
+    EXPECT_LE(probe.count_read_zeros(decision.vpass), decision.margin);
+  }
+}
+
+TEST(VpassTuning, FallbackWhenMarginExhausted) {
+  VpassTuningController ctl(paper_ecc(), 512.0);
+  FakeProbe probe(56, 1.0);  // MEE == usable capability.
+  const auto decision = ctl.relearn(probe);
+  EXPECT_TRUE(decision.fallback);
+  EXPECT_DOUBLE_EQ(decision.vpass, 512.0);
+  EXPECT_EQ(decision.margin, 0);
+}
+
+TEST(VpassTuning, VerifyKeepsGoodVpass) {
+  VpassTuningController ctl(paper_ecc(), 512.0);
+  FakeProbe probe(6, 1.0);
+  const auto decision = ctl.verify_or_raise(probe, 490.0);
+  EXPECT_DOUBLE_EQ(decision.vpass, 490.0);  // N(490) = 22 <= 50.
+}
+
+TEST(VpassTuning, VerifyRaisesWhenMarginShrinks) {
+  VpassTuningController ctl(paper_ecc(), 512.0);
+  FakeProbe probe(54, 1.0);  // margin = 2.
+  const auto decision = ctl.verify_or_raise(probe, 490.0);
+  // N must drop to <= 2 -> v >= 510.
+  EXPECT_GE(decision.vpass, 510.0);
+  EXPECT_LE(probe.count_read_zeros(decision.vpass), 2);
+}
+
+TEST(VpassTuning, VerifyNeverLowers) {
+  VpassTuningController ctl(paper_ecc(), 512.0);
+  FakeProbe probe(0, 0.0);  // No zeros anywhere: huge headroom.
+  const auto decision = ctl.verify_or_raise(probe, 500.0);
+  // Action 1 only raises; with headroom it stays put.
+  EXPECT_DOUBLE_EQ(decision.vpass, 500.0);
+}
+
+TEST(VpassTuning, VerifyFallbackResetsToNominal) {
+  VpassTuningController ctl(paper_ecc(), 512.0);
+  FakeProbe probe(60, 1.0);
+  const auto decision = ctl.verify_or_raise(probe, 480.0);
+  EXPECT_TRUE(decision.fallback);
+  EXPECT_DOUBLE_EQ(decision.vpass, 512.0);
+}
+
+TEST(VpassTuning, StepSizeGranularity) {
+  VpassTuningOptions options;
+  options.delta = 8.0;
+  VpassTuningController ctl(paper_ecc(), 512.0, options);
+  FakeProbe probe(6, 1.0);
+  const auto decision = ctl.relearn(probe);
+  const double steps = (512.0 - decision.vpass) / 8.0;
+  EXPECT_NEAR(steps, std::round(steps), 1e-9);
+}
+
+TEST(VpassTuning, FloorRespected) {
+  VpassTuningOptions options;
+  options.min_vpass_frac = 0.98;
+  VpassTuningController ctl(paper_ecc(), 512.0, options);
+  FakeProbe probe(0, 0.0);  // No zeros ever: only the floor stops it.
+  const auto decision = ctl.relearn(probe);
+  EXPECT_GE(decision.vpass, 512.0 * 0.98 - 1e-9);
+}
+
+// --- Monte Carlo integration -------------------------------------------------
+
+TEST(VpassTuningMc, TunedBlockKeepsZerosWithinMargin) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  nand::Chip chip(nand::Geometry{64, 8192, 1}, params, 17);
+  auto& block = chip.block(0);
+  block.add_wear(8000);
+  block.program_random();
+  McBlockProbe probe(block);
+  const ecc::EccModel ecc{ecc::EccConfig::mc_provisioning()};
+  VpassTuningController ctl(ecc, params.vpass_nominal);
+  const auto decision = ctl.relearn(probe);
+  ASSERT_FALSE(decision.fallback);
+  EXPECT_LT(decision.vpass, params.vpass_nominal);
+  EXPECT_LE(block.count_blocked_bitlines(0, decision.vpass), decision.margin);
+}
+
+TEST(VpassTuningMc, WorstPageDiscoveryPicksHighErrorPage) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  nand::Chip chip(nand::Geometry{64, 8192, 1}, params, 18);
+  auto& block = chip.block(0);
+  block.add_wear(8000);
+  block.program_random();
+  McBlockProbe probe(block);
+  const auto worst = probe.worst_page();
+  const int worst_errors = block.count_errors(worst);
+  // No page may beat the discovered worst by more than noise.
+  for (std::uint32_t wl = 0; wl < 64; wl += 7) {
+    EXPECT_LE(block.count_errors({wl, nand::PageKind::kMsb}), worst_errors);
+    EXPECT_LE(block.count_errors({wl, nand::PageKind::kLsb}), worst_errors);
+  }
+}
+
+TEST(VpassTuningMc, ProbeCountsReads) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  nand::Chip chip(nand::Geometry::tiny(), params, 19);
+  auto& block = chip.block(0);
+  block.program_random();
+  McBlockProbe probe(block);
+  const auto initial = probe.reads_used();
+  EXPECT_EQ(initial, 2u * 16u);  // Discovery scan: every page once.
+  probe.measure_worst_page_errors();
+  EXPECT_EQ(probe.reads_used(), initial + 1);
+}
+
+// --- Analytic probe ----------------------------------------------------------
+
+TEST(VpassTuningAnalytic, MirrorsSafeReductionBands) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  const flash::RberModel model(params);
+  const auto ecc = paper_ecc();
+  VpassTuningController ctl(ecc, params.vpass_nominal);
+  // Young data at 8K P/E: the controller should find roughly the Fig. 6
+  // 4% reduction; old data should get almost nothing.
+  AnalyticBlockProbe young(model, ecc, {8000, 1.0, 0.0, 512.0});
+  AnalyticBlockProbe old(model, ecc, {8000, 20.0, 0.0, 512.0});
+  const auto young_decision = ctl.relearn(young);
+  const auto old_decision = ctl.relearn(old);
+  const double young_pct = (512.0 - young_decision.vpass) / 512.0 * 100.0;
+  const double old_pct = (512.0 - old_decision.vpass) / 512.0 * 100.0;
+  EXPECT_NEAR(young_pct, 4.0, 1.0);
+  EXPECT_LT(old_pct, 1.5);
+}
+
+TEST(VpassTuningAnalytic, DisturbLoadShrinksReduction) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  const flash::RberModel model(params);
+  const auto ecc = paper_ecc();
+  VpassTuningController ctl(ecc, params.vpass_nominal);
+  AnalyticBlockProbe idle(model, ecc, {8000, 2.0, 0.0, 512.0});
+  AnalyticBlockProbe hot(model, ecc, {8000, 2.0, 40e3, 512.0});
+  EXPECT_LE(ctl.relearn(idle).vpass, ctl.relearn(hot).vpass);
+}
+
+}  // namespace
+}  // namespace rdsim::core

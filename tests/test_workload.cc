@@ -1,0 +1,168 @@
+// Tests for the workload substrate: Zipf sampling, trace profiles, and
+// the generator.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/generator.h"
+#include "workload/profiles.h"
+#include "workload/zipf.h"
+
+namespace rdsim::workload {
+namespace {
+
+TEST(Zipf, PmfSumsToOne) {
+  for (double theta : {0.0, 0.5, 1.0, 1.2}) {
+    ZipfSampler zipf(1000, theta);
+    double sum = 0;
+    for (std::uint64_t r = 0; r < 1000; ++r) sum += zipf.pmf(r);
+    EXPECT_NEAR(sum, 1.0, 0.01) << "theta=" << theta;
+  }
+}
+
+TEST(Zipf, PmfDecreasing) {
+  ZipfSampler zipf(10000, 0.9);
+  double prev = 1.0;
+  for (std::uint64_t r = 0; r < 100; ++r) {
+    EXPECT_LE(zipf.pmf(r), prev);
+    prev = zipf.pmf(r);
+  }
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  ZipfSampler zipf(100, 0.0);
+  EXPECT_NEAR(zipf.pmf(0), 0.01, 1e-6);
+  EXPECT_NEAR(zipf.pmf(99), 0.01, 1e-6);
+}
+
+TEST(Zipf, SampleFrequencyMatchesPmfHead) {
+  ZipfSampler zipf(100000, 1.0);
+  Rng rng(1);
+  std::map<std::uint64_t, int> counts;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (std::uint64_t r : {0ULL, 1ULL, 5ULL, 20ULL}) {
+    const double expected = zipf.pmf(r) * n;
+    EXPECT_NEAR(counts[r], expected, expected * 0.15 + 15)
+        << "rank=" << r;
+  }
+}
+
+TEST(Zipf, TailSamplesInRange) {
+  ZipfSampler zipf(1u << 22, 0.8);
+  Rng rng(2);
+  for (int i = 0; i < 100000; ++i) EXPECT_LT(zipf.sample(rng), 1u << 22);
+}
+
+TEST(Zipf, TailMassReached) {
+  // With low skew, the continuous tail must actually be sampled.
+  ZipfSampler zipf(1u << 20, 0.3);
+  Rng rng(3);
+  int beyond_head = 0;
+  for (int i = 0; i < 10000; ++i) beyond_head += zipf.sample(rng) >= 4096;
+  EXPECT_GT(beyond_head, 5000);
+}
+
+TEST(Zipf, SingleItem) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(4);
+  EXPECT_EQ(zipf.sample(rng), 0u);
+  EXPECT_NEAR(zipf.pmf(0), 1.0, 1e-12);
+}
+
+TEST(Profiles, SuiteShape) {
+  const auto suite = standard_suite();
+  EXPECT_EQ(suite.size(), 10u);
+  for (const auto& p : suite) {
+    EXPECT_GT(p.read_fraction, 0.0);
+    EXPECT_LT(p.read_fraction, 1.0);
+    EXPECT_GT(p.footprint_fraction, 0.0);
+    EXPECT_LE(p.footprint_fraction, 1.0);
+    EXPECT_GT(p.daily_page_ios, 0.0);
+    EXPECT_GE(p.mean_request_pages, 1.0);
+  }
+}
+
+TEST(Profiles, LookupByName) {
+  EXPECT_EQ(profile_by_name("umass-web").name, "umass-web");
+  EXPECT_NEAR(profile_by_name("umass-web").read_fraction, 0.99, 1e-9);
+  EXPECT_THROW(profile_by_name("no-such-trace"), std::out_of_range);
+}
+
+TEST(Generator, ReadFractionMatchesProfile) {
+  const auto profile = profile_by_name("fiu-mail");
+  TraceGenerator gen(profile, 1u << 20, 7);
+  TraceStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(gen.next());
+  EXPECT_NEAR(stats.read_fraction(), profile.read_fraction, 0.02);
+}
+
+TEST(Generator, LpnsWithinFootprint) {
+  const auto profile = profile_by_name("postmark");
+  TraceGenerator gen(profile, 1u << 20, 8);
+  for (int i = 0; i < 20000; ++i)
+    EXPECT_LT(gen.next().lpn, gen.footprint_pages());
+}
+
+TEST(Generator, DayVolumeApproximatesProfile) {
+  const auto profile = profile_by_name("msr-proj");
+  TraceGenerator gen(profile, 1u << 20, 9);
+  const auto day = gen.day();
+  std::uint64_t pages = 0;
+  for (const auto& r : day) pages += r.pages;
+  EXPECT_NEAR(static_cast<double>(pages), profile.daily_page_ios,
+              profile.daily_page_ios * 0.10);
+}
+
+TEST(Generator, TimesMonotoneWithinDay) {
+  const auto profile = profile_by_name("cello99");
+  TraceGenerator gen(profile, 1u << 20, 10);
+  const auto day = gen.day();
+  ASSERT_GT(day.size(), 10u);
+  for (std::size_t i = 1; i < day.size(); ++i)
+    EXPECT_GE(day[i].time_s, day[i - 1].time_s);
+}
+
+TEST(Generator, ReadAndWriteHotSetsDiffer) {
+  // The decoupling salt must map read rank 0 and write rank 0 to
+  // different logical pages (otherwise hot reads are destroyed by hot
+  // writes and no block ever accumulates disturb).
+  const auto profile = profile_by_name("umass-web");
+  TraceGenerator gen(profile, 1u << 20, 11);
+  std::map<std::uint64_t, int> read_counts, write_counts;
+  for (int i = 0; i < 200000; ++i) {
+    const auto r = gen.next();
+    ++(r.is_write ? write_counts : read_counts)[r.lpn];
+  }
+  std::uint64_t hottest_read = 0, hottest_write = 0;
+  int best_r = 0, best_w = 0;
+  for (const auto& [lpn, c] : read_counts)
+    if (c > best_r) { best_r = c; hottest_read = lpn; }
+  for (const auto& [lpn, c] : write_counts)
+    if (c > best_w) { best_w = c; hottest_write = lpn; }
+  EXPECT_NE(hottest_read, hottest_write);
+}
+
+TEST(Generator, DeterministicForSeed) {
+  const auto profile = profile_by_name("fiu-homes");
+  TraceGenerator a(profile, 1u << 20, 12), b(profile, 1u << 20, 12);
+  for (int i = 0; i < 1000; ++i) {
+    const auto ra = a.next(), rb = b.next();
+    EXPECT_EQ(ra.lpn, rb.lpn);
+    EXPECT_EQ(ra.is_write, rb.is_write);
+    EXPECT_EQ(ra.pages, rb.pages);
+  }
+}
+
+TEST(TraceStats, Accumulates) {
+  TraceStats stats;
+  stats.add({0.0, 1, 4, false});
+  stats.add({1.0, 2, 2, true});
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.read_pages, 4u);
+  EXPECT_EQ(stats.write_pages, 2u);
+  EXPECT_NEAR(stats.read_fraction(), 4.0 / 6.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rdsim::workload
