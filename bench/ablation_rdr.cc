@@ -2,63 +2,13 @@
 // threshold (prone_factor), boundary-window margin, induced read count,
 // and read-retry resolution — at the paper's headline operating point
 // (8K P/E, 1M read disturbs).
-#include <cstdio>
+//
+// This binary is a thin wrapper: the sweep itself lives in src/sim/ as the
+// registered experiment "ablation_rdr" and is also reachable through the unified
+// driver (`rdsim --experiment ablation_rdr`). Run with --help for the shared
+// flags (--seed, --threads, --out-dir, ...).
+#include "sim/bench_main.h"
 
-#include "core/rdr.h"
-#include "nand/chip.h"
-
-using namespace rdsim;
-
-namespace {
-
-double reduction_with(const core::RdrOptions& options) {
-  const auto params = flash::FlashModelParams::default_2ynm();
-  nand::Chip chip(nand::Geometry::characterization(), params, 42);
-  auto& block = chip.block(0);
-  block.add_wear(8000);
-  block.program_random();
-  block.apply_reads(31, 1e6);
-  const core::ReadDisturbRecovery rdr(options);
-  const auto r = rdr.recover(block, 30);
-  return (1.0 - r.rber_after() / r.rber_before()) * 100.0;
-}
-
-}  // namespace
-
-int main() {
-  std::printf("# Ablation: RDR design choices (8K P/E, 1M disturbs; "
-              "paper headline: 36%% reduction)\n");
-
-  std::printf("\n# (a) classification threshold prone_factor\n");
-  std::printf("prone_factor,rber_reduction_pct\n");
-  for (const double pf : {1.2, 1.6, 2.0, 2.5, 3.0}) {
-    core::RdrOptions o;
-    o.prone_factor = pf;
-    std::printf("%.1f,%.1f\n", pf, reduction_with(o));
-  }
-
-  std::printf("\n# (b) boundary window upper margin (units)\n");
-  std::printf("upper_margin,rber_reduction_pct\n");
-  for (const double m : {0.0, 3.0, 6.0, 12.0, 24.0}) {
-    core::RdrOptions o;
-    o.upper_margin = m;
-    std::printf("%.0f,%.1f\n", m, reduction_with(o));
-  }
-
-  std::printf("\n# (c) induced disturb count\n");
-  std::printf("extra_reads,rber_reduction_pct\n");
-  for (const double n : {25e3, 50e3, 100e3, 200e3, 400e3}) {
-    core::RdrOptions o;
-    o.extra_reads = n;
-    std::printf("%.0f,%.1f\n", n, reduction_with(o));
-  }
-
-  std::printf("\n# (d) read-retry resolution\n");
-  std::printf("retry_step,rber_reduction_pct\n");
-  for (const double s : {0.25, 0.5, 1.0, 2.0, 4.0}) {
-    core::RdrOptions o;
-    o.retry_step = s;
-    std::printf("%.2f,%.1f\n", s, reduction_with(o));
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return rdsim::sim::bench_main("ablation_rdr", argc, argv);
 }

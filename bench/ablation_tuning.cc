@@ -2,67 +2,13 @@
 // depends on (a) the tuning step size delta, (b) the reserved ECC margin,
 // and (c) the tuning cadence — the design choices the paper fixes at
 // delta = minimum resolution, 20% reserve, daily tuning.
-#include <cstdio>
-#include <vector>
+//
+// This binary is a thin wrapper: the sweep itself lives in src/sim/ as the
+// registered experiment "ablation_tuning" and is also reachable through the unified
+// driver (`rdsim --experiment ablation_tuning`). Run with --help for the shared
+// flags (--seed, --threads, --out-dir, ...).
+#include "sim/bench_main.h"
 
-#include "core/endurance.h"
-#include "ecc/ecc_model.h"
-#include "flash/rber_model.h"
-
-using namespace rdsim;
-
-int main() {
-  const auto params = flash::FlashModelParams::default_2ynm();
-  const flash::RberModel model(params);
-  const double reads_per_interval = 300e3;
-
-  std::printf("# Ablation: Vpass Tuning design choices "
-              "(read-hot block, %.0fK reads/interval)\n",
-              reads_per_interval / 1000);
-
-  std::printf("\n# (a) tuning step size delta (normalized units)\n");
-  std::printf("delta,endurance_tuned,gain_pct\n");
-  {
-    const ecc::EccModel ecc{ecc::EccConfig::paper_provisioning()};
-    const core::EnduranceEvaluator base_eval(model, ecc);
-    const double base = base_eval.endurance_pe(reads_per_interval, false);
-    for (const double delta : {1.0, 2.0, 4.0, 8.0, 16.0}) {
-      core::EnduranceOptions opt;
-      opt.tuning_delta = delta;
-      const core::EnduranceEvaluator eval(model, ecc, opt);
-      const double tuned = eval.endurance_pe(reads_per_interval, true);
-      std::printf("%.0f,%.0f,%+.1f\n", delta, tuned,
-                  (tuned / base - 1.0) * 100.0);
-    }
-  }
-
-  std::printf("\n# (b) reserved ECC margin\n");
-  std::printf("reserved_pct,endurance_tuned,gain_pct\n");
-  for (const double reserve : {0.0, 0.10, 0.20, 0.30, 0.40}) {
-    ecc::EccConfig cfg = ecc::EccConfig::paper_provisioning();
-    cfg.reserved_margin = reserve;
-    const ecc::EccModel ecc{cfg};
-    const core::EnduranceEvaluator eval(model, ecc);
-    const double base = eval.endurance_pe(reads_per_interval, false);
-    const double tuned = eval.endurance_pe(reads_per_interval, true);
-    std::printf("%.0f,%.0f,%+.1f\n", reserve * 100, tuned,
-                (tuned / base - 1.0) * 100.0);
-  }
-
-  std::printf("\n# (c) refresh interval (tuning is daily; longer intervals "
-              "accumulate more disturb)\n");
-  std::printf("refresh_days,endurance_baseline,endurance_tuned,gain_pct\n");
-  for (const double days : {3.0, 7.0, 14.0, 21.0}) {
-    const ecc::EccModel ecc{ecc::EccConfig::paper_provisioning()};
-    core::EnduranceOptions opt;
-    opt.refresh_interval_days = days;
-    const core::EnduranceEvaluator eval(model, ecc, opt);
-    // Scale pressure with interval length (same daily read rate).
-    const double reads = reads_per_interval / 7.0 * days;
-    const double base = eval.endurance_pe(reads, false);
-    const double tuned = eval.endurance_pe(reads, true);
-    std::printf("%.0f,%.0f,%.0f,%+.1f\n", days, base, tuned,
-                (tuned / base - 1.0) * 100.0);
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return rdsim::sim::bench_main("ablation_tuning", argc, argv);
 }

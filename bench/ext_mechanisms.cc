@@ -4,88 +4,13 @@
 //  (c) early 3D NAND vs planar 2Y-nm read disturb rates;
 //  (d) concentrated (neighbor-boosted) read disturb, per Zambelli et al.;
 //  (e) PARA closing the DRAM RowHammer vulnerability.
-#include <cstdio>
+//
+// This binary is a thin wrapper: the sweep itself lives in src/sim/ as the
+// registered experiment "ext_mechanisms" and is also reachable through the unified
+// driver (`rdsim --experiment ext_mechanisms`). Run with --help for the shared
+// flags (--seed, --threads, --out-dir, ...).
+#include "sim/bench_main.h"
 
-#include "core/rfr.h"
-#include "core/vref_optimizer.h"
-#include "dram/rowhammer.h"
-#include "flash/rber_model.h"
-#include "nand/chip.h"
-
-using namespace rdsim;
-
-int main() {
-  const auto planar = flash::FlashModelParams::default_2ynm();
-
-  std::printf("# (a) RFR: retention-error recovery vs age (12K P/E)\n");
-  std::printf("age_days,rber_before,rber_after,reduction_pct\n");
-  for (const double days : {10.0, 20.0, 40.0, 60.0}) {
-    nand::Chip chip(nand::Geometry::characterization(), planar, 3);
-    auto& b = chip.block(0);
-    b.add_wear(12000);
-    b.program_random();
-    b.advance_time(days);
-    const auto r = core::RetentionFailureRecovery().recover(b, 30);
-    std::printf("%.0f,%.6g,%.6g,%.1f\n", days, r.rber_before(),
-                r.rber_after(),
-                (1.0 - r.rber_after() / r.rber_before()) * 100.0);
-  }
-
-  std::printf("\n# (b) Vref optimization vs factory refs "
-              "(8K P/E, aged + disturbed)\n");
-  std::printf("age_days,errors_default,errors_learned\n");
-  for (const double days : {0.0, 7.0, 14.0, 21.0}) {
-    nand::Chip chip(nand::Geometry::characterization(), planar, 4);
-    auto& b = chip.block(0);
-    b.add_wear(8000);
-    b.program_random();
-    b.advance_time(days);
-    b.apply_reads(31, 3e5);
-    const core::VrefOptimizer optimizer;
-    const auto learned = optimizer.learn(b, 30);
-    std::printf("%.0f,%d,%d\n", days,
-                core::VrefOptimizer::count_errors_with_refs(
-                    b, 30, core::VrefOptimizer::defaults(b)),
-                core::VrefOptimizer::count_errors_with_refs(b, 30, learned));
-  }
-
-  std::printf("\n# (c) planar 2Y-nm vs early 3D NAND read disturb\n");
-  std::printf("technology,slope_8k,errors_at_1m_reads\n");
-  for (const bool is_3d : {false, true}) {
-    const auto params =
-        is_3d ? flash::FlashModelParams::early_3d_nand() : planar;
-    const flash::RberModel model(params);
-    nand::Chip chip(nand::Geometry::characterization(), params, 5);
-    auto& b = chip.block(0);
-    b.add_wear(8000);
-    b.program_random();
-    b.apply_reads(31, 1e6);
-    std::printf("%s,%.3g,%d\n", is_3d ? "3d-early" : "planar-2ynm",
-                model.disturb_slope(8000),
-                b.count_errors({30, nand::PageKind::kMsb}));
-  }
-
-  std::printf("\n# (d) concentrated read disturb: errors by distance from "
-              "the hammered wordline (boost=30, 300K reads)\n");
-  std::printf("distance,errors\n");
-  {
-    auto params = planar;
-    params.neighbor_dose_boost = 30.0;
-    nand::Chip chip(nand::Geometry::characterization(), params, 6);
-    auto& b = chip.block(0);
-    b.add_wear(8000);
-    b.program_random();
-    b.apply_reads(31, 3e5);
-    for (const std::uint32_t wl : {30u, 32u, 29u, 35u, 20u, 10u}) {
-      std::printf("%d,%d\n", std::abs(static_cast<int>(wl) - 31),
-                  b.count_errors({wl, nand::PageKind::kMsb}));
-    }
-  }
-
-  std::printf("\n# (e) PARA: RowHammer error scale vs refresh probability\n");
-  std::printf("para_probability,error_scale\n");
-  for (const double p : {0.0, 1e-6, 1e-5, 5e-5, 1e-4, 2e-4, 1e-3}) {
-    std::printf("%.0e,%.4g\n", p, dram::para_error_scale(p));
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return rdsim::sim::bench_main("ext_mechanisms", argc, argv);
 }

@@ -4,66 +4,13 @@
 //
 // Output: CSV with one row per Vth bin: bin, pdf@0, pdf@250K, pdf@500K,
 // pdf@1M.
-#include <cstdio>
-#include <vector>
+//
+// This binary is a thin wrapper: the sweep itself lives in src/sim/ as the
+// registered experiment "fig02" and is also reachable through the unified
+// driver (`rdsim --experiment fig02`). Run with --help for the shared
+// flags (--seed, --threads, --out-dir, ...).
+#include "sim/bench_main.h"
 
-#include "common/histogram.h"
-#include "nand/chip.h"
-
-using namespace rdsim;
-
-namespace {
-
-Histogram scan_distribution(double reads, std::uint64_t seed) {
-  const auto params = flash::FlashModelParams::default_2ynm();
-  nand::Chip chip(nand::Geometry::characterization(), params, seed);
-  auto& block = chip.block(0);
-  block.add_wear(8000);
-  block.program_random();
-  Histogram hist(0.0, 520.0, 130);  // 4-unit bins, like the retry grid.
-  const auto wls = block.geometry().wordlines_per_block;
-  // Disturb all wordlines by addressing reads at a rotating sibling, then
-  // scan a sample of wordlines.
-  if (reads > 0) {
-    for (std::uint32_t w = 0; w < wls; ++w)
-      block.apply_reads(w, reads / wls);
-  }
-  for (std::uint32_t w = 0; w < wls; w += 4) {
-    const auto scan = block.read_retry_scan(w, 0.0, 520.0, 2.0);
-    for (const double v : scan) hist.add(v);
-  }
-  return hist;
-}
-
-}  // namespace
-
-int main() {
-  const std::vector<double> read_counts = {0.0, 250e3, 500e3, 1e6};
-  std::vector<Histogram> hists;
-  hists.reserve(read_counts.size());
-  for (const double n : read_counts) hists.push_back(scan_distribution(n, 42));
-
-  std::printf("# Fig 2: Vth distribution before/after read disturb "
-              "(8K P/E block, normalized scale, Vpass nominal = 512)\n");
-  std::printf("vth,pdf_0,pdf_250k,pdf_500k,pdf_1m\n");
-  for (std::size_t i = 0; i < hists[0].bin_count(); ++i) {
-    std::printf("%.1f", hists[0].bin_center(i));
-    for (const auto& h : hists) std::printf(",%.6g", h.pdf(i));
-    std::printf("\n");
-  }
-
-  // Fig. 2b companion: mean ER-state voltage per read count (quantifies
-  // the "shift increases with reads, larger for lower Vth" finding).
-  std::printf("\n# Fig 2b summary: ER-region (v < 105) mean Vth vs reads\n");
-  std::printf("reads,er_mean_vth\n");
-  for (std::size_t k = 0; k < read_counts.size(); ++k) {
-    double mass = 0.0, sum = 0.0;
-    for (std::size_t i = 0; i < hists[k].bin_count(); ++i) {
-      if (hists[k].bin_center(i) >= 105.0) break;
-      sum += hists[k].bin_center(i) * hists[k].mass(i);
-      mass += hists[k].mass(i);
-    }
-    std::printf("%.0f,%.2f\n", read_counts[k], mass > 0 ? sum / mass : 0.0);
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return rdsim::sim::bench_main("fig02", argc, argv);
 }

@@ -2,52 +2,13 @@
 // with 2K..15K P/E cycles of wear, plus the slope table the paper prints
 // alongside it (RBER per read, fitted by least squares) compared against
 // the paper's published slopes.
-#include <cstdio>
-#include <vector>
+//
+// This binary is a thin wrapper: the sweep itself lives in src/sim/ as the
+// registered experiment "fig03" and is also reachable through the unified
+// driver (`rdsim --experiment fig03`). Run with --help for the shared
+// flags (--seed, --threads, --out-dir, ...).
+#include "sim/bench_main.h"
 
-#include "common/stats.h"
-#include "flash/rber_model.h"
-
-using namespace rdsim;
-
-int main() {
-  const auto params = flash::FlashModelParams::default_2ynm();
-  const flash::RberModel model(params);
-  const std::vector<double> pe_levels = {2000, 3000, 4000, 5000,
-                                         8000, 10000, 15000};
-  const std::vector<double> paper_slopes = {1.00e-9, 1.63e-9, 2.37e-9,
-                                            3.74e-9, 7.50e-9, 9.10e-9,
-                                            1.90e-8};
-  // Characterization conditions: short retention age, nominal Vpass.
-  const double age_days = 0.5;
-  const double vpass = params.vpass_nominal;
-
-  std::printf("# Fig 3: RBER vs read disturb count at 2K-15K P/E\n");
-  std::printf("reads");
-  for (const double pe : pe_levels) std::printf(",pe_%.0fk", pe / 1000);
-  std::printf("\n");
-  std::vector<std::vector<double>> series(pe_levels.size());
-  std::vector<double> xs;
-  for (double reads = 0; reads <= 100e3; reads += 10e3) {
-    xs.push_back(reads);
-    std::printf("%.0f", reads);
-    for (std::size_t i = 0; i < pe_levels.size(); ++i) {
-      const double rber =
-          model.total_rber({pe_levels[i], age_days, reads, vpass});
-      series[i].push_back(rber);
-      std::printf(",%.6g", rber);
-    }
-    std::printf("\n");
-  }
-
-  std::printf("\n# Slope table (RBER per read), fitted vs paper\n");
-  std::printf("pe_cycles,fitted_slope,paper_slope,error_pct\n");
-  for (std::size_t i = 0; i < pe_levels.size(); ++i) {
-    const auto fit = fit_line(xs, series[i]);
-    const double err =
-        (fit.slope - paper_slopes[i]) / paper_slopes[i] * 100.0;
-    std::printf("%.0f,%.3g,%.3g,%+.1f\n", pe_levels[i], fit.slope,
-                paper_slopes[i], err);
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return rdsim::sim::bench_main("fig03", argc, argv);
 }

@@ -6,62 +6,13 @@
 // As in the paper's experiment, the sweep isolates the disturb effect of
 // the lowered Vpass (mimicked there via read-retry Vref); pass-through
 // errors are studied separately in Fig. 5.
-#include <cmath>
-#include <cstdio>
-#include <vector>
+//
+// This binary is a thin wrapper: the sweep itself lives in src/sim/ as the
+// registered experiment "fig04" and is also reachable through the unified
+// driver (`rdsim --experiment fig04`). Run with --help for the shared
+// flags (--seed, --threads, --out-dir, ...).
+#include "sim/bench_main.h"
 
-#include "flash/rber_model.h"
-
-using namespace rdsim;
-
-int main() {
-  const auto params = flash::FlashModelParams::default_2ynm();
-  const flash::RberModel model(params);
-  const double pe = 8000.0;
-  const double age = 0.5;
-  const std::vector<double> fractions = {0.94, 0.95, 0.96, 0.97,
-                                         0.98, 0.99, 1.00};
-
-  std::printf("# Fig 4: RBER vs read disturb count for relaxed Vpass "
-              "(8K P/E)\n");
-  std::printf("reads");
-  for (const double f : fractions) std::printf(",vpass_%.0f%%", f * 100);
-  std::printf("\n");
-  for (double lg = 4.0; lg <= 9.0 + 1e-9; lg += 0.25) {
-    const double reads = std::pow(10.0, lg);
-    std::printf("%.4g", reads);
-    for (const double f : fractions) {
-      const double vpass = params.vpass_nominal * f;
-      const double rber = model.base_rber(pe) +
-                          model.retention_rber(pe, age) +
-                          model.disturb_rber(pe, reads, vpass);
-      std::printf(",%.6g", rber);
-    }
-    std::printf("\n");
-  }
-
-  const double at100k_nominal =
-      model.base_rber(pe) + model.retention_rber(pe, age) +
-      model.disturb_rber(pe, 100e3, params.vpass_nominal);
-  const double at100k_98 =
-      model.base_rber(pe) + model.retention_rber(pe, age) +
-      model.disturb_rber(pe, 100e3, params.vpass_nominal * 0.98);
-  std::printf("\n# Headline check: RBER at 100K reads, 100%% vs 98%% Vpass\n");
-  std::printf("rber_100pct,rber_98pct,reduction_pct\n");
-  std::printf("%.6g,%.6g,%.1f\n", at100k_nominal, at100k_98,
-              (1.0 - at100k_98 / at100k_nominal) * 100.0);
-
-  // Iso-RBER tolerable read counts: "a decrease in Vpass exponentially
-  // increases the number of tolerable read disturbs".
-  std::printf("\n# Tolerable reads before RBER reaches 1.5e-3, by Vpass\n");
-  std::printf("vpass_pct,tolerable_reads\n");
-  const double target = 1.5e-3;
-  for (const double f : fractions) {
-    const double vpass = params.vpass_nominal * f;
-    const double fixed = model.base_rber(pe) + model.retention_rber(pe, age);
-    const double per_read = model.disturb_rber(pe, 1.0, vpass);
-    const double reads = (target - fixed) / per_read;
-    std::printf("%.0f,%.4g\n", f * 100, reads);
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return rdsim::sim::bench_main("fig04", argc, argv);
 }

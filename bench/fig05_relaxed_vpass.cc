@@ -2,43 +2,13 @@
 // the pass-through voltage, across data retention ages 0..21 days
 // (8K P/E block). Older data tolerates a given relaxation better because
 // retention loss lowers every cell's threshold voltage.
-#include <cstdio>
-#include <vector>
+//
+// This binary is a thin wrapper: the sweep itself lives in src/sim/ as the
+// registered experiment "fig05" and is also reachable through the unified
+// driver (`rdsim --experiment fig05`). Run with --help for the shared
+// flags (--seed, --threads, --out-dir, ...).
+#include "sim/bench_main.h"
 
-#include "flash/rber_model.h"
-
-using namespace rdsim;
-
-int main() {
-  const auto params = flash::FlashModelParams::default_2ynm();
-  const flash::RberModel model(params);
-  const std::vector<double> ages = {0, 1, 2, 6, 9, 17, 21};
-
-  std::printf("# Fig 5: additional RBER from relaxed Vpass vs retention "
-              "age (8K P/E)\n");
-  std::printf("vpass");
-  for (const double t : ages) std::printf(",age_%gd", t);
-  std::printf("\n");
-  for (double v = 480.0; v <= 512.0 + 1e-9; v += 1.0) {
-    std::printf("%.0f", v);
-    for (const double t : ages)
-      std::printf(",%.6g", model.pass_through_rber(v, t));
-    std::printf("\n");
-  }
-
-  // "Vpass can be lowered to some degree without inducing any read
-  // errors": the error-free relaxation, defined as less than one expected
-  // additional bit error per 8 KiB page read.
-  const double one_bit_per_page = 1.0 / 65536.0;
-  std::printf("\n# Largest relaxation with < 1 additional error per page "
-              "read, per age\n");
-  std::printf("age_days,free_relaxation_units\n");
-  for (const double t : ages) {
-    double v = params.vpass_nominal;
-    while (v > 480.0 &&
-           model.pass_through_rber(v - 1.0, t) < one_bit_per_page)
-      v -= 1.0;
-    std::printf("%g,%.0f\n", t, params.vpass_nominal - v);
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return rdsim::sim::bench_main("fig05", argc, argv);
 }

@@ -2,39 +2,13 @@
 // retention period for a block with 8K P/E cycles of wear, the ECC
 // correction capability with its 20% reserved margin, and the annotation
 // row — the maximum safe Vpass reduction percentage per retention age.
-#include <cstdio>
+//
+// This binary is a thin wrapper: the sweep itself lives in src/sim/ as the
+// registered experiment "fig06" and is also reachable through the unified
+// driver (`rdsim --experiment fig06`). Run with --help for the shared
+// flags (--seed, --threads, --out-dir, ...).
+#include "sim/bench_main.h"
 
-#include "flash/rber_model.h"
-
-using namespace rdsim;
-
-int main() {
-  const auto params = flash::FlashModelParams::default_2ynm();
-  const flash::RberModel model(params);
-  const double pe = 8000.0;
-
-  std::printf("# Fig 6: RBER vs retention age and tolerable Vpass "
-              "reduction (8K P/E, no read disturb)\n");
-  std::printf("# ECC correction capability RBER = %.4g, reserved margin = "
-              "%.0f%%, usable = %.4g\n",
-              params.ecc_capability_rber, params.ecc_reserved_margin * 100,
-              model.usable_ecc_rber());
-  std::printf("retention_days,expected_rber,margin_rber,"
-              "safe_vpass_reduction_pct\n");
-  for (int day = 1; day <= 21; ++day) {
-    const double rber = model.base_rber(pe) + model.retention_rber(pe, day);
-    const double margin = model.usable_ecc_rber() - rber;
-    const int pct = model.safe_vpass_reduction_percent(pe, day);
-    std::printf("%d,%.6g,%.6g,%d\n", day, rber, margin > 0 ? margin : 0.0,
-                pct);
-  }
-
-  std::printf("\n# Paper check: max reduction is 4%% while retention age "
-              "< 4 days\n");
-  std::printf("day1,day2,day3,day4\n");
-  std::printf("%d,%d,%d,%d\n", model.safe_vpass_reduction_percent(pe, 1),
-              model.safe_vpass_reduction_percent(pe, 2),
-              model.safe_vpass_reduction_percent(pe, 3),
-              model.safe_vpass_reduction_percent(pe, 4));
-  return 0;
+int main(int argc, char** argv) {
+  return rdsim::sim::bench_main("fig06", argc, argv);
 }

@@ -4,54 +4,13 @@
 // of the read-disturb component, so the peak at the end of each interval
 // drops — the gap between the two curves is the paper's "error reduction
 // from mitigation".
-#include <cstdio>
+//
+// This binary is a thin wrapper: the sweep itself lives in src/sim/ as the
+// registered experiment "fig07" and is also reachable through the unified
+// driver (`rdsim --experiment fig07`). Run with --help for the shared
+// flags (--seed, --threads, --out-dir, ...).
+#include "sim/bench_main.h"
 
-#include "core/endurance.h"
-#include "ecc/ecc_model.h"
-#include "flash/rber_model.h"
-
-using namespace rdsim;
-
-int main() {
-  const auto params = flash::FlashModelParams::default_2ynm();
-  const flash::RberModel model(params);
-  const ecc::EccModel ecc{ecc::EccConfig::paper_provisioning()};
-  const core::EnduranceEvaluator evaluator(model, ecc);
-
-  const double pe = 8000.0;
-  const double reads_per_interval = 200e3;  // A read-hot block.
-  const int intervals = 4;
-  const double interval_days = evaluator.options().refresh_interval_days;
-
-  std::printf("# Fig 7: error rate over refresh intervals, baseline vs "
-              "Vpass Tuning (8K P/E, %.0fK reads/interval)\n",
-              reads_per_interval / 1000);
-  std::printf("day,rber_baseline,rber_tuned,ecc_capability\n");
-  for (int i = 0; i < intervals; ++i) {
-    for (int d = 0; d <= static_cast<int>(interval_days); ++d) {
-      // Partial-interval simulation: reads accumulated proportionally.
-      const double frac = d / interval_days;
-      const auto base = evaluator.simulate_interval(
-          pe, reads_per_interval * frac, /*tuning=*/false);
-      const auto tuned = evaluator.simulate_interval(
-          pe, reads_per_interval * frac, /*tuning=*/true);
-      // Rescale the retention component to day d rather than interval end.
-      const double ret_adj = model.retention_rber(pe, d) -
-                             model.retention_rber(pe, interval_days);
-      std::printf("%d,%.6g,%.6g,%.4g\n",
-                  i * static_cast<int>(interval_days) + d,
-                  base.peak_rber + 1.3 * ret_adj,
-                  tuned.peak_rber + 1.3 * ret_adj,
-                  params.ecc_capability_rber);
-    }
-  }
-
-  const auto base = evaluator.simulate_interval(pe, reads_per_interval, false);
-  const auto tuned = evaluator.simulate_interval(pe, reads_per_interval, true);
-  std::printf("\n# Peak reduction from mitigation\n");
-  std::printf("peak_baseline,peak_tuned,reduction_pct,mean_vpass_reduction_pct\n");
-  std::printf("%.6g,%.6g,%.1f,%.2f\n", base.peak_rber, tuned.peak_rber,
-              (1.0 - tuned.peak_rber / base.peak_rber) * 100.0,
-              tuned.mean_vpass_reduction_pct);
-  return 0;
+int main(int argc, char** argv) {
+  return rdsim::sim::bench_main("fig07", argc, argv);
 }

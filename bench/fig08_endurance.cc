@@ -4,57 +4,13 @@
 // limiting (hottest) block; endurance is then the largest wear level at
 // which that block still survives an interval. The paper reports a 21%
 // average endurance improvement.
-#include <cstdio>
-#include <vector>
+//
+// This binary is a thin wrapper: the sweep itself lives in src/sim/ as the
+// registered experiment "fig08" and is also reachable through the unified
+// driver (`rdsim --experiment fig08`). Run with --help for the shared
+// flags (--seed, --threads, --out-dir, ...).
+#include "sim/bench_main.h"
 
-#include "core/endurance.h"
-#include "ecc/ecc_model.h"
-#include "flash/rber_model.h"
-#include "ssd/ssd.h"
-#include "workload/generator.h"
-#include "workload/profiles.h"
-
-using namespace rdsim;
-
-int main() {
-  const auto params = flash::FlashModelParams::default_2ynm();
-  const flash::RberModel model(params);
-  const ecc::EccModel ecc{ecc::EccConfig::paper_provisioning()};
-  const core::EnduranceEvaluator evaluator(model, ecc);
-
-  std::printf("# Fig 8: endurance improvement with Vpass Tuning\n");
-  std::printf("workload,reads_per_interval,endurance_baseline,"
-              "endurance_tuned,improvement_pct\n");
-
-  double improvement_sum = 0.0;
-  int count = 0;
-  for (const auto& profile : workload::standard_suite()) {
-    ssd::SsdConfig config;
-    config.ftl.blocks = 1024;
-    config.ftl.pages_per_block = 256;
-    config.vpass_tuning = false;  // Pressure measurement only.
-    ssd::Ssd drive(config, params, 7);
-
-    workload::TraceGenerator gen(profile, drive.ftl().config().logical_pages(),
-                                 1234);
-    // Warm the drive (fill the logical space once), then replay one
-    // refresh interval to observe steady-state block read pressure.
-    for (std::uint64_t lpn = 0; lpn < drive.ftl().config().logical_pages();
-         ++lpn)
-      drive.ftl_mut().write(lpn);
-    for (int day = 0; day < 7; ++day) drive.run_day(gen.day());
-
-    const double reads_per_interval =
-        static_cast<double>(drive.max_reads_per_interval());
-    const double base = evaluator.endurance_pe(reads_per_interval, false);
-    const double tuned = evaluator.endurance_pe(reads_per_interval, true);
-    const double gain = (tuned / base - 1.0) * 100.0;
-    improvement_sum += gain;
-    ++count;
-    std::printf("%s,%.0f,%.0f,%.0f,%+.1f\n", profile.name.c_str(),
-                reads_per_interval, base, tuned, gain);
-  }
-  std::printf("\n# Average improvement (paper: 21.0%%)\n");
-  std::printf("average_improvement_pct\n%.1f\n", improvement_sum / count);
-  return 0;
+int main(int argc, char** argv) {
+  return rdsim::sim::bench_main("fig08", argc, argv);
 }

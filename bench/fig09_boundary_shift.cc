@@ -2,45 +2,13 @@
 // boundary before and after read disturb, showing why errors appear —
 // the disturb-prone tail of ER crosses the read reference Va while
 // disturb-resistant cells barely move.
-#include <cstdio>
+//
+// This binary is a thin wrapper: the sweep itself lives in src/sim/ as the
+// registered experiment "fig09" and is also reachable through the unified
+// driver (`rdsim --experiment fig09`). Run with --help for the shared
+// flags (--seed, --threads, --out-dir, ...).
+#include "sim/bench_main.h"
 
-#include "common/histogram.h"
-#include "nand/chip.h"
-
-using namespace rdsim;
-
-namespace {
-
-void emit(const char* tag, nand::Block& block, std::uint32_t wl) {
-  Histogram er(0.0, 200.0, 100), p1(0.0, 200.0, 100);
-  const auto scan = block.read_retry_scan(wl, 0.0, 520.0, 1.0);
-  for (std::uint32_t bl = 0; bl < block.geometry().bitlines; ++bl) {
-    const auto& cell = block.cell(wl, bl);
-    if (cell.programmed == flash::CellState::kEr)
-      er.add(scan[bl]);
-    else if (cell.programmed == flash::CellState::kP1)
-      p1.add(scan[bl]);
-  }
-  std::printf("\n# %s\n", tag);
-  std::printf("vth,pdf_er,pdf_p1\n");
-  for (std::size_t i = 0; i < er.bin_count(); ++i)
-    std::printf("%.0f,%.6g,%.6g\n", er.bin_center(i), er.pdf(i), p1.pdf(i));
-}
-
-}  // namespace
-
-int main() {
-  const auto params = flash::FlashModelParams::default_2ynm();
-  nand::Chip chip(nand::Geometry::characterization(), params, 99);
-  auto& block = chip.block(0);
-  block.add_wear(8000);
-  block.program_random();
-
-  std::printf("# Fig 9: ER/P1 distributions before/after read disturb "
-              "(Va = %.0f)\n", params.vref_a);
-  const std::uint32_t wl = 10;
-  emit("(a) no read disturb", block, wl);
-  block.apply_reads(wl + 1, 1e6);
-  emit("(b) after 1M read disturbs", block, wl);
-  return 0;
+int main(int argc, char** argv) {
+  return rdsim::sim::bench_main("fig09", argc, argv);
 }

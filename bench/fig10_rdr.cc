@@ -4,55 +4,13 @@
 // below that point the "RDR" curve coincides with no-recovery because the
 // mechanism is never invoked. The paper reports the reduction growing
 // from a few percent to 36% at 1M reads.
-#include <cstdio>
-#include <vector>
+//
+// This binary is a thin wrapper: the sweep itself lives in src/sim/ as the
+// registered experiment "fig10" and is also reachable through the unified
+// driver (`rdsim --experiment fig10`). Run with --help for the shared
+// flags (--seed, --threads, --out-dir, ...).
+#include "sim/bench_main.h"
 
-#include "core/rdr.h"
-#include "ecc/ecc_model.h"
-#include "nand/chip.h"
-
-using namespace rdsim;
-
-int main() {
-  const auto params = flash::FlashModelParams::default_2ynm();
-  const ecc::EccModel ecc{ecc::EccConfig::paper_provisioning()};
-  // Page capability for the MC chip's 8192-cell (16384-bit) pages: two
-  // 1 KiB codewords.
-  const int page_capability = ecc.capability() * 2;
-
-  std::printf("# Fig 10: RBER vs read disturb count, no recovery vs RDR "
-              "(8K P/E)\n");
-  std::printf("# RDR engages when page errors exceed the ECC capability "
-              "(%d bits/page)\n", page_capability);
-  std::printf("reads,rber_no_recovery,rber_rdr,reduction_pct,engaged\n");
-
-  const core::ReadDisturbRecovery rdr;
-  for (double reads = 0; reads <= 1e6 + 1; reads += 100e3) {
-    // Fresh chip per point: each x-value is an independent experiment, as
-    // in the paper's per-read-count measurements.
-    nand::Chip chip(nand::Geometry::characterization(), params, 42);
-    auto& block = chip.block(0);
-    block.add_wear(8000);
-    block.program_random();
-    const std::uint32_t wl = 30;
-    if (reads > 0) block.apply_reads(wl + 1, reads);
-
-    const int lsb_errors = block.count_errors({wl, nand::PageKind::kLsb});
-    const int msb_errors = block.count_errors({wl, nand::PageKind::kMsb});
-    const double bits = 2.0 * block.geometry().bitlines;
-    const double rber_before = (lsb_errors + msb_errors) / bits;
-
-    const bool engaged =
-        lsb_errors > page_capability || msb_errors > page_capability;
-    double rber_after = rber_before;
-    if (engaged) {
-      const auto result = rdr.recover(block, wl);
-      rber_after = result.rber_after();
-    }
-    std::printf("%.0f,%.6g,%.6g,%.1f,%d\n", reads, rber_before, rber_after,
-                rber_before > 0 ? (1.0 - rber_after / rber_before) * 100.0
-                                : 0.0,
-                engaged ? 1 : 0);
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return rdsim::sim::bench_main("fig10", argc, argv);
 }

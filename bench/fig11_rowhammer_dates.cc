@@ -1,36 +1,13 @@
 // Regenerates Fig. 11 (related work, reproduced in the retrospective from
 // the ISCA 2014 RowHammer paper): RowHammer error rate vs. manufacture
 // date for a 129-module population from manufacturers A, B, and C.
-#include <cstdio>
+//
+// This binary is a thin wrapper: the sweep itself lives in src/sim/ as the
+// registered experiment "fig11" and is also reachable through the unified
+// driver (`rdsim --experiment fig11`). Run with --help for the shared
+// flags (--seed, --threads, --out-dir, ...).
+#include "sim/bench_main.h"
 
-#include "common/rng.h"
-#include "dram/rowhammer.h"
-
-using namespace rdsim;
-
-int main() {
-  Rng rng(2014);
-  const auto modules = dram::sample_population(rng, 129);
-
-  std::printf("# Fig 11: RowHammer errors per 1e9 cells vs module "
-              "manufacture date (129 modules)\n");
-  std::printf("manufacturer,year,week,errors_per_1e9_cells\n");
-  int vulnerable = 0;
-  int y2012_13 = 0, y2012_13_vulnerable = 0;
-  for (const auto& m : modules) {
-    const double rate = dram::errors_per_billion_cells(m, rng);
-    vulnerable += rate > 0;
-    if (m.year == 2012 || m.year == 2013) {
-      ++y2012_13;
-      y2012_13_vulnerable += rate > 0;
-    }
-    std::printf("%s,%d,%d,%.4g\n", dram::manufacturer_name(m.manufacturer),
-                m.year, m.week, rate);
-  }
-  std::printf("\n# Summary (paper: 110 of 129 vulnerable; all 2012-2013 "
-              "modules vulnerable)\n");
-  std::printf("total,vulnerable,modules_2012_13,vulnerable_2012_13\n");
-  std::printf("%zu,%d,%d,%d\n", modules.size(), vulnerable, y2012_13,
-              y2012_13_vulnerable);
-  return 0;
+int main(int argc, char** argv) {
+  return rdsim::sim::bench_main("fig11", argc, argv);
 }

@@ -1,31 +1,13 @@
 // Regenerates Fig. 12 (related work): distribution of the number of
 // victim cells per aggressor row for three representative DRAM modules,
 // one per manufacturer.
-#include <cstdio>
-#include <vector>
+//
+// This binary is a thin wrapper: the sweep itself lives in src/sim/ as the
+// registered experiment "fig12" and is also reachable through the unified
+// driver (`rdsim --experiment fig12`). Run with --help for the shared
+// flags (--seed, --threads, --out-dir, ...).
+#include "sim/bench_main.h"
 
-#include "common/rng.h"
-#include "dram/rowhammer.h"
-
-using namespace rdsim;
-
-int main() {
-  Rng rng(1240);
-  const auto modules = dram::representative_modules();
-  std::vector<std::vector<std::uint64_t>> hists;
-  for (const auto& m : modules)
-    hists.push_back(dram::victim_histogram(m, rng, 120));
-
-  std::printf("# Fig 12: victim cells per aggressor row, representative "
-              "modules\n");
-  std::printf("victims");
-  for (const auto& m : modules) std::printf(",%s", m.label().c_str());
-  std::printf("\n");
-  for (int v = 0; v <= 120; ++v) {
-    std::printf("%d", v);
-    for (const auto& h : hists) std::printf(",%llu",
-        static_cast<unsigned long long>(h[v]));
-    std::printf("\n");
-  }
-  return 0;
+int main(int argc, char** argv) {
+  return rdsim::sim::bench_main("fig12", argc, argv);
 }

@@ -14,57 +14,13 @@
 // pressures. Reclaim-induced wear is charged as extra P/E per interval:
 // a block reclaimed k times per interval wears k cycles beyond its
 // refresh cycle, i.e. its usable endurance divides by (1 + k).
-#include <algorithm>
-#include <cstdio>
+//
+// This binary is a thin wrapper: the sweep itself lives in src/sim/ as the
+// registered experiment "mitigation_compare" and is also reachable through the unified
+// driver (`rdsim --experiment mitigation_compare`). Run with --help for the shared
+// flags (--seed, --threads, --out-dir, ...).
+#include "sim/bench_main.h"
 
-#include "core/endurance.h"
-#include "ecc/ecc_model.h"
-#include "flash/rber_model.h"
-
-using namespace rdsim;
-
-int main() {
-  const auto params = flash::FlashModelParams::default_2ynm();
-  const flash::RberModel model(params);
-  const ecc::EccModel ecc{ecc::EccConfig::paper_provisioning()};
-  const core::EnduranceEvaluator evaluator(model, ecc);
-  const double reclaim_threshold = 50e3;  // Yaffs MLC default.
-
-  std::printf("# Mitigation comparison: effective endurance (P/E cycles at "
-              "the limiting block)\n");
-  std::printf("# read reclaim threshold T = %.0fK reads\n",
-              reclaim_threshold / 1000);
-  std::printf("reads_per_interval,none,read_reclaim,vpass_tuning,"
-              "reclaim_plus_tuning\n");
-  for (const double reads : {10e3, 30e3, 100e3, 300e3, 1e6}) {
-    const double none = evaluator.endurance_pe(reads, false);
-    const double tuning = evaluator.endurance_pe(reads, true);
-    // Read reclaim: disturb capped at T, but each reclaim adds one P/E per
-    // interval on top of the refresh cycle.
-    const double reclaims_per_interval =
-        std::max(0.0, reads / reclaim_threshold - 1.0);
-    const double wear_mult = 1.0 + reclaims_per_interval;
-    const double reclaim =
-        evaluator.endurance_pe(std::min(reads, reclaim_threshold), false) /
-        wear_mult;
-    const double combined =
-        evaluator.endurance_pe(std::min(reads, reclaim_threshold), true) /
-        wear_mult;
-    std::printf("%.0f,%.0f,%.0f,%.0f,%.0f\n", reads, none, reclaim, tuning,
-                combined);
-  }
-
-  std::printf("\n# Reading the table\n");
-  std::printf("# - Below T, reclaim never fires and matches 'none'; tuning "
-              "already helps.\n");
-  std::printf("# - Above T, reclaim caps the disturb errors (a reliability "
-              "win) but its re-programming\n");
-  std::printf("#   wear grows with R/T and overwhelms the benefit — at 1M "
-              "reads/interval the block wears\n");
-  std::printf("#   %.0fx faster. Vpass Tuning mitigates with *zero* extra "
-              "writes, which is exactly the\n",
-              1e6 / reclaim_threshold);
-  std::printf("#   motivation the paper gives for a voltage-domain "
-              "mechanism.\n");
-  return 0;
+int main(int argc, char** argv) {
+  return rdsim::sim::bench_main("mitigation_compare", argc, argv);
 }

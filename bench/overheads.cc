@@ -1,19 +1,13 @@
 // Reproduces the paper's §4 overhead accounting for Vpass Tuning on a
 // 512 GB SSD: ~24.34 seconds of probe time per day and 128 KB of
 // per-block metadata.
-#include <cstdio>
+//
+// This binary is a thin wrapper: the sweep itself lives in src/sim/ as the
+// registered experiment "overheads" and is also reachable through the unified
+// driver (`rdsim --experiment overheads`). Run with --help for the shared
+// flags (--seed, --threads, --out-dir, ...).
+#include "sim/bench_main.h"
 
-#include "core/overheads.h"
-
-using namespace rdsim;
-
-int main() {
-  const auto report = core::vpass_tuning_overheads();
-  std::printf("# Vpass Tuning overheads for a 512 GB SSD "
-              "(paper: 24.34 s/day, 128 KB)\n");
-  std::printf("blocks,daily_seconds,metadata_kb\n");
-  std::printf("%llu,%.2f,%.0f\n",
-              static_cast<unsigned long long>(report.blocks),
-              report.daily_seconds, report.metadata_bytes / 1024.0);
-  return 0;
+int main(int argc, char** argv) {
+  return rdsim::sim::bench_main("overheads", argc, argv);
 }

@@ -118,4 +118,15 @@ double Rng::exponential(double rate) {
 
 Rng Rng::fork() { return Rng(next() ^ 0xD1B54A32D192ED03ULL); }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_id) {
+  // Two rounds of SplitMix64 over the pair (seed, id): the first whitens
+  // the stream id so that consecutive ids land far apart, the second mixes
+  // in the seed. Rng's constructor then runs the result through SplitMix64
+  // again to fill the xoshiro state.
+  std::uint64_t x = stream_id ^ 0x6A09E667F3BCC909ULL;
+  const std::uint64_t mixed_id = splitmix64(x);
+  x = seed ^ mixed_id;
+  return Rng(splitmix64(x));
+}
+
 }  // namespace rdsim

@@ -73,6 +73,13 @@ class Rng {
   /// stream's output so subsystems can have decoupled randomness.
   Rng fork();
 
+  /// Derives the `stream_id`-th decorrelated stream of `seed` without
+  /// constructing intermediate generators. Parallel experiment shards use
+  /// this so that shard i's randomness depends only on (seed, i) — never on
+  /// how many threads ran or in what order — keeping merged results
+  /// byte-identical across thread counts.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream_id);
+
  private:
   std::array<std::uint64_t, 4> s_{};
   double cached_normal_ = 0.0;

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 #include <stdexcept>
+#include <type_traits>
 
 #include "ecc/crc32.h"
 
@@ -194,8 +195,12 @@ constexpr std::uint32_t kSnapshotMagic = 0x52444654;  // "RDFT"
 
 template <typename T>
 void append_pod(std::vector<std::uint8_t>* out, const T& value) {
-  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
-  out->insert(out->end(), bytes, bytes + sizeof(T));
+  static_assert(std::is_trivially_copyable_v<T>);
+  // resize + memcpy rather than insert(ptr, ptr): GCC 12's -O3 flags the
+  // pointer-range insert with a spurious stringop-overflow warning.
+  const std::size_t old_size = out->size();
+  out->resize(old_size + sizeof(T));
+  std::memcpy(out->data() + old_size, &value, sizeof(T));
 }
 
 template <typename T>

@@ -93,31 +93,42 @@ double Block::present_vth(std::uint32_t wl, std::uint32_t bl) const {
                              retention_days(), pe_cycles_);
 }
 
-double Block::present_blocking(std::uint32_t bl) const {
-  const auto& p = model_->params();
-  return static_cast<double>(blocking_threshold_[bl]) -
-         p.tail_ret_drop * std::log1p(std::max(retention_days(), 0.0));
+double Block::blocking_drop() const {
+  return model_->params().tail_ret_drop *
+         std::log1p(std::max(retention_days(), 0.0));
 }
 
-CellState Block::sense(std::uint32_t wl, std::uint32_t bl,
-                       bool* blocked) const {
+double Block::present_blocking(std::uint32_t bl) const {
+  return static_cast<double>(blocking_threshold_[bl]) - blocking_drop();
+}
+
+Block::SenseContext Block::sense_context(std::uint32_t wl) const {
+  return SenseContext{dose_for_wordline(wl), retention_days(),
+                      blocking_drop()};
+}
+
+CellState Block::sense(const SenseContext& ctx, std::uint32_t wl,
+                       std::uint32_t bl, bool* blocked) const {
   // Pass-through check: if the bitline's blocking threshold exceeds the
   // present Vpass, some unread cell fails to conduct and the whole string
   // senses as non-conducting — i.e. as the highest state.
-  if (present_blocking(bl) > vpass_) {
+  if (static_cast<double>(blocking_threshold_[bl]) - ctx.blocking_drop >
+      vpass_) {
     if (blocked != nullptr) *blocked = true;
     return CellState::kP3;
   }
   if (blocked != nullptr) *blocked = false;
-  return model_->classify(present_vth(wl, bl));
+  return model_->classify(model_->present_vth(cells_[index(wl, bl)], ctx.dose,
+                                              ctx.days, pe_cycles_));
 }
 
 ReadResult Block::read_page(PageAddress address) {
   assert(programmed_);
   ReadResult result;
   result.bits.resize(geometry_.bitlines);
+  const SenseContext ctx = sense_context(address.wordline);
   for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl) {
-    const CellState observed = sense(address.wordline, bl, nullptr);
+    const CellState observed = sense(ctx, address.wordline, bl, nullptr);
     const CellState truth = cells_[index(address.wordline, bl)].programmed;
     const int bit = address.kind == PageKind::kLsb ? flash::lsb_of(observed)
                                                    : flash::msb_of(observed);
@@ -132,8 +143,9 @@ ReadResult Block::read_page(PageAddress address) {
 
 int Block::count_errors(PageAddress address) const {
   int errors = 0;
+  const SenseContext ctx = sense_context(address.wordline);
   for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl) {
-    const CellState observed = sense(address.wordline, bl, nullptr);
+    const CellState observed = sense(ctx, address.wordline, bl, nullptr);
     const CellState truth = cells_[index(address.wordline, bl)].programmed;
     if (address.kind == PageKind::kLsb)
       errors += flash::lsb_of(observed) != flash::lsb_of(truth);
@@ -145,9 +157,10 @@ int Block::count_errors(PageAddress address) const {
 
 int Block::count_blocked_bitlines(std::uint32_t wl, double vpass) const {
   (void)wl;  // The blocker is virtually never on the addressed wordline.
+  const double drop = blocking_drop();
   int blocked = 0;
   for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl)
-    blocked += present_blocking(bl) > vpass;
+    blocked += static_cast<double>(blocking_threshold_[bl]) - drop > vpass;
   return blocked;
 }
 
@@ -155,8 +168,11 @@ std::vector<double> Block::read_retry_scan(std::uint32_t wl, double lo,
                                            double hi, double step) const {
   assert(step > 0.0 && hi > lo);
   std::vector<double> out(geometry_.bitlines);
+  const double dose = dose_for_wordline(wl);
+  const double days = retention_days();
   for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl) {
-    const double v = present_vth(wl, bl);
+    const double v =
+        model_->present_vth(cells_[index(wl, bl)], dose, days, pe_cycles_);
     if (v < lo) {
       out[bl] = lo;
     } else if (v >= hi) {

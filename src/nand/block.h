@@ -113,9 +113,24 @@ class Block {
     return static_cast<std::size_t>(wl) * geometry_.bitlines + bl;
   }
 
+  /// Loop invariants of a whole-page sense operation, hoisted out of the
+  /// per-bitline hot loop: the wordline's disturb dose, the data age, and
+  /// the retention drift of the blocking thresholds are identical for
+  /// every cell of the page.
+  struct SenseContext {
+    double dose = 0.0;           ///< dose_for_wordline(wl).
+    double days = 0.0;           ///< retention_days().
+    double blocking_drop = 0.0;  ///< Retention drift of blocking thresholds.
+  };
+  SenseContext sense_context(std::uint32_t wl) const;
+
+  /// Retention drift of the blocking thresholds at the present age (the
+  /// single source of truth for the term present_blocking subtracts).
+  double blocking_drop() const;
+
   /// Sense one cell against the references; returns the observed state.
-  flash::CellState sense(std::uint32_t wl, std::uint32_t bl,
-                         bool* blocked) const;
+  flash::CellState sense(const SenseContext& ctx, std::uint32_t wl,
+                         std::uint32_t bl, bool* blocked) const;
 
   Geometry geometry_;
   const flash::VthModel* model_;

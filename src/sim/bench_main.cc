@@ -1,0 +1,44 @@
+#include "sim/bench_main.h"
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+
+#include "sim/cli.h"
+
+namespace rdsim::sim {
+
+int bench_main(const char* name, int argc, char** argv) {
+  CliOptions options = parse_cli(argc, argv, /*allow_experiment=*/false);
+  if (options.help) {
+    std::printf("usage: %s [flags]\n\nFlags:\n%s", name, cli_flag_help());
+    return 0;
+  }
+  if (!options.error.empty()) {
+    std::fprintf(stderr, "%s: %s\nFlags:\n%s", name, options.error.c_str(),
+                 cli_flag_help());
+    return 2;
+  }
+  const ExperimentInfo* info = find_experiment(name);
+  if (info == nullptr) {
+    std::fprintf(stderr, "%s: experiment not registered\n", name);
+    return 2;
+  }
+  try {
+    const Table table = run_experiment(*info, options.config);
+    if (!options.quiet) table.write(std::cout);
+    if (!options.no_file) {
+      const std::string path = options.csv_path.empty()
+                                   ? default_csv_path(options, info->name)
+                                   : options.csv_path;
+      if (!write_csv_file(path, table)) return 1;
+      std::fprintf(stderr, "%s: wrote %s\n", name, path.c_str());
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", name, e.what());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace rdsim::sim

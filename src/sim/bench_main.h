@@ -1,0 +1,16 @@
+// rdsim/sim/bench_main.h
+//
+// Shared main() for the per-figure bench binaries. Each bench is a thin
+// wrapper — `return bench_main("fig03", argc, argv);` — over the
+// experiment registry, so every figure keeps its dedicated target while
+// the sweep logic lives in the library and the unified `rdsim` driver.
+#pragma once
+
+namespace rdsim::sim {
+
+/// Runs the registered experiment `name` with the shared CLI flags
+/// (see cli.h): prints the table to stdout and writes
+/// <out-dir>/<name>.csv unless --no-file. Returns a process exit code.
+int bench_main(const char* name, int argc, char** argv);
+
+}  // namespace rdsim::sim

@@ -1,0 +1,144 @@
+#include "sim/cli.h"
+
+#include <cerrno>
+#include <climits>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string_view>
+
+namespace rdsim::sim {
+namespace {
+
+/// True when `arg` matches `flag` and a value argument follows.
+bool take_value(int argc, char** argv, int& i, std::string_view flag,
+                std::string& value, CliOptions& options) {
+  if (std::string_view(argv[i]) != flag) return false;
+  if (i + 1 >= argc) {
+    options.error = std::string(flag) + " requires a value";
+    return true;
+  }
+  value = argv[++i];
+  return true;
+}
+
+// Strict numeric parsers: trailing garbage is an error, not silently
+// dropped ("--seed 4Z" must not run as seed 4).
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 0);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_int(const std::string& s, int* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE ||
+      v < INT_MIN || v > INT_MAX)
+    return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool parse_double(const std::string& s, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+CliOptions parse_cli(int argc, char** argv, bool allow_experiment) {
+  CliOptions options;
+  for (int i = 1; i < argc && options.error.empty(); ++i) {
+    const std::string_view arg = argv[i];
+    std::string value;
+    if (take_value(argc, argv, i, "--seed", value, options)) {
+      if (options.error.empty() && !parse_u64(value, &options.config.seed))
+        options.error = "--seed needs an unsigned integer, got '" + value +
+                        "'";
+    } else if (take_value(argc, argv, i, "--threads", value, options)) {
+      if (options.error.empty() &&
+          (!parse_int(value, &options.config.threads) ||
+           options.config.threads < 1))
+        options.error = "--threads must be an integer >= 1, got '" + value +
+                        "'";
+    } else if (take_value(argc, argv, i, "--out-dir", value, options)) {
+      if (options.error.empty()) options.out_dir = value;
+    } else if (take_value(argc, argv, i, "--scale", value, options)) {
+      if (options.error.empty()) {
+        if (!parse_double(value, &options.config.scale) ||
+            options.config.scale <= 0.0) {
+          options.error = "--scale must be a number > 0, got '" + value + "'";
+        } else {
+          options.scale_set = true;
+        }
+      }
+    } else if (arg == "--tiny") {
+      options.config.geometry = nand::Geometry::tiny();
+      if (!options.scale_set) options.config.scale = 0.02;
+    } else if (arg == "--csv") {
+      options.csv_requested = true;
+      // Optional value: consume the next argument unless it is a flag.
+      if (i + 1 < argc && argv[i + 1][0] != '-') options.csv_path = argv[++i];
+    } else if (arg == "--no-file") {
+      options.no_file = true;
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if (allow_experiment &&
+               take_value(argc, argv, i, "--experiment", value, options)) {
+      if (options.error.empty()) options.experiment = value;
+    } else if (allow_experiment && arg == "--list") {
+      options.list = true;
+    } else {
+      options.error = "unknown flag: " + std::string(arg);
+    }
+  }
+  return options;
+}
+
+const char* cli_flag_help() {
+  return
+      "  --seed S        base seed for all random streams (default 42)\n"
+      "  --threads N     worker threads; results are identical for any N\n"
+      "  --out-dir DIR   directory for CSV output (default ./out)\n"
+      "  --csv [PATH]    write the CSV (default PATH <out-dir>/<name>.csv);\n"
+      "                  the rdsim driver then keeps the table off stdout.\n"
+      "                  Bench binaries always write their CSV unless\n"
+      "                  --no-file is given\n"
+      "  --no-file       print to stdout only, write no file\n"
+      "  --quiet         suppress the stdout table\n"
+      "  --tiny          tiny chip geometry + 0.02 scale (fast smoke run)\n"
+      "  --scale X       volume multiplier for SSD/DRAM experiments\n"
+      "  --help          this text\n";
+}
+
+std::string default_csv_path(const CliOptions& options,
+                             const std::string& name) {
+  return (std::filesystem::path(options.out_dir) / (name + ".csv")).string();
+}
+
+bool write_csv_file(const std::string& path, const Table& table) {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "rdsim: cannot write %s\n", path.c_str());
+    return false;
+  }
+  table.write(out);
+  return out.good();
+}
+
+}  // namespace rdsim::sim

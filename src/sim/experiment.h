@@ -1,0 +1,95 @@
+// rdsim/sim/experiment.h
+//
+// The unified experiment layer: every paper figure and ablation that used
+// to live in its own bench main() is registered here as a named experiment
+// over shared library code. Experiments receive an ExperimentContext that
+// carries the base seed, the chip geometry, a Monte-Carlo scale knob, and
+// a handle to the thread pool — so the same experiment runs full-size from
+// the `rdsim` driver, as a per-figure bench binary, or tiny-and-fast from
+// the unit tests, with results byte-identical across thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "nand/geometry.h"
+#include "sim/runner.h"
+#include "sim/table.h"
+
+namespace rdsim::sim {
+
+struct ExperimentConfig {
+  std::uint64_t seed = 42;  ///< Base seed; shard i draws Rng::stream(seed, i).
+  int threads = 1;          ///< Pool width (results do not depend on it).
+  /// Chip geometry for Monte-Carlo experiments; tests use Geometry::tiny().
+  nand::Geometry geometry = nand::Geometry::characterization();
+  /// Multiplier on simulation volume knobs that are not captured by the
+  /// geometry: SSD trace sizes, DRAM rows-per-module, day counts. 1.0
+  /// reproduces the paper-scale experiment; tests run ~0.01.
+  double scale = 1.0;
+};
+
+class ExperimentContext {
+ public:
+  ExperimentContext(const ExperimentConfig& config, ExperimentRunner& runner)
+      : config_(config), runner_(&runner) {}
+
+  std::uint64_t seed() const { return config_.seed; }
+  const nand::Geometry& geometry() const { return config_.geometry; }
+  double scale() const { return config_.scale; }
+  ExperimentRunner& runner() { return *runner_; }
+
+  /// `count` scaled by the volume knob, kept >= `floor`.
+  double scaled(double count, double floor = 1.0) const {
+    const double s = count * config_.scale;
+    return s < floor ? floor : s;
+  }
+
+  /// The next decorrelated Rng stream. Streams are numbered in call order
+  /// on the experiment's main thread, so the k-th call is the same
+  /// generator in every run with the same seed.
+  Rng next_stream() { return Rng::stream(config_.seed, stream_base_++); }
+
+  /// Deterministic parallel map: shard i runs fn(i, rng_i) somewhere on
+  /// the pool with rng_i derived only from (seed, stream numbering, i);
+  /// results come back in index order.
+  template <typename R, typename Fn>
+  std::vector<R> map_seeded(std::size_t n, Fn&& fn) {
+    const std::uint64_t base = stream_base_;
+    stream_base_ += n;
+    const std::uint64_t seed = config_.seed;
+    return runner_->map<R>(n, [&fn, base, seed](std::size_t i) {
+      Rng rng = Rng::stream(seed, base + i);
+      return fn(i, rng);
+    });
+  }
+
+ private:
+  ExperimentConfig config_;
+  ExperimentRunner* runner_;
+  std::uint64_t stream_base_ = 0;
+};
+
+using ExperimentFn = Table (*)(ExperimentContext&);
+
+struct ExperimentInfo {
+  const char* name;   ///< CLI name, e.g. "fig03".
+  const char* title;  ///< One-line description (the figure caption).
+  ExperimentFn fn;
+};
+
+/// All registered experiments, in figure order.
+const std::vector<ExperimentInfo>& experiments();
+
+/// Looks up an experiment by name; nullptr when unknown.
+const ExperimentInfo* find_experiment(std::string_view name);
+
+/// Runs one experiment under `config` (builds a pool of config.threads).
+/// Throws std::invalid_argument for unknown names.
+Table run_experiment(std::string_view name, const ExperimentConfig& config);
+Table run_experiment(const ExperimentInfo& info,
+                     const ExperimentConfig& config);
+
+}  // namespace rdsim::sim

@@ -1,0 +1,37 @@
+// rdsim/sim/experiments.h
+//
+// Internal declarations of the individual experiment functions, grouped by
+// the machinery they exercise:
+//   * analytic  — closed-form RberModel / EnduranceEvaluator sweeps;
+//   * chip      — Monte-Carlo nand::Chip experiments;
+//   * system    — whole-SSD trace replay and the DRAM RowHammer figures.
+// The registry in experiment.cc stitches these into the public list.
+#pragma once
+
+#include "sim/experiment.h"
+
+namespace rdsim::sim {
+
+// experiments_analytic.cc
+Table run_fig03(ExperimentContext& ctx);
+Table run_fig04(ExperimentContext& ctx);
+Table run_fig05(ExperimentContext& ctx);
+Table run_fig06(ExperimentContext& ctx);
+Table run_fig07(ExperimentContext& ctx);
+Table run_ablation_tuning(ExperimentContext& ctx);
+Table run_mitigation_compare(ExperimentContext& ctx);
+Table run_overheads(ExperimentContext& ctx);
+
+// experiments_chip.cc
+Table run_fig02(ExperimentContext& ctx);
+Table run_fig09(ExperimentContext& ctx);
+Table run_fig10(ExperimentContext& ctx);
+Table run_ablation_rdr(ExperimentContext& ctx);
+Table run_ext_mechanisms(ExperimentContext& ctx);
+
+// experiments_system.cc
+Table run_fig08(ExperimentContext& ctx);
+Table run_fig11(ExperimentContext& ctx);
+Table run_fig12(ExperimentContext& ctx);
+
+}  // namespace rdsim::sim

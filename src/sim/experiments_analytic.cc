@@ -1,0 +1,359 @@
+// Closed-form experiments: sweeps over the analytic RberModel and the
+// EnduranceEvaluator. These have no Monte-Carlo randomness; they are cheap
+// enough to run serially and are deterministic by construction.
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/endurance.h"
+#include "core/overheads.h"
+#include "ecc/ecc_model.h"
+#include "flash/rber_model.h"
+#include "sim/experiments.h"
+
+namespace rdsim::sim {
+
+Table run_fig03(ExperimentContext&) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  const flash::RberModel model(params);
+  const std::vector<double> pe_levels = {2000, 3000, 4000, 5000,
+                                         8000, 10000, 15000};
+  const std::vector<double> paper_slopes = {1.00e-9, 1.63e-9, 2.37e-9,
+                                            3.74e-9, 7.50e-9, 9.10e-9,
+                                            1.90e-8};
+  // Characterization conditions: short retention age, nominal Vpass.
+  const double age_days = 0.5;
+  const double vpass = params.vpass_nominal;
+
+  Table table;
+  table.comment("Fig 3: RBER vs read disturb count at 2K-15K P/E");
+  std::string header = "reads";
+  for (const double pe : pe_levels) header += strf(",pe_%.0fk", pe / 1000);
+  table.row(header);
+
+  std::vector<std::vector<double>> series(pe_levels.size());
+  std::vector<double> xs;
+  for (double reads = 0; reads <= 100e3; reads += 10e3) {
+    xs.push_back(reads);
+    std::string row = strf("%.0f", reads);
+    for (std::size_t i = 0; i < pe_levels.size(); ++i) {
+      const double rber =
+          model.total_rber({pe_levels[i], age_days, reads, vpass});
+      series[i].push_back(rber);
+      row += strf(",%.6g", rber);
+    }
+    table.row(row);
+  }
+
+  table.new_section();
+  table.comment("Slope table (RBER per read), fitted vs paper");
+  table.row("pe_cycles,fitted_slope,paper_slope,error_pct");
+  for (std::size_t i = 0; i < pe_levels.size(); ++i) {
+    const auto fit = fit_line(xs, series[i]);
+    const double err = (fit.slope - paper_slopes[i]) / paper_slopes[i] * 100.0;
+    table.row(strf("%.0f,%.3g,%.3g,%+.1f", pe_levels[i], fit.slope,
+                   paper_slopes[i], err));
+  }
+  return table;
+}
+
+Table run_fig04(ExperimentContext&) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  const flash::RberModel model(params);
+  const double pe = 8000.0;
+  const double age = 0.5;
+  const std::vector<double> fractions = {0.94, 0.95, 0.96, 0.97,
+                                         0.98, 0.99, 1.00};
+
+  Table table;
+  table.comment(
+      "Fig 4: RBER vs read disturb count for relaxed Vpass (8K P/E)");
+  std::string header = "reads";
+  for (const double f : fractions) header += strf(",vpass_%.0f%%", f * 100);
+  table.row(header);
+  for (double lg = 4.0; lg <= 9.0 + 1e-9; lg += 0.25) {
+    const double reads = std::pow(10.0, lg);
+    std::string row = strf("%.4g", reads);
+    for (const double f : fractions) {
+      const double vpass = params.vpass_nominal * f;
+      const double rber = model.base_rber(pe) + model.retention_rber(pe, age) +
+                          model.disturb_rber(pe, reads, vpass);
+      row += strf(",%.6g", rber);
+    }
+    table.row(row);
+  }
+
+  const double at100k_nominal = model.base_rber(pe) +
+                                model.retention_rber(pe, age) +
+                                model.disturb_rber(pe, 100e3,
+                                                   params.vpass_nominal);
+  const double at100k_98 =
+      model.base_rber(pe) + model.retention_rber(pe, age) +
+      model.disturb_rber(pe, 100e3, params.vpass_nominal * 0.98);
+  table.new_section();
+  table.comment("Headline check: RBER at 100K reads, 100% vs 98% Vpass");
+  table.row("rber_100pct,rber_98pct,reduction_pct");
+  table.row(strf("%.6g,%.6g,%.1f", at100k_nominal, at100k_98,
+                 (1.0 - at100k_98 / at100k_nominal) * 100.0));
+
+  // Iso-RBER tolerable read counts: "a decrease in Vpass exponentially
+  // increases the number of tolerable read disturbs".
+  table.new_section();
+  table.comment("Tolerable reads before RBER reaches 1.5e-3, by Vpass");
+  table.row("vpass_pct,tolerable_reads");
+  const double target = 1.5e-3;
+  for (const double f : fractions) {
+    const double vpass = params.vpass_nominal * f;
+    const double fixed = model.base_rber(pe) + model.retention_rber(pe, age);
+    const double per_read = model.disturb_rber(pe, 1.0, vpass);
+    const double reads = (target - fixed) / per_read;
+    table.row(strf("%.0f,%.4g", f * 100, reads));
+  }
+  return table;
+}
+
+Table run_fig05(ExperimentContext&) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  const flash::RberModel model(params);
+  const std::vector<double> ages = {0, 1, 2, 6, 9, 17, 21};
+
+  Table table;
+  table.comment(
+      "Fig 5: additional RBER from relaxed Vpass vs retention age (8K P/E)");
+  std::string header = "vpass";
+  for (const double t : ages) header += strf(",age_%gd", t);
+  table.row(header);
+  for (double v = 480.0; v <= 512.0 + 1e-9; v += 1.0) {
+    std::string row = strf("%.0f", v);
+    for (const double t : ages)
+      row += strf(",%.6g", model.pass_through_rber(v, t));
+    table.row(row);
+  }
+
+  // "Vpass can be lowered to some degree without inducing any read
+  // errors": the error-free relaxation, defined as less than one expected
+  // additional bit error per 8 KiB page read.
+  const double one_bit_per_page = 1.0 / 65536.0;
+  table.new_section();
+  table.comment(
+      "Largest relaxation with < 1 additional error per page read, per age");
+  table.row("age_days,free_relaxation_units");
+  for (const double t : ages) {
+    double v = params.vpass_nominal;
+    while (v > 480.0 && model.pass_through_rber(v - 1.0, t) < one_bit_per_page)
+      v -= 1.0;
+    table.row(strf("%g,%.0f", t, params.vpass_nominal - v));
+  }
+  return table;
+}
+
+Table run_fig06(ExperimentContext&) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  const flash::RberModel model(params);
+  const double pe = 8000.0;
+
+  Table table;
+  table.comment(
+      "Fig 6: RBER vs retention age and tolerable Vpass reduction "
+      "(8K P/E, no read disturb)");
+  table.comment(strf("ECC correction capability RBER = %.4g, reserved margin "
+                     "= %.0f%%, usable = %.4g",
+                     params.ecc_capability_rber,
+                     params.ecc_reserved_margin * 100,
+                     model.usable_ecc_rber()));
+  table.row("retention_days,expected_rber,margin_rber,"
+            "safe_vpass_reduction_pct");
+  for (int day = 1; day <= 21; ++day) {
+    const double rber = model.base_rber(pe) + model.retention_rber(pe, day);
+    const double margin = model.usable_ecc_rber() - rber;
+    const int pct = model.safe_vpass_reduction_percent(pe, day);
+    table.row(
+        strf("%d,%.6g,%.6g,%d", day, rber, margin > 0 ? margin : 0.0, pct));
+  }
+
+  table.new_section();
+  table.comment(
+      "Paper check: max reduction is 4% while retention age < 4 days");
+  table.row("day1,day2,day3,day4");
+  table.row(strf("%d,%d,%d,%d", model.safe_vpass_reduction_percent(pe, 1),
+                 model.safe_vpass_reduction_percent(pe, 2),
+                 model.safe_vpass_reduction_percent(pe, 3),
+                 model.safe_vpass_reduction_percent(pe, 4)));
+  return table;
+}
+
+Table run_fig07(ExperimentContext&) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  const flash::RberModel model(params);
+  const ecc::EccModel ecc{ecc::EccConfig::paper_provisioning()};
+  const core::EnduranceEvaluator evaluator(model, ecc);
+
+  const double pe = 8000.0;
+  const double reads_per_interval = 200e3;  // A read-hot block.
+  const int intervals = 4;
+  const double interval_days = evaluator.options().refresh_interval_days;
+
+  Table table;
+  table.comment(strf("Fig 7: error rate over refresh intervals, baseline vs "
+                     "Vpass Tuning (8K P/E, %.0fK reads/interval)",
+                     reads_per_interval / 1000));
+  table.row("day,rber_baseline,rber_tuned,ecc_capability");
+  for (int i = 0; i < intervals; ++i) {
+    for (int d = 0; d <= static_cast<int>(interval_days); ++d) {
+      // Partial-interval simulation: reads accumulated proportionally.
+      const double frac = d / interval_days;
+      const auto base = evaluator.simulate_interval(
+          pe, reads_per_interval * frac, /*tuning=*/false);
+      const auto tuned = evaluator.simulate_interval(
+          pe, reads_per_interval * frac, /*tuning=*/true);
+      // Rescale the retention component to day d rather than interval end.
+      const double ret_adj = model.retention_rber(pe, d) -
+                             model.retention_rber(pe, interval_days);
+      table.row(strf("%d,%.6g,%.6g,%.4g",
+                     i * static_cast<int>(interval_days) + d,
+                     base.peak_rber + 1.3 * ret_adj,
+                     tuned.peak_rber + 1.3 * ret_adj,
+                     params.ecc_capability_rber));
+    }
+  }
+
+  const auto base = evaluator.simulate_interval(pe, reads_per_interval, false);
+  const auto tuned = evaluator.simulate_interval(pe, reads_per_interval, true);
+  table.new_section();
+  table.comment("Peak reduction from mitigation");
+  table.row("peak_baseline,peak_tuned,reduction_pct,mean_vpass_reduction_pct");
+  table.row(strf("%.6g,%.6g,%.1f,%.2f", base.peak_rber, tuned.peak_rber,
+                 (1.0 - tuned.peak_rber / base.peak_rber) * 100.0,
+                 tuned.mean_vpass_reduction_pct));
+  return table;
+}
+
+Table run_ablation_tuning(ExperimentContext&) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  const flash::RberModel model(params);
+  const double reads_per_interval = 300e3;
+
+  Table table;
+  table.comment(strf("Ablation: Vpass Tuning design choices "
+                     "(read-hot block, %.0fK reads/interval)",
+                     reads_per_interval / 1000));
+
+  table.new_section();
+  table.comment("(a) tuning step size delta (normalized units)");
+  table.row("delta,endurance_tuned,gain_pct");
+  {
+    const ecc::EccModel ecc{ecc::EccConfig::paper_provisioning()};
+    const core::EnduranceEvaluator base_eval(model, ecc);
+    const double base = base_eval.endurance_pe(reads_per_interval, false);
+    for (const double delta : {1.0, 2.0, 4.0, 8.0, 16.0}) {
+      core::EnduranceOptions opt;
+      opt.tuning_delta = delta;
+      const core::EnduranceEvaluator eval(model, ecc, opt);
+      const double tuned = eval.endurance_pe(reads_per_interval, true);
+      table.row(
+          strf("%.0f,%.0f,%+.1f", delta, tuned, (tuned / base - 1.0) * 100.0));
+    }
+  }
+
+  table.new_section();
+  table.comment("(b) reserved ECC margin");
+  table.row("reserved_pct,endurance_tuned,gain_pct");
+  for (const double reserve : {0.0, 0.10, 0.20, 0.30, 0.40}) {
+    ecc::EccConfig cfg = ecc::EccConfig::paper_provisioning();
+    cfg.reserved_margin = reserve;
+    const ecc::EccModel ecc{cfg};
+    const core::EnduranceEvaluator eval(model, ecc);
+    const double base = eval.endurance_pe(reads_per_interval, false);
+    const double tuned = eval.endurance_pe(reads_per_interval, true);
+    table.row(strf("%.0f,%.0f,%+.1f", reserve * 100, tuned,
+                   (tuned / base - 1.0) * 100.0));
+  }
+
+  table.new_section();
+  table.comment(
+      "(c) refresh interval (tuning is daily; longer intervals accumulate "
+      "more disturb)");
+  table.row("refresh_days,endurance_baseline,endurance_tuned,gain_pct");
+  for (const double days : {3.0, 7.0, 14.0, 21.0}) {
+    const ecc::EccModel ecc{ecc::EccConfig::paper_provisioning()};
+    core::EnduranceOptions opt;
+    opt.refresh_interval_days = days;
+    const core::EnduranceEvaluator eval(model, ecc, opt);
+    // Scale pressure with interval length (same daily read rate).
+    const double reads = reads_per_interval / 7.0 * days;
+    const double base = eval.endurance_pe(reads, false);
+    const double tuned = eval.endurance_pe(reads, true);
+    table.row(strf("%.0f,%.0f,%.0f,%+.1f", days, base, tuned,
+                   (tuned / base - 1.0) * 100.0));
+  }
+  return table;
+}
+
+Table run_mitigation_compare(ExperimentContext&) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  const flash::RberModel model(params);
+  const ecc::EccModel ecc{ecc::EccConfig::paper_provisioning()};
+  const core::EnduranceEvaluator evaluator(model, ecc);
+  const double reclaim_threshold = 50e3;  // Yaffs MLC default.
+
+  Table table;
+  table.comment(
+      "Mitigation comparison: effective endurance (P/E cycles at the "
+      "limiting block)");
+  table.comment(
+      strf("read reclaim threshold T = %.0fK reads", reclaim_threshold / 1000));
+  table.row("reads_per_interval,none,read_reclaim,vpass_tuning,"
+            "reclaim_plus_tuning");
+  for (const double reads : {10e3, 30e3, 100e3, 300e3, 1e6}) {
+    const double none = evaluator.endurance_pe(reads, false);
+    const double tuning = evaluator.endurance_pe(reads, true);
+    // Read reclaim: disturb capped at T, but each reclaim adds one P/E per
+    // interval on top of the refresh cycle.
+    const double reclaims_per_interval =
+        std::max(0.0, reads / reclaim_threshold - 1.0);
+    const double wear_mult = 1.0 + reclaims_per_interval;
+    const double reclaim =
+        evaluator.endurance_pe(std::min(reads, reclaim_threshold), false) /
+        wear_mult;
+    const double combined =
+        evaluator.endurance_pe(std::min(reads, reclaim_threshold), true) /
+        wear_mult;
+    table.row(strf("%.0f,%.0f,%.0f,%.0f,%.0f", reads, none, reclaim, tuning,
+                   combined));
+  }
+
+  table.new_section();
+  table.comment("Reading the table");
+  table.comment(
+      "- Below T, reclaim never fires and matches 'none'; tuning already "
+      "helps.");
+  table.comment(
+      "- Above T, reclaim caps the disturb errors (a reliability win) but "
+      "its re-programming");
+  table.comment(
+      "  wear grows with R/T and overwhelms the benefit — at 1M "
+      "reads/interval the block wears");
+  table.comment(
+      strf("  %.0fx faster. Vpass Tuning mitigates with *zero* extra "
+           "writes, which is exactly the",
+           1e6 / reclaim_threshold));
+  table.comment("  motivation the paper gives for a voltage-domain "
+                "mechanism.");
+  return table;
+}
+
+Table run_overheads(ExperimentContext&) {
+  const auto report = core::vpass_tuning_overheads();
+  Table table;
+  table.comment("Vpass Tuning overheads for a 512 GB SSD "
+                "(paper: 24.34 s/day, 128 KB)");
+  table.row("blocks,daily_seconds,metadata_kb");
+  table.row(strf("%llu,%.2f,%.0f",
+                 static_cast<unsigned long long>(report.blocks),
+                 report.daily_seconds, report.metadata_bytes / 1024.0));
+  return table;
+}
+
+}  // namespace rdsim::sim

@@ -1,0 +1,167 @@
+// System-scale experiments: the whole-SSD endurance evaluation (Fig. 8)
+// and the DRAM RowHammer population figures (Figs. 11-12). Each workload
+// or module is one shard; the volume knobs (trace size, FTL geometry,
+// rows per module, replay days) honor the context's scale so the tests
+// can run the same code in milliseconds.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/endurance.h"
+#include "dram/rowhammer.h"
+#include "ecc/ecc_model.h"
+#include "flash/rber_model.h"
+#include "sim/experiments.h"
+#include "ssd/ssd.h"
+#include "workload/generator.h"
+#include "workload/profiles.h"
+
+namespace rdsim::sim {
+
+Table run_fig08(ExperimentContext& ctx) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  const flash::RberModel model(params);
+  const ecc::EccModel ecc{ecc::EccConfig::paper_provisioning()};
+  const core::EnduranceEvaluator evaluator(model, ecc);
+  const auto profiles = workload::standard_suite();
+  const bool full_scale = ctx.scale() >= 1.0;
+  const double io_scale = ctx.scale();
+  const int days = full_scale ? 7 : 2;
+
+  struct WorkloadResult {
+    std::string row;
+    double gain = 0.0;
+  };
+  // One drive seed and one trace seed shared by every workload, so the
+  // per-profile comparison reflects the workload shape, not per-shard
+  // sampling differences. The offsets put the default seed 42 exactly on
+  // the original bench's constants (7 / 1234), and nearby seeds move
+  // continuously rather than switching derivation schemes.
+  const std::uint64_t drive_seed = 7 + (ctx.seed() - 42);
+  const std::uint64_t trace_seed = 1234 + (ctx.seed() - 42);
+  const auto results = ctx.map_seeded<WorkloadResult>(
+      profiles.size(), [&](std::size_t i, Rng&) {
+        workload::WorkloadProfile profile = profiles[i];
+        profile.daily_page_ios =
+            std::max(2000.0, profile.daily_page_ios * io_scale);
+        ssd::SsdConfig config;
+        config.ftl.blocks = full_scale ? 1024 : 128;
+        config.ftl.pages_per_block = full_scale ? 256 : 32;
+        config.vpass_tuning = false;  // Pressure measurement only.
+        ssd::Ssd drive(config, params, drive_seed);
+
+        workload::TraceGenerator gen(
+            profile, drive.ftl().config().logical_pages(), trace_seed);
+        // Warm the drive (fill the logical space once), then replay one
+        // refresh interval to observe steady-state block read pressure.
+        for (std::uint64_t lpn = 0;
+             lpn < drive.ftl().config().logical_pages(); ++lpn)
+          drive.ftl_mut().write(lpn);
+        for (int day = 0; day < days; ++day) drive.run_day(gen.day());
+
+        const double reads_per_interval =
+            static_cast<double>(drive.max_reads_per_interval());
+        const double base = evaluator.endurance_pe(reads_per_interval, false);
+        const double tuned = evaluator.endurance_pe(reads_per_interval, true);
+        const double gain = (tuned / base - 1.0) * 100.0;
+        return WorkloadResult{
+            strf("%s,%.0f,%.0f,%.0f,%+.1f", profile.name.c_str(),
+                 reads_per_interval, base, tuned, gain),
+            gain};
+      });
+
+  Table table;
+  table.comment("Fig 8: endurance improvement with Vpass Tuning");
+  table.row("workload,reads_per_interval,endurance_baseline,"
+            "endurance_tuned,improvement_pct");
+  double improvement_sum = 0.0;
+  for (const auto& r : results) {
+    table.row(r.row);
+    improvement_sum += r.gain;
+  }
+  table.new_section();
+  table.comment("Average improvement (paper: 21.0%)");
+  table.row("average_improvement_pct");
+  table.row(strf("%.1f",
+                 improvement_sum / static_cast<double>(results.size())));
+  return table;
+}
+
+namespace {
+
+/// Shrinks a module's row count by the context scale (hammer loops are
+/// per-row) while keeping enough rows for a meaningful distribution.
+void scale_module(dram::DramModule& module, double scale) {
+  if (scale >= 1.0) return;
+  const auto scaled =
+      static_cast<std::uint64_t>(static_cast<double>(module.rows) * scale);
+  module.rows = std::max<std::uint64_t>(512, scaled);
+}
+
+}  // namespace
+
+Table run_fig11(ExperimentContext& ctx) {
+  Rng population_rng = ctx.next_stream();
+  auto modules = dram::sample_population(population_rng, 129);
+  for (auto& m : modules) scale_module(m, ctx.scale());
+
+  const auto rates = ctx.map_seeded<double>(
+      modules.size(), [&](std::size_t i, Rng& rng) {
+        return dram::errors_per_billion_cells(modules[i], rng);
+      });
+
+  Table table;
+  table.comment(
+      "Fig 11: RowHammer errors per 1e9 cells vs module manufacture date "
+      "(129 modules)");
+  table.row("manufacturer,year,week,errors_per_1e9_cells");
+  int vulnerable = 0;
+  int y2012_13 = 0, y2012_13_vulnerable = 0;
+  for (std::size_t i = 0; i < modules.size(); ++i) {
+    const auto& m = modules[i];
+    const double rate = rates[i];
+    vulnerable += rate > 0;
+    if (m.year == 2012 || m.year == 2013) {
+      ++y2012_13;
+      y2012_13_vulnerable += rate > 0;
+    }
+    table.row(strf("%s,%d,%d,%.4g", dram::manufacturer_name(m.manufacturer),
+                   m.year, m.week, rate));
+  }
+  table.new_section();
+  table.comment("Summary (paper: 110 of 129 vulnerable; all 2012-2013 "
+                "modules vulnerable)");
+  table.row("total,vulnerable,modules_2012_13,vulnerable_2012_13");
+  table.row(strf("%zu,%d,%d,%d", modules.size(), vulnerable, y2012_13,
+                 y2012_13_vulnerable));
+  return table;
+}
+
+Table run_fig12(ExperimentContext& ctx) {
+  auto modules = dram::representative_modules();
+  for (auto& m : modules) scale_module(m, ctx.scale());
+  const int max_victims = 120;
+
+  const auto hists = ctx.map_seeded<std::vector<std::uint64_t>>(
+      modules.size(), [&](std::size_t i, Rng& rng) {
+        return dram::victim_histogram(modules[i], rng, max_victims);
+      });
+
+  Table table;
+  table.comment(
+      "Fig 12: victim cells per aggressor row, representative modules");
+  std::string header = "victims";
+  for (const auto& m : modules) header += strf(",%s", m.label().c_str());
+  table.row(header);
+  for (int v = 0; v <= max_victims; ++v) {
+    std::string row = strf("%d", v);
+    for (const auto& h : hists)
+      row += strf(",%llu",
+                  static_cast<unsigned long long>(
+                      h[static_cast<std::size_t>(v)]));
+    table.row(row);
+  }
+  return table;
+}
+
+}  // namespace rdsim::sim

@@ -1,0 +1,90 @@
+#include "sim/runner.h"
+
+#include <algorithm>
+
+namespace rdsim::sim {
+
+ExperimentRunner::ExperimentRunner(int threads)
+    : threads_(std::max(1, threads)) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 0; i < threads_ - 1; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ExperimentRunner::~ExperimentRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  batch_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ExperimentRunner::drain_batch(const std::function<void(std::size_t)>& fn,
+                                   std::size_t n) {
+  for (std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+       i < n; i = next_index_.fetch_add(1, std::memory_order_relaxed)) {
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+  }
+}
+
+void ExperimentRunner::worker_loop() {
+  std::uint64_t seen_batch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      batch_cv_.wait(lock, [&] {
+        return shutdown_ || (batch_fn_ != nullptr && batch_id_ != seen_batch);
+      });
+      if (shutdown_) return;
+      seen_batch = batch_id_;
+      fn = batch_fn_;
+      n = batch_n_;
+      ++busy_workers_;
+    }
+    drain_batch(*fn, n);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --busy_workers_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ExperimentRunner::for_each(std::size_t n,
+                                const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    // Inline fast path: no pool interaction, exceptions propagate directly.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_fn_ = &fn;
+    batch_n_ = n;
+    next_index_.store(0, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    ++batch_id_;
+  }
+  batch_cv_.notify_all();
+  drain_batch(fn, n);  // The caller works too.
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return busy_workers_ == 0; });
+    batch_fn_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace rdsim::sim

@@ -1,0 +1,66 @@
+#include "sim/table.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace rdsim::sim {
+
+std::string strf(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, format, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<std::size_t>(needed));
+    // +1: vsnprintf writes the terminator into the buffer; std::string
+    // guarantees data()[size()] is addressable for exactly that byte.
+    std::vsnprintf(out.data(), static_cast<std::size_t>(needed) + 1, format,
+                   args);
+  }
+  va_end(args);
+  return out;
+}
+
+Table::Section& Table::new_section() {
+  sections_.emplace_back();
+  return sections_.back();
+}
+
+Table::Section& Table::current() {
+  if (sections_.empty()) sections_.emplace_back();
+  return sections_.back();
+}
+
+void Table::comment(std::string line) {
+  current().comments.push_back(std::move(line));
+}
+
+void Table::row(std::string line) { current().rows.push_back(std::move(line)); }
+
+bool Table::empty() const {
+  for (const auto& s : sections_)
+    if (!s.comments.empty() || !s.rows.empty()) return false;
+  return true;
+}
+
+void Table::write(std::ostream& out) const {
+  bool first = true;
+  for (const auto& s : sections_) {
+    if (!first) out << '\n';
+    first = false;
+    for (const auto& c : s.comments) out << "# " << c << '\n';
+    for (const auto& r : s.rows) out << r << '\n';
+  }
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream ss;
+  write(ss);
+  return ss.str();
+}
+
+}  // namespace rdsim::sim

@@ -1,0 +1,54 @@
+// rdsim/sim/table.h
+//
+// Sectioned result tables for experiments. Every experiment returns a
+// Table: an ordered list of sections, each holding comment lines and CSV
+// rows. The textual form is exactly what the original per-figure bench
+// binaries printed — '#'-prefixed comments, a header row, data rows,
+// blank lines between sections — so a Table can be streamed to stdout,
+// written to a .csv file, or compared byte-for-byte in determinism tests.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rdsim::sim {
+
+/// printf-style formatting into a std::string (the experiments reproduce
+/// the benches' exact printf formats when building rows).
+std::string strf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+class Table {
+ public:
+  struct Section {
+    std::vector<std::string> comments;  ///< Lines without the leading '#'.
+    std::vector<std::string> rows;      ///< CSV lines (header first).
+  };
+
+  /// Starts a new section (the first call on an empty table is implicit:
+  /// comment()/row() open section 0 on demand).
+  Section& new_section();
+
+  /// Appends a comment line to the current section.
+  void comment(std::string line);
+
+  /// Appends a CSV row to the current section.
+  void row(std::string line);
+
+  const std::vector<Section>& sections() const { return sections_; }
+  bool empty() const;
+
+  /// Writes the table: '# ' comments, rows, a blank line before every
+  /// section after the first.
+  void write(std::ostream& out) const;
+
+  /// The full textual form (what write() emits).
+  std::string to_csv() const;
+
+ private:
+  Section& current();
+  std::vector<Section> sections_;
+};
+
+}  // namespace rdsim::sim

@@ -1,0 +1,141 @@
+// Tests for the sim layer: the thread-pooled ExperimentRunner, Rng stream
+// splitting, the experiment registry, and the headline determinism
+// contract — the merged result of an experiment is byte-identical no
+// matter how many threads executed it.
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/experiment.h"
+#include "sim/runner.h"
+#include "sim/table.h"
+
+namespace rdsim::sim {
+namespace {
+
+ExperimentConfig tiny_config(int threads, std::uint64_t seed = 42) {
+  ExperimentConfig config;
+  config.seed = seed;
+  config.threads = threads;
+  config.geometry = nand::Geometry::tiny();
+  config.scale = 0.01;
+  return config;
+}
+
+TEST(RngStream, DeterministicAndDecorrelated) {
+  Rng a0 = Rng::stream(42, 0);
+  Rng a0_again = Rng::stream(42, 0);
+  Rng a1 = Rng::stream(42, 1);
+  Rng b0 = Rng::stream(43, 0);
+  const std::uint64_t x = a0.next();
+  EXPECT_EQ(x, a0_again.next());  // Same (seed, id) -> same stream.
+  EXPECT_NE(x, a1.next());        // Neighboring ids differ.
+  EXPECT_NE(x, b0.next());        // Neighboring seeds differ.
+}
+
+TEST(ExperimentRunner, MapReturnsResultsInIndexOrder) {
+  ExperimentRunner runner(4);
+  const auto out = runner.map<std::size_t>(
+      100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ExperimentRunner, ExecutesEveryIndexExactlyOnce) {
+  ExperimentRunner runner(8);
+  std::vector<std::atomic<int>> hits(257);
+  runner.for_each(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ExperimentRunner, ReusableAcrossBatches) {
+  ExperimentRunner runner(3);
+  for (int round = 0; round < 5; ++round) {
+    const auto out =
+        runner.map<int>(40, [round](std::size_t i) {
+          return static_cast<int>(i) + round;
+        });
+    ASSERT_EQ(out.size(), 40u);
+    EXPECT_EQ(out[7], 7 + round);
+  }
+}
+
+TEST(ExperimentRunner, PropagatesExceptions) {
+  ExperimentRunner runner(4);
+  EXPECT_THROW(runner.for_each(32,
+                               [](std::size_t i) {
+                                 if (i == 13)
+                                   throw std::runtime_error("boom");
+                               }),
+               std::runtime_error);
+  // The pool must still be usable after a failed batch.
+  const auto out = runner.map<int>(8, [](std::size_t i) {
+    return static_cast<int>(i);
+  });
+  EXPECT_EQ(out.back(), 7);
+}
+
+TEST(Table, WritesCommentsRowsAndSectionBreaks) {
+  Table table;
+  table.comment("first");
+  table.row("a,b");
+  table.row("1,2");
+  table.new_section();
+  table.comment("second");
+  table.row("c");
+  EXPECT_EQ(table.to_csv(), "# first\na,b\n1,2\n\n# second\nc\n");
+  EXPECT_FALSE(table.empty());
+  EXPECT_TRUE(Table{}.empty());
+}
+
+TEST(Registry, EveryNameResolvesToItsEntry) {
+  ASSERT_FALSE(experiments().empty());
+  for (const auto& e : experiments()) {
+    const ExperimentInfo* found = find_experiment(e.name);
+    ASSERT_NE(found, nullptr) << e.name;
+    EXPECT_EQ(found, &e);
+  }
+  EXPECT_EQ(find_experiment("no_such_experiment"), nullptr);
+  EXPECT_THROW(run_experiment("no_such_experiment", tiny_config(1)),
+               std::invalid_argument);
+}
+
+TEST(Registry, EveryExperimentRunsOnTinyGeometry) {
+  for (const auto& e : experiments()) {
+    SCOPED_TRACE(e.name);
+    const Table table = run_experiment(e, tiny_config(2));
+    EXPECT_FALSE(table.empty());
+    // Every experiment emits at least a header row and one data row.
+    std::size_t rows = 0;
+    for (const auto& s : table.sections()) rows += s.rows.size();
+    EXPECT_GE(rows, 2u);
+  }
+}
+
+// The headline contract: same seed => byte-identical merged results for
+// 1 thread and 8 threads, for every experiment in the registry.
+TEST(Determinism, ThreadCountDoesNotChangeResults) {
+  for (const auto& e : experiments()) {
+    SCOPED_TRACE(e.name);
+    const std::string serial =
+        run_experiment(e, tiny_config(1)).to_csv();
+    const std::string threaded =
+        run_experiment(e, tiny_config(8)).to_csv();
+    EXPECT_EQ(serial, threaded);
+  }
+}
+
+TEST(Determinism, SeedActuallyMattersForMonteCarloExperiments) {
+  const std::string a =
+      run_experiment("fig10", tiny_config(2, 1)).to_csv();
+  const std::string b =
+      run_experiment("fig10", tiny_config(2, 2)).to_csv();
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace rdsim::sim

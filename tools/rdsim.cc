@@ -1,0 +1,76 @@
+// rdsim — the unified experiment driver.
+//
+// One binary reproduces every paper figure and ablation study:
+//
+//   rdsim --list
+//   rdsim --experiment fig03
+//   rdsim --experiment fig10 --threads 8 --seed 7 --csv out/fig10.csv
+//   rdsim --experiment fig08 --tiny            # fast smoke run
+//
+// Experiments are sharded across a thread pool with per-shard Rng streams
+// derived only from (--seed, shard index), so the output — stdout or CSV —
+// is byte-identical for any --threads value.
+#include <cstdio>
+#include <exception>
+#include <iostream>
+
+#include "sim/cli.h"
+#include "sim/experiment.h"
+
+namespace {
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: rdsim --experiment NAME [flags]\n"
+               "       rdsim --list\n\nFlags:\n%s",
+               rdsim::sim::cli_flag_help());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace rdsim::sim;
+  CliOptions options = parse_cli(argc, argv, /*allow_experiment=*/true);
+  if (options.help) {
+    print_usage(stdout);
+    return 0;
+  }
+  if (!options.error.empty()) {
+    std::fprintf(stderr, "rdsim: %s\n", options.error.c_str());
+    print_usage(stderr);
+    return 2;
+  }
+  if (options.list) {
+    std::printf("%-20s %s\n", "name", "description");
+    for (const auto& e : experiments())
+      std::printf("%-20s %s\n", e.name, e.title);
+    return 0;
+  }
+  if (options.experiment.empty()) {
+    print_usage(stderr);
+    return 2;
+  }
+  const ExperimentInfo* info = find_experiment(options.experiment);
+  if (info == nullptr) {
+    std::fprintf(stderr,
+                 "rdsim: unknown experiment '%s' (see rdsim --list)\n",
+                 options.experiment.c_str());
+    return 2;
+  }
+  try {
+    const Table table = run_experiment(*info, options.config);
+    if (options.csv_requested || !options.csv_path.empty()) {
+      const std::string path = options.csv_path.empty()
+                                   ? default_csv_path(options, info->name)
+                                   : options.csv_path;
+      if (!write_csv_file(path, table)) return 1;
+      std::fprintf(stderr, "rdsim: wrote %s\n", path.c_str());
+    } else if (!options.quiet) {
+      table.write(std::cout);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rdsim: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
