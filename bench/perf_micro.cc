@@ -70,6 +70,74 @@ void BM_ReadRetryScan(benchmark::State& state) {
 }
 BENCHMARK(BM_ReadRetryScan);
 
+// Pure page sense (no read side effects) on a heavily disturbed block:
+// the batched SoA kernel's cached-exp fast path.
+void BM_McCountErrors(benchmark::State& state) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  nand::Chip chip(nand::Geometry{64, 8192, 1}, params, 6);
+  auto& block = chip.block(0);
+  block.add_wear(8000);
+  block.program_random();
+  block.apply_reads(1, 1e6);
+  std::uint32_t wl = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(block.count_errors({wl, nand::PageKind::kMsb}));
+    wl = (wl + 1) % block.geometry().wordlines_per_block;
+  }
+  state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_McCountErrors);
+
+// Retention-aged sense: the slow path that must re-evaluate exp per cell
+// (the program-time cache only covers zero retention).
+void BM_McCountErrorsAged(benchmark::State& state) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  nand::Chip chip(nand::Geometry{64, 8192, 1}, params, 7);
+  auto& block = chip.block(0);
+  block.add_wear(8000);
+  block.program_random();
+  block.apply_reads(1, 1e6);
+  block.advance_time(7.0);
+  std::uint32_t wl = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(block.count_errors({wl, nand::PageKind::kMsb}));
+    wl = (wl + 1) % block.geometry().wordlines_per_block;
+  }
+  state.SetItemsProcessed(state.iterations() * 8192);
+}
+BENCHMARK(BM_McCountErrorsAged);
+
+// Whole-block random programming: 64-bits-per-draw data generation plus
+// per-cell ground-truth sampling and the exp(-B*v0) cache fill.
+void BM_ProgramRandom(benchmark::State& state) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  nand::Chip chip(nand::Geometry{64, 8192, 1}, params, 8);
+  auto& block = chip.block(0);
+  for (auto _ : state) {
+    block.erase();
+    block.program_random();
+  }
+  state.SetItemsProcessed(state.iterations() * block.geometry().cells_per_block());
+}
+BENCHMARK(BM_ProgramRandom);
+
+// A Vpass identification sweep: one count_blocked_bitlines probe per
+// candidate step, now a binary search over the sorted blocking thresholds.
+void BM_BlockedBitlineSweep(benchmark::State& state) {
+  const auto params = flash::FlashModelParams::default_2ynm();
+  nand::Chip chip(nand::Geometry{64, 8192, 1}, params, 9);
+  auto& block = chip.block(0);
+  block.add_wear(8000);
+  block.program_random();
+  for (auto _ : state) {
+    int total = 0;
+    for (double v = 512.0; v >= 460.0; v -= 2.0)
+      total += block.count_blocked_bitlines(0, v);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_BlockedBitlineSweep);
+
 void BM_AnalyticRber(benchmark::State& state) {
   const flash::RberModel model(flash::FlashModelParams::default_2ynm());
   double pe = 1000.0;

@@ -116,6 +116,34 @@ double Rng::exponential(double rate) {
   return -std::log(1.0 - uniform()) / rate;
 }
 
+void Rng::fill_uniform(double* dst, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = uniform();
+}
+
+void Rng::fill_uniform(double* dst, std::size_t n, double lo, double hi) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = uniform(lo, hi);
+}
+
+void Rng::fill_normal(double* dst, std::size_t n, double mean, double stddev) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = normal(mean, stddev);
+}
+
+void Rng::fill_random_bits(std::uint8_t* dst, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 64 <= n; i += 64) {
+    const std::uint64_t w = next();
+    for (int j = 0; j < 64; ++j)
+      dst[i + j] = static_cast<std::uint8_t>((w >> j) & 1);
+  }
+  if (i < n) {
+    std::uint64_t w = next();
+    for (; i < n; ++i) {
+      dst[i] = static_cast<std::uint8_t>(w & 1);
+      w >>= 1;
+    }
+  }
+}
+
 Rng Rng::fork() { return Rng(next() ^ 0xD1B54A32D192ED03ULL); }
 
 Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_id) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 
@@ -68,6 +69,31 @@ class Rng {
 
   /// Exponential with the given rate (> 0).
   double exponential(double rate);
+
+  // --- Batched fills ---------------------------------------------------
+  // Array-at-a-time draws for the simulator's page-sized operations
+  // (programming a wordline, drawing per-bitline thresholds). Each fill
+  // consumes the stream exactly like the equivalent sequence of scalar
+  // calls, so interleaving scalar and batched draws is deterministic and
+  // order-preserving; fill_random_bits additionally packs 64 data bits
+  // into every raw draw instead of burning one draw per bit.
+
+  /// dst[0..n) = uniform(), in stream order.
+  void fill_uniform(double* dst, std::size_t n);
+
+  /// dst[0..n) = uniform(lo, hi), in stream order.
+  void fill_uniform(double* dst, std::size_t n, double lo, double hi);
+
+  /// dst[0..n) = normal(mean, stddev), in stream order (the Marsaglia
+  /// pair cache carries across the fill boundary exactly as it does for
+  /// scalar calls).
+  void fill_normal(double* dst, std::size_t n, double mean = 0.0,
+                   double stddev = 1.0);
+
+  /// Fills dst[0..n) with random bits (one byte per bit, values 0/1),
+  /// unpacking 64 bits per raw draw, least-significant bit first. A final
+  /// partial word consumes one draw for the remaining bits.
+  void fill_random_bits(std::uint8_t* dst, std::size_t n);
 
   /// Forks an independent child stream; the child is seeded from this
   /// stream's output so subsystems can have decoupled randomness.

@@ -27,7 +27,7 @@ RdrResult ReadDisturbRecovery::recover(nand::Block& block,
   // Errors before recovery, from the pre-disturb measurement.
   for (std::uint32_t bl = 0; bl < geom.bitlines; ++bl) {
     const CellState observed = model.classify(scan1[bl]);
-    const CellState truth = block.cell(wl, bl).programmed;
+    const CellState truth = block.cell_state(wl, bl);
     result.errors_before += flash::bit_errors_between(observed, truth);
   }
 
@@ -94,7 +94,7 @@ RdrResult ReadDisturbRecovery::recover(nand::Block& block,
       }
     }
     result.corrected_states[bl] = observed;
-    const CellState truth = block.cell(wl, bl).programmed;
+    const CellState truth = block.cell_state(wl, bl);
     result.errors_after += flash::bit_errors_between(observed, truth);
   }
   return result;

@@ -26,7 +26,7 @@ RfrResult RetentionFailureRecovery::recover(nand::Block& block,
   const double days_before = block.retention_days();
   for (std::uint32_t bl = 0; bl < geom.bitlines; ++bl) {
     const CellState observed = model.classify(scan1[bl]);
-    const CellState truth = block.cell(wl, bl).programmed;
+    const CellState truth = block.cell_state(wl, bl);
     result.errors_before += flash::bit_errors_between(observed, truth);
   }
 
@@ -91,7 +91,7 @@ RfrResult RetentionFailureRecovery::recover(nand::Block& block,
       }
     }
     result.corrected_states[bl] = observed;
-    const CellState truth = block.cell(wl, bl).programmed;
+    const CellState truth = block.cell_state(wl, bl);
     result.errors_after += flash::bit_errors_between(observed, truth);
   }
   return result;

@@ -71,8 +71,11 @@ int VrefOptimizer::count_errors_with_refs(const nand::Block& block,
                                           const ReadRefs& refs) {
   assert(refs.va < refs.vb && refs.vb < refs.vc);
   int errors = 0;
+  // One batched Vth pass instead of per-cell present_vth calls (which
+  // would re-derive the page's dose/age invariants per bitline).
+  const std::vector<double> vth = block.present_vth_page(wl);
   for (std::uint32_t bl = 0; bl < block.geometry().bitlines; ++bl) {
-    const double v = block.present_vth(wl, bl);
+    const double v = vth[bl];
     CellState observed;
     if (v < refs.va)
       observed = CellState::kEr;
@@ -82,8 +85,7 @@ int VrefOptimizer::count_errors_with_refs(const nand::Block& block,
       observed = CellState::kP2;
     else
       observed = CellState::kP3;
-    errors +=
-        flash::bit_errors_between(observed, block.cell(wl, bl).programmed);
+    errors += flash::bit_errors_between(observed, block.cell_state(wl, bl));
   }
   return errors;
 }

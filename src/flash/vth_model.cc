@@ -5,8 +5,58 @@
 #include <cmath>
 
 #include "common/stats.h"
+#include "flash/vmath.h"
 
 namespace rdsim::flash {
+namespace {
+
+/// Per-cell sense arithmetic shared by every scalar and batched entry
+/// point. The retention/disturb stages are compile-time flags so the four
+/// (dose, days) regimes each get a tight branch-free loop body; the scalar
+/// wrappers dispatch to the same instantiations, which is what makes batch
+/// and scalar sensing bit-identical.
+template <bool kDose, bool kRet>
+inline double present_cell(const FlashModelParams& p,
+                           const VthModel::SenseCoeffs& c, double v0,
+                           double seed, double susceptibility,
+                           double leak_rate) {
+  double v = v0;
+  if constexpr (kRet) {
+    // retention_shift(), with log1p(days/tau) and the wear factor hoisted
+    // into the coefficients. sqrt(max(h,0)) + select keeps the erased-cell
+    // guard branch-free without ever taking sqrt of a negative.
+    const double headroom = v0 - p.states[0].mean;
+    const double shift =
+        -p.ret_coeff * std::sqrt(std::max(headroom, 0.0)) * c.ret_l * c.ret_w;
+    v = v0 + leak_rate * (headroom > 0.0 ? shift : 0.0);
+  }
+  if constexpr (kDose) {
+    // apply_disturb(), reusing the cached exp(-B*v0) when no retention
+    // moved the cell. The exponential is float-rounded like the cache so
+    // the cached and recomputed paths stay bit-identical.
+    const double e =
+        kRet ? static_cast<double>(
+                   static_cast<float>(vmath::vexp(-p.disturb_b * v)))
+             : seed;
+    const double y = p.disturb_a * susceptibility * p.disturb_b * c.dose * e;
+    v = v + vmath::vlog1p(y) / p.disturb_b;
+  }
+  return v;
+}
+
+template <bool kDose, bool kRet>
+void present_batch(const FlashModelParams& p, const VthModel::SenseCoeffs& c,
+                   const CellSoaView& cells, double* out) {
+  for (std::size_t i = 0; i < cells.n; ++i) {
+    out[i] = present_cell<kDose, kRet>(
+        p, c, static_cast<double>(cells.v0[i]),
+        static_cast<double>(cells.disturb_seed[i]),
+        static_cast<double>(cells.susceptibility[i]),
+        static_cast<double>(cells.leak_rate[i]));
+  }
+}
+
+}  // namespace
 
 bool FlashModelParams::is_sane() const {
   const bool refs_ordered = 0 < vref_a && vref_a < vref_b && vref_b < vref_c &&
@@ -52,6 +102,8 @@ CellGroundTruth VthModel::sample_program(CellState state, double pe_cycles,
   }
   cell.v0 = static_cast<float>(
       rng.normal(state_mean(landed, pe_cycles), state_sd(landed, pe_cycles)));
+  // Scalar std::exp on purpose: this RNG-serial loop cannot vectorize, and
+  // libm's scalar exp beats vmath::vexp's long Horner dependency chain.
   cell.susceptibility =
       static_cast<float>(std::exp(rng.normal(0.0, params_.disturb_sigma)));
   cell.leak_rate =
@@ -72,12 +124,15 @@ double VthModel::apply_disturb(double v0, double susceptibility,
                                double dose) const {
   if (dose <= 0.0) return v0;
   const double b = params_.disturb_b;
-  const double a = params_.disturb_a * susceptibility;
   // V(D) = (1/B) ln(exp(B V0) + A B D); evaluate via the shift form to stay
   // numerically stable for large V0:
   //   V - V0 = (1/B) ln(1 + A B D exp(-B V0)).
-  const double y = a * b * dose * std::exp(-b * v0);
-  return v0 + std::log1p(y) / b;
+  // The exponential carries float precision — it is the value the sense
+  // kernel caches per cell (disturb_seed), and present_vth must remain the
+  // exact composition of retention_shift and this function.
+  const double y = params_.disturb_a * susceptibility * b * dose *
+                   static_cast<double>(disturb_seed(v0));
+  return v0 + vmath::vlog1p(y) / b;
 }
 
 double VthModel::retention_shift(double v0, double days,
@@ -91,12 +146,65 @@ double VthModel::retention_shift(double v0, double days,
          std::log1p(days / params_.ret_tau_days) * wear;
 }
 
+float VthModel::disturb_seed(double v0) const {
+  return static_cast<float>(vmath::vexp(-params_.disturb_b * v0));
+}
+
+VthModel::SenseCoeffs VthModel::sense_coeffs(double dose, double days,
+                                             double pe_cycles) const {
+  SenseCoeffs c;
+  c.dose = dose;
+  c.days = days;
+  c.has_dose = dose > 0.0;
+  c.has_ret = days > 0.0;
+  if (c.has_ret) {
+    c.ret_l = std::log1p(days / params_.ret_tau_days);
+    c.ret_w = 1.0 + pe_cycles / params_.ret_wear_pe;
+  }
+  return c;
+}
+
+void VthModel::present_vth_batch(const CellSoaView& cells,
+                                 const SenseCoeffs& coeffs,
+                                 double* out) const {
+  if (coeffs.has_dose) {
+    if (coeffs.has_ret)
+      present_batch<true, true>(params_, coeffs, cells, out);
+    else
+      present_batch<true, false>(params_, coeffs, cells, out);
+  } else {
+    if (coeffs.has_ret)
+      present_batch<false, true>(params_, coeffs, cells, out);
+    else
+      present_batch<false, false>(params_, coeffs, cells, out);
+  }
+}
+
+double VthModel::present_vth_cached(const SenseCoeffs& coeffs, double v0,
+                                    double disturb_seed, double susceptibility,
+                                    double leak_rate) const {
+  if (coeffs.has_dose) {
+    if (coeffs.has_ret)
+      return present_cell<true, true>(params_, coeffs, v0, disturb_seed,
+                                      susceptibility, leak_rate);
+    return present_cell<true, false>(params_, coeffs, v0, disturb_seed,
+                                     susceptibility, leak_rate);
+  }
+  if (coeffs.has_ret)
+    return present_cell<false, true>(params_, coeffs, v0, disturb_seed,
+                                     susceptibility, leak_rate);
+  return present_cell<false, false>(params_, coeffs, v0, disturb_seed,
+                                    susceptibility, leak_rate);
+}
+
 double VthModel::present_vth(const CellGroundTruth& cell, double dose,
                              double days, double pe_cycles) const {
-  const double retained =
-      cell.v0 +
-      cell.leak_rate * retention_shift(cell.v0, days, pe_cycles);
-  return apply_disturb(retained, cell.susceptibility, dose);
+  const SenseCoeffs c = sense_coeffs(dose, days, pe_cycles);
+  return present_vth_cached(
+      c, static_cast<double>(cell.v0),
+      static_cast<double>(disturb_seed(static_cast<double>(cell.v0))),
+      static_cast<double>(cell.susceptibility),
+      static_cast<double>(cell.leak_rate));
 }
 
 CellState VthModel::classify(double vth) const {
@@ -104,6 +212,19 @@ CellState VthModel::classify(double vth) const {
   if (vth < params_.vref_b) return CellState::kP1;
   if (vth < params_.vref_c) return CellState::kP2;
   return CellState::kP3;
+}
+
+void VthModel::classify_batch(const double* vth, std::size_t n,
+                              std::uint8_t* out) const {
+  const double va = params_.vref_a, vb = params_.vref_b, vc = params_.vref_c;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = vth[i];
+    // Same result as classify(): the references are ordered, so counting
+    // crossed references yields the state index.
+    out[i] = static_cast<std::uint8_t>(static_cast<int>(v >= va) +
+                                       static_cast<int>(v >= vb) +
+                                       static_cast<int>(v >= vc));
+  }
 }
 
 double VthModel::pdf_intersection(CellState lower, double pe_cycles,

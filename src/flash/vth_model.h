@@ -5,7 +5,18 @@
 // and accumulated read-disturb dose. This is the ground-truth model that the
 // Monte Carlo chip simulator (src/nand) evaluates per cell, and that the
 // analytic RBER model approximates in closed form.
+//
+// The chip simulator stores cells as structure-of-arrays and senses whole
+// wordlines at a time: the per-page loop invariants are hoisted once into
+// SenseCoeffs, the per-cell disturb transform exp(-B*v0) is cached
+// (disturb_seed), and present_vth_batch/classify_batch are
+// straight-line loops over contiguous arrays that auto-vectorize. The
+// scalar entry points dispatch to the same per-cell arithmetic, so batch
+// and scalar sensing are bit-identical.
 #pragma once
+
+#include <cstddef>
+#include <cstdint>
 
 #include "common/rng.h"
 #include "flash/params.h"
@@ -20,6 +31,18 @@ struct CellGroundTruth {
   float susceptibility = 1.0F;  ///< Per-cell disturb multiplier (lognormal).
   float leak_rate = 1.0F;    ///< Per-cell retention-leak multiplier
                              ///< (lognormal); RFR's classification signal.
+};
+
+/// Structure-of-arrays view of a contiguous run of cells (one wordline).
+/// All pointers address `n` elements; none may be null.
+struct CellSoaView {
+  const std::uint8_t* programmed;  ///< Intended CellState per cell.
+  const float* v0;                 ///< Post-program Vth.
+  const float* susceptibility;     ///< Disturb multiplier.
+  const float* leak_rate;          ///< Retention-leak multiplier.
+  const float* disturb_seed;       ///< exp(-disturb_b * v0), cached on
+                                   ///< first sense (VthModel::disturb_seed).
+  std::size_t n;
 };
 
 /// Evaluates the Vth physics for a given parameter set.
@@ -66,6 +89,42 @@ class VthModel {
   /// block's disturb dose, retention age, and wear.
   double present_vth(const CellGroundTruth& cell, double dose, double days,
                      double pe_cycles) const;
+
+  /// The cacheable per-cell factor of the disturb law: exp(-B * v0),
+  /// rounded to float (the cache's storage type). Senses at zero retention
+  /// age reuse it instead of re-evaluating the exponential per cell per
+  /// read.
+  float disturb_seed(double v0) const;
+
+  /// Page-invariant sense coefficients, hoisted once per wordline. Opaque
+  /// to callers; produced by sense_coeffs() and consumed by the batch/
+  /// cached entry points below.
+  struct SenseCoeffs {
+    double dose = 0.0;       ///< Block dose experienced by the wordline.
+    double days = 0.0;       ///< Retention age.
+    double ret_l = 0.0;      ///< log1p(days / ret_tau_days).
+    double ret_w = 0.0;      ///< 1 + pe/ret_wear_pe.
+    bool has_dose = false;   ///< dose > 0 (disturb stage enabled).
+    bool has_ret = false;    ///< days > 0 (retention stage enabled).
+  };
+  SenseCoeffs sense_coeffs(double dose, double days, double pe_cycles) const;
+
+  /// Batched present Vth: writes the present threshold voltage of
+  /// cells[0..n) to out[0..n) in one pass. Bit-identical to calling
+  /// present_vth per cell.
+  void present_vth_batch(const CellSoaView& cells, const SenseCoeffs& coeffs,
+                         double* out) const;
+
+  /// Scalar companion of present_vth_batch for one cell with its cached
+  /// disturb seed.
+  double present_vth_cached(const SenseCoeffs& coeffs, double v0,
+                            double disturb_seed, double susceptibility,
+                            double leak_rate) const;
+
+  /// Branchless batched classification of vth[0..n) against the read
+  /// references; out[i] is the CellState as a byte. Identical to classify.
+  void classify_batch(const double* vth, std::size_t n,
+                      std::uint8_t* out) const;
 
   /// Hard-decision state for a threshold voltage using the three read
   /// references (Va, Vb, Vc).

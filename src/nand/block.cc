@@ -5,26 +5,88 @@
 #include <cmath>
 #include <limits>
 
+#include "flash/vmath.h"
+
 namespace rdsim::nand {
 
 using flash::CellState;
+
+namespace {
+
+/// Data bit of a state byte, as branch-free arithmetic the vectorizer can
+/// keep in byte lanes (equivalent to flash::lsb_of / flash::msb_of).
+constexpr std::uint8_t lsb_bit(std::uint8_t state) {
+  return static_cast<std::uint8_t>(1u ^ (state >> 1));
+}
+constexpr std::uint8_t msb_bit(std::uint8_t state) {
+  return static_cast<std::uint8_t>(
+      1u ^ (((static_cast<unsigned>(state) + 1u) >> 1) & 1u));
+}
+
+constexpr bool bit_tables_match() {
+  for (int s = 0; s < 4; ++s) {
+    const auto state = static_cast<CellState>(s);
+    if (lsb_bit(static_cast<std::uint8_t>(s)) != flash::lsb_of(state))
+      return false;
+    if (msb_bit(static_cast<std::uint8_t>(s)) != flash::msb_of(state))
+      return false;
+  }
+  return true;
+}
+static_assert(bit_tables_match(),
+              "branch-free bit extraction must match the Gray code of "
+              "flash/types.h");
+
+}  // namespace
 
 Block::Block(const Geometry& geometry, const flash::VthModel& model, Rng rng)
     : geometry_(geometry),
       model_(&model),
       rng_(rng),
-      cells_(geometry.cells_per_block()),
+      cell_count_(geometry.cells_per_block()),
+      // One uninitialized allocation for all per-cell arrays: 4 float
+      // fields plus the state bytes (the byte view of the tail floats is
+      // legal — unsigned char may alias anything). reset_cells() below
+      // writes the erased defaults; the seed field stays untouched until
+      // its lazy fill.
+      cell_arena_(std::make_unique_for_overwrite<float[]>(
+          4 * cell_count_ + (cell_count_ + 3) / 4)),
+      v0_(cell_arena_.get()),
+      susceptibility_(v0_ + cell_count_),
+      leak_rate_(susceptibility_ + cell_count_),
+      disturb_seed_(leak_rate_ + cell_count_),
+      state_(reinterpret_cast<std::uint8_t*>(disturb_seed_ + cell_count_)),
+      seed_valid_(geometry.wordlines_per_block, 0),
       vpass_(model.params().vpass_nominal),
       self_dose_(geometry.wordlines_per_block, 0.0),
       blocking_threshold_(geometry.bitlines,
-                          std::numeric_limits<float>::infinity()) {}
+                          std::numeric_limits<float>::infinity()),
+      blocking_sorted_(geometry.bitlines,
+                       std::numeric_limits<float>::infinity()),
+      vth_scratch_(geometry.bitlines, 0.0),
+      state_scratch_(geometry.bitlines, 0) {
+  reset_cells();
+}
+
+void Block::reset_cells() {
+  // Erased ground truth: CellState::kEr with default multipliers. ER
+  // stores data bits (1,1) in the Gray code. The exp(-B*v0) cache is not
+  // rewritten — invalidating the per-wordline flags is enough.
+  std::fill_n(state_, cell_count_, std::uint8_t{0});
+  std::fill_n(v0_, cell_count_, 0.0F);
+  std::fill_n(susceptibility_, cell_count_, 1.0F);
+  std::fill_n(leak_rate_, cell_count_, 1.0F);
+  std::fill(seed_valid_.begin(), seed_valid_.end(), std::uint8_t{0});
+}
 
 void Block::erase() {
-  for (auto& c : cells_) c = flash::CellGroundTruth{};
+  reset_cells();
   programmed_ = false;
   dose_total_ = 0.0;
   std::fill(self_dose_.begin(), self_dose_.end(), 0.0);
   std::fill(blocking_threshold_.begin(), blocking_threshold_.end(),
+            std::numeric_limits<float>::infinity());
+  std::fill(blocking_sorted_.begin(), blocking_sorted_.end(),
             std::numeric_limits<float>::infinity());
 }
 
@@ -35,10 +97,15 @@ void Block::add_wear(std::uint32_t pe) {
 
 void Block::program_random() {
   PageBits lsb(geometry_.bitlines), msb(geometry_.bitlines);
+  // One 64-bit draw yields 64 data bits; cells still receive their (LSB,
+  // MSB) pair in bitline order, LSB first, exactly as the per-bit draws
+  // did.
+  std::vector<std::uint8_t> bits(2 * static_cast<std::size_t>(geometry_.bitlines));
   for (std::uint32_t wl = 0; wl < geometry_.wordlines_per_block; ++wl) {
+    rng_.fill_random_bits(bits.data(), bits.size());
     for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl) {
-      lsb[bl] = static_cast<std::uint8_t>(rng_.next() & 1);
-      msb[bl] = static_cast<std::uint8_t>(rng_.next() & 1);
+      lsb[bl] = bits[2 * static_cast<std::size_t>(bl)];
+      msb[bl] = bits[2 * static_cast<std::size_t>(bl) + 1];
     }
     program_wordline(wl, lsb, msb);
   }
@@ -49,9 +116,17 @@ void Block::program_wordline(std::uint32_t wl, const PageBits& lsb,
   assert(wl < geometry_.wordlines_per_block);
   assert(lsb.size() == geometry_.bitlines && msb.size() == geometry_.bitlines);
   const double pe = pe_cycles_;
+  const std::size_t base = index(wl, 0);
+  seed_valid_[wl] = 0;  // The exp(-B*v0) cache refills on the next sense.
   for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl) {
     const CellState state = flash::state_of_bits(lsb[bl], msb[bl]);
-    cells_[index(wl, bl)] = model_->sample_program(state, pe, rng_);
+    const flash::CellGroundTruth cell =
+        model_->sample_program(state, pe, rng_);
+    const std::size_t i = base + bl;
+    state_[i] = static_cast<std::uint8_t>(cell.programmed);
+    v0_[i] = cell.v0;
+    susceptibility_[i] = cell.susceptibility;
+    leak_rate_[i] = cell.leak_rate;
   }
   if (wl + 1 == geometry_.wordlines_per_block) {
     // Whole block programmed: account the P/E cycle, timestamp the data,
@@ -61,10 +136,12 @@ void Block::program_wordline(std::uint32_t wl, const PageBits& lsb,
     programmed_ = true;
     programmed_day_ = now_days_;
     const auto& p = model_->params();
-    for (auto& thr : blocking_threshold_) {
-      thr = static_cast<float>(
-          rng_.normal(p.tail_mean + p.mc_tail_mean_adjust, p.tail_sd));
-    }
+    rng_.fill_normal(vth_scratch_.data(), vth_scratch_.size(),
+                     p.tail_mean + p.mc_tail_mean_adjust, p.tail_sd);
+    for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl)
+      blocking_threshold_[bl] = static_cast<float>(vth_scratch_[bl]);
+    blocking_sorted_ = blocking_threshold_;
+    std::sort(blocking_sorted_.begin(), blocking_sorted_.end());
   }
 }
 
@@ -88,9 +165,51 @@ double Block::dose_for_wordline(std::uint32_t wl) const {
   return dose;
 }
 
+void Block::ensure_disturb_seed(std::uint32_t wl) const {
+  if (seed_valid_[wl] != 0) return;
+  const std::size_t base = index(wl, 0);
+  const float* v0 = v0_ + base;
+  float* seed = disturb_seed_ + base;
+  const double b = model_->params().disturb_b;
+  // Straight-line vexp (same expression as VthModel::disturb_seed): this
+  // loop vectorizes, so the one-time fill costs a few ns per cell and
+  // every later sense of the wordline reuses it.
+  for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl)
+    seed[bl] = static_cast<float>(
+        flash::vmath::vexp(-b * static_cast<double>(v0[bl])));
+  seed_valid_[wl] = 1;
+}
+
 double Block::present_vth(std::uint32_t wl, std::uint32_t bl) const {
-  return model_->present_vth(cells_[index(wl, bl)], dose_for_wordline(wl),
-                             retention_days(), pe_cycles_);
+  const auto coeffs = model_->sense_coeffs(dose_for_wordline(wl),
+                                           retention_days(), pe_cycles_);
+  ensure_disturb_seed(wl);
+  const std::size_t i = index(wl, bl);
+  return model_->present_vth_cached(
+      coeffs, static_cast<double>(v0_[i]), disturb_seed_[i],
+      static_cast<double>(susceptibility_[i]),
+      static_cast<double>(leak_rate_[i]));
+}
+
+void Block::present_vth_into(std::uint32_t wl, double* out) const {
+  const auto coeffs = model_->sense_coeffs(dose_for_wordline(wl),
+                                           retention_days(), pe_cycles_);
+  ensure_disturb_seed(wl);
+  const std::size_t base = index(wl, 0);
+  const flash::CellSoaView view{state_ + base,
+                                v0_ + base,
+                                susceptibility_ + base,
+                                leak_rate_ + base,
+                                disturb_seed_ + base,
+                                geometry_.bitlines};
+  model_->present_vth_batch(view, coeffs, out);
+}
+
+std::vector<double> Block::present_vth_page(std::uint32_t wl) const {
+  assert(wl < geometry_.wordlines_per_block);
+  std::vector<double> out(geometry_.bitlines);
+  present_vth_into(wl, out.data());
+  return out;
 }
 
 double Block::blocking_drop() const {
@@ -98,59 +217,62 @@ double Block::blocking_drop() const {
          std::log1p(std::max(retention_days(), 0.0));
 }
 
-double Block::present_blocking(std::uint32_t bl) const {
-  return static_cast<double>(blocking_threshold_[bl]) - blocking_drop();
-}
-
-Block::SenseContext Block::sense_context(std::uint32_t wl) const {
-  return SenseContext{dose_for_wordline(wl), retention_days(),
-                      blocking_drop()};
-}
-
-CellState Block::sense(const SenseContext& ctx, std::uint32_t wl,
-                       std::uint32_t bl, bool* blocked) const {
-  // Pass-through check: if the bitline's blocking threshold exceeds the
+void Block::sense_page(std::uint32_t wl) const {
+  present_vth_into(wl, vth_scratch_.data());
+  model_->classify_batch(vth_scratch_.data(), geometry_.bitlines,
+                         state_scratch_.data());
+  // Pass-through override: if a bitline's blocking threshold exceeds the
   // present Vpass, some unread cell fails to conduct and the whole string
   // senses as non-conducting — i.e. as the highest state.
-  if (static_cast<double>(blocking_threshold_[bl]) - ctx.blocking_drop >
-      vpass_) {
-    if (blocked != nullptr) *blocked = true;
-    return CellState::kP3;
+  const double drop = blocking_drop();
+  const double vpass = vpass_;
+  const float* thr = blocking_threshold_.data();
+  std::uint8_t* states = state_scratch_.data();
+  for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl) {
+    const bool blocked = static_cast<double>(thr[bl]) - drop > vpass;
+    states[bl] = blocked ? static_cast<std::uint8_t>(CellState::kP3)
+                         : states[bl];
   }
-  if (blocked != nullptr) *blocked = false;
-  return model_->classify(model_->present_vth(cells_[index(wl, bl)], ctx.dose,
-                                              ctx.days, pe_cycles_));
 }
 
 ReadResult Block::read_page(PageAddress address) {
   assert(programmed_);
   ReadResult result;
   result.bits.resize(geometry_.bitlines);
-  const SenseContext ctx = sense_context(address.wordline);
-  for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl) {
-    const CellState observed = sense(ctx, address.wordline, bl, nullptr);
-    const CellState truth = cells_[index(address.wordline, bl)].programmed;
-    const int bit = address.kind == PageKind::kLsb ? flash::lsb_of(observed)
-                                                   : flash::msb_of(observed);
-    const int want = address.kind == PageKind::kLsb ? flash::lsb_of(truth)
-                                                    : flash::msb_of(truth);
-    result.bits[bl] = static_cast<std::uint8_t>(bit);
-    result.raw_bit_errors += bit != want;
+  sense_page(address.wordline);
+  const std::size_t base = index(address.wordline, 0);
+  const std::uint8_t* sensed = state_scratch_.data();
+  const std::uint8_t* truth = state_ + base;
+  std::uint8_t* bits = result.bits.data();
+  int errors = 0;
+  if (address.kind == PageKind::kLsb) {
+    for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl) {
+      bits[bl] = lsb_bit(sensed[bl]);
+      errors += bits[bl] != lsb_bit(truth[bl]);
+    }
+  } else {
+    for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl) {
+      bits[bl] = msb_bit(sensed[bl]);
+      errors += bits[bl] != msb_bit(truth[bl]);
+    }
   }
+  result.raw_bit_errors = errors;
   apply_reads(address.wordline, 1.0);
   return result;
 }
 
 int Block::count_errors(PageAddress address) const {
+  sense_page(address.wordline);
+  const std::size_t base = index(address.wordline, 0);
+  const std::uint8_t* sensed = state_scratch_.data();
+  const std::uint8_t* truth = state_ + base;
   int errors = 0;
-  const SenseContext ctx = sense_context(address.wordline);
-  for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl) {
-    const CellState observed = sense(ctx, address.wordline, bl, nullptr);
-    const CellState truth = cells_[index(address.wordline, bl)].programmed;
-    if (address.kind == PageKind::kLsb)
-      errors += flash::lsb_of(observed) != flash::lsb_of(truth);
-    else
-      errors += flash::msb_of(observed) != flash::msb_of(truth);
+  if (address.kind == PageKind::kLsb) {
+    for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl)
+      errors += lsb_bit(sensed[bl]) != lsb_bit(truth[bl]);
+  } else {
+    for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl)
+      errors += msb_bit(sensed[bl]) != msb_bit(truth[bl]);
   }
   return errors;
 }
@@ -158,21 +280,23 @@ int Block::count_errors(PageAddress address) const {
 int Block::count_blocked_bitlines(std::uint32_t wl, double vpass) const {
   (void)wl;  // The blocker is virtually never on the addressed wordline.
   const double drop = blocking_drop();
-  int blocked = 0;
-  for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl)
-    blocked += static_cast<double>(blocking_threshold_[bl]) - drop > vpass;
-  return blocked;
+  // blocking_sorted_ ascends and t -> t - drop is monotone, so "blocked"
+  // is a suffix; the partition point gives the same count the per-bitline
+  // scan did, in O(log bitlines).
+  const auto first_blocked = std::partition_point(
+      blocking_sorted_.begin(), blocking_sorted_.end(), [&](float t) {
+        return !(static_cast<double>(t) - drop > vpass);
+      });
+  return static_cast<int>(blocking_sorted_.end() - first_blocked);
 }
 
 std::vector<double> Block::read_retry_scan(std::uint32_t wl, double lo,
                                            double hi, double step) const {
   assert(step > 0.0 && hi > lo);
   std::vector<double> out(geometry_.bitlines);
-  const double dose = dose_for_wordline(wl);
-  const double days = retention_days();
+  present_vth_into(wl, out.data());
   for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl) {
-    const double v =
-        model_->present_vth(cells_[index(wl, bl)], dose, days, pe_cycles_);
+    const double v = out[bl];
     if (v < lo) {
       out[bl] = lo;
     } else if (v >= hi) {

@@ -9,10 +9,19 @@
 //   (2) pass-through failures — with a relaxed Vpass, the highest-Vth cell
 //       elsewhere on a bitline can fail to conduct, corrupting the sensed
 //       value of the cell actually being read.
+//
+// Cells are stored structure-of-arrays (one contiguous array per ground
+// truth field, wordline-major) so a page sense is a handful of
+// auto-vectorized passes over contiguous memory instead of a per-cell
+// scalar loop: batched present-Vth (flash::VthModel::present_vth_batch,
+// reusing a per-wordline exp(-B*v0) cache filled on first sense),
+// branchless classification, and a bit-compare against the programmed
+// data pages.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -87,14 +96,34 @@ class Block {
   /// Count of bitlines that fail to conduct (read as all-off) for a read
   /// of wordline `wl` at pass-through voltage `vpass` — Step 2 of the
   /// paper's Vpass identification counts exactly this "number of 0s".
+  /// O(log bitlines): a binary search over the sorted blocking thresholds
+  /// kept since program time, so Vpass sweeps don't rescan the block.
   int count_blocked_bitlines(std::uint32_t wl, double vpass) const;
 
   /// Present threshold voltage of one cell.
   double present_vth(std::uint32_t wl, std::uint32_t bl) const;
 
-  /// Ground truth record of one cell.
-  const flash::CellGroundTruth& cell(std::uint32_t wl, std::uint32_t bl) const {
-    return cells_[index(wl, bl)];
+  /// Present threshold voltages of every cell on wordline `wl`, computed
+  /// by one batched pass (bit-identical to present_vth per cell).
+  std::vector<double> present_vth_page(std::uint32_t wl) const;
+
+  /// Intended (programmed) state of one cell.
+  flash::CellState cell_state(std::uint32_t wl, std::uint32_t bl) const {
+    return static_cast<flash::CellState>(state_[index(wl, bl)]);
+  }
+
+  /// Ground truth record of one cell, assembled from the SoA store.
+  flash::CellGroundTruth cell(std::uint32_t wl, std::uint32_t bl) const {
+    const std::size_t i = index(wl, bl);
+    return {static_cast<flash::CellState>(state_[i]), v0_[i],
+            susceptibility_[i], leak_rate_[i]};
+  }
+
+  /// Day-0 pass-through blocking threshold of one bitline: the lowest
+  /// Vpass at which every cell on the bitline's string conducts (retention
+  /// drifts the effective value down; +inf while erased).
+  double blocking_threshold(std::uint32_t bl) const {
+    return static_cast<double>(blocking_threshold_[bl]);
   }
 
   /// Read-retry scan: quantized threshold voltage of every cell on
@@ -113,30 +142,57 @@ class Block {
     return static_cast<std::size_t>(wl) * geometry_.bitlines + bl;
   }
 
-  /// Loop invariants of a whole-page sense operation, hoisted out of the
-  /// per-bitline hot loop: the wordline's disturb dose, the data age, and
-  /// the retention drift of the blocking thresholds are identical for
-  /// every cell of the page.
-  struct SenseContext {
-    double dose = 0.0;           ///< dose_for_wordline(wl).
-    double days = 0.0;           ///< retention_days().
-    double blocking_drop = 0.0;  ///< Retention drift of blocking thresholds.
-  };
-  SenseContext sense_context(std::uint32_t wl) const;
-
   /// Retention drift of the blocking thresholds at the present age (the
-  /// single source of truth for the term present_blocking subtracts).
+  /// single source of truth for the drop the blocking checks subtract).
   double blocking_drop() const;
 
-  /// Sense one cell against the references; returns the observed state.
-  flash::CellState sense(const SenseContext& ctx, std::uint32_t wl,
-                         std::uint32_t bl, bool* blocked) const;
+  /// Batched whole-wordline sense into the scratch buffers: present Vth
+  /// (vth_scratch_), classification, and the pass-through blocking
+  /// override (state_scratch_). Valid until the next sense on this block.
+  void sense_page(std::uint32_t wl) const;
+
+  /// Batched present Vth of wordline `wl` into out[0..bitlines).
+  void present_vth_into(std::uint32_t wl, double* out) const;
 
   Geometry geometry_;
   const flash::VthModel* model_;
   Rng rng_;
 
-  std::vector<flash::CellGroundTruth> cells_;
+  // Structure-of-arrays cell ground truth, wordline-major, all fields
+  // carved out of one uninitialized arena allocation — characterization
+  // experiments construct whole chips per measurement point, so block
+  // setup cost is page-fault-bound and five separate eagerly-initialized
+  // vectors measurably tax them. reset_cells() writes the erased
+  // defaults. The programmed data bits are not stored separately: state_
+  // is the intended state and the Gray code is a bijection, so error
+  // counting derives both sensed and truth bits from state bytes with
+  // the same branch-free arithmetic.
+  //
+  // disturb_seed_ is the cached disturb transform exp(-B*v0) per cell,
+  // filled lazily one wordline at a time by a vectorized pass on the
+  // first sense after (re)programming — characterization workloads
+  // program millions of cells but sense a few wordlines many times, so
+  // paying the exp at program time would tax the program-heavy
+  // experiments instead. Stored as float: a few-ulp-of-float error on
+  // the cached exponential is far below the model's fidelity (the sense
+  // paths round it identically everywhere).
+  std::size_t cell_count_ = 0;
+  std::unique_ptr<float[]> cell_arena_;
+  float* v0_ = nullptr;
+  float* susceptibility_ = nullptr;
+  float* leak_rate_ = nullptr;
+  float* disturb_seed_ = nullptr;  ///< Lazily filled (data mutable via
+                                   ///< const sense paths).
+  std::uint8_t* state_ = nullptr;  ///< Intended CellState bytes.
+  mutable std::vector<std::uint8_t> seed_valid_;  ///< Per wordline.
+
+  /// Resets every cell to the erased ground truth (ER, default
+  /// multipliers) and invalidates the seed cache.
+  void reset_cells();
+
+  /// Fills disturb_seed_ for wordline `wl` if not already valid.
+  void ensure_disturb_seed(std::uint32_t wl) const;
+
   std::uint32_t pe_cycles_ = 0;
   bool programmed_ = false;
   double vpass_;
@@ -154,8 +210,15 @@ class Block {
   /// read, so no self-exclusion is modeled.
   std::vector<float> blocking_threshold_;
 
-  /// Present blocking threshold of a bitline (retention drift applied).
-  double present_blocking(std::uint32_t bl) const;
+  /// Ascending copy of blocking_threshold_, rebuilt at program/erase time;
+  /// count_blocked_bitlines binary-searches it instead of rescanning.
+  std::vector<float> blocking_sorted_;
+
+  /// Whole-page sense scratch (bitlines elements each). Mutable so const
+  /// reads can batch; a Block is not meant to be sensed concurrently from
+  /// multiple threads (experiment shards own their chips).
+  mutable std::vector<double> vth_scratch_;
+  mutable std::vector<std::uint8_t> state_scratch_;
 };
 
 }  // namespace rdsim::nand

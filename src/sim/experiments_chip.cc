@@ -120,10 +120,10 @@ Table run_fig09(ExperimentContext& ctx) {
     Histogram er(0.0, 200.0, 100), p1(0.0, 200.0, 100);
     const auto scan = block.read_retry_scan(wl, 0.0, 520.0, 1.0);
     for (std::uint32_t bl = 0; bl < block.geometry().bitlines; ++bl) {
-      const auto& cell = block.cell(wl, bl);
-      if (cell.programmed == flash::CellState::kEr)
+      const flash::CellState programmed = block.cell_state(wl, bl);
+      if (programmed == flash::CellState::kEr)
         er.add(scan[bl]);
-      else if (cell.programmed == flash::CellState::kP1)
+      else if (programmed == flash::CellState::kP1)
         p1.add(scan[bl]);
     }
     table.new_section();

@@ -199,6 +199,72 @@ TEST_F(BlockTest, RetentionLowersProgrammedVth) {
   }
 }
 
+TEST_F(BlockTest, BlockedCountMatchesLinearThresholdScan) {
+  // count_blocked_bitlines binary-searches a sorted copy of the blocking
+  // thresholds; it must agree with the direct per-bitline definition at
+  // day 0 (no retention drift term).
+  auto& b = chip_.block(0);
+  b.add_wear(8000);
+  b.program_random();
+  for (double v = 520.0; v >= 380.0; v -= 1.7) {
+    int linear = 0;
+    for (std::uint32_t bl = 0; bl < geom_.bitlines; ++bl)
+      linear += b.blocking_threshold(bl) > v;
+    EXPECT_EQ(b.count_blocked_bitlines(0, v), linear) << v;
+  }
+}
+
+TEST_F(BlockTest, ErasedBlockBlocksEverything) {
+  // Erased strings have +inf blocking thresholds by convention.
+  const auto& b = chip_.block(0);
+  EXPECT_EQ(b.count_blocked_bitlines(0, 512.0),
+            static_cast<int>(geom_.bitlines));
+}
+
+TEST_F(BlockTest, PresentVthPageMatchesScalarAccessor) {
+  auto& b = chip_.block(0);
+  b.add_wear(8000);
+  b.program_random();
+  b.apply_reads(3, 4e5);
+  b.advance_time(2.0);
+  const auto page = b.present_vth_page(5);
+  ASSERT_EQ(page.size(), geom_.bitlines);
+  for (std::uint32_t bl = 0; bl < geom_.bitlines; ++bl)
+    EXPECT_EQ(page[bl], b.present_vth(5, bl)) << bl;  // Bit-identical.
+}
+
+TEST_F(BlockTest, CellAccessorsAgree) {
+  auto& b = chip_.block(0);
+  b.program_random();
+  for (std::uint32_t bl = 0; bl < 64; ++bl) {
+    const auto cell = b.cell(7, bl);
+    EXPECT_EQ(cell.programmed, b.cell_state(7, bl));
+    EXPECT_GT(cell.susceptibility, 0.0F);
+    EXPECT_GT(cell.leak_rate, 0.0F);
+  }
+}
+
+TEST_F(BlockTest, ProgramRandomBitAssignmentMatchesDrawStream) {
+  // program_random unpacks 64 data bits per raw draw, wordline by
+  // wordline, (LSB, MSB) per bitline in order; the stored ground truth
+  // must match an *independent* unpacking of the same stream — this
+  // pins the assignment order itself, not just determinism.
+  auto& b = chip_.block(1);
+  b.program_random();
+  // Mirror the block's private stream: Chip seeds block i with the i-th
+  // fork of Rng(seed); this fixture's chip seed is 11.
+  Rng root(11);
+  root.fork();               // Block 0's stream.
+  Rng mirror = root.fork();  // Block 1's stream.
+  std::vector<std::uint8_t> bits(2 * static_cast<std::size_t>(geom_.bitlines));
+  mirror.fill_random_bits(bits.data(), bits.size());
+  for (std::uint32_t bl = 0; bl < geom_.bitlines; ++bl) {
+    ASSERT_EQ(b.cell_state(0, bl),
+              flash::state_of_bits(bits[2 * bl], bits[2 * bl + 1]))
+        << bl;
+  }
+}
+
 TEST(Randomizer, RoundTripAndKeyVariation) {
   Randomizer r;
   std::vector<std::uint8_t> data(257);

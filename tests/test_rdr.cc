@@ -32,22 +32,21 @@ TEST(Rdr, ReducesErrorsAtHighDisturb) {
 }
 
 TEST(Rdr, ReductionGrowsWithDisturbCount) {
-  double low_reduction, high_reduction;
-  {
-    auto chip = worn_chip(43);
-    auto& b = chip.block(0);
-    b.apply_reads(31, 6e5);
-    const auto r = ReadDisturbRecovery().recover(b, 30);
-    low_reduction = 1.0 - r.rber_after() / r.rber_before();
-  }
-  {
-    auto chip = worn_chip(43);
-    auto& b = chip.block(0);
-    b.apply_reads(31, 1.2e6);
-    const auto r = ReadDisturbRecovery().recover(b, 30);
-    high_reduction = 1.0 - r.rber_after() / r.rber_before();
-  }
-  EXPECT_GT(high_reduction, low_reduction);
+  // Single-block reductions are shot-noisy (a handful of window cells
+  // decide the ratio), so compare means over a few seeds.
+  const auto mean_reduction = [](double reads) {
+    double sum = 0.0;
+    const std::uint64_t seeds[] = {43, 143, 243, 343};
+    for (const std::uint64_t seed : seeds) {
+      auto chip = worn_chip(seed);
+      auto& b = chip.block(0);
+      b.apply_reads(31, reads);
+      const auto r = ReadDisturbRecovery().recover(b, 30);
+      sum += 1.0 - r.rber_after() / r.rber_before();
+    }
+    return sum / std::size(seeds);
+  };
+  EXPECT_GT(mean_reduction(1.2e6), mean_reduction(6e5));
 }
 
 TEST(Rdr, HarmlessOnHealthyBlock) {

@@ -155,5 +155,57 @@ TEST(Rng, PoissonZeroMean) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
 }
 
+// --- Batched fills: each fill must consume the stream exactly like the
+// equivalent scalar call sequence, so interleaving is deterministic. ---
+
+TEST(RngFill, UniformMatchesScalarStream) {
+  Rng a(19), b(19);
+  std::vector<double> batch(257);
+  a.fill_uniform(batch.data(), batch.size());
+  for (double x : batch) EXPECT_EQ(x, b.uniform());
+  a.fill_uniform(batch.data(), 100, -2.0, 5.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(batch[i], b.uniform(-2.0, 5.0));
+  // The streams stay aligned after the fills.
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngFill, NormalMatchesScalarStream) {
+  Rng a(20), b(20);
+  // Odd count: the Marsaglia pair cache must carry across the boundary.
+  std::vector<double> batch(101);
+  a.fill_normal(batch.data(), batch.size(), 3.0, 0.5);
+  for (double x : batch) EXPECT_EQ(x, b.normal(3.0, 0.5));
+  EXPECT_EQ(a.normal(), b.normal());  // Cache state matches too.
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngFill, RandomBitsUnpackLsbFirst) {
+  Rng a(21), b(21);
+  std::vector<std::uint8_t> bits(130);  // Two full words + partial tail.
+  a.fill_random_bits(bits.data(), bits.size());
+  for (std::size_t base = 0; base < 128; base += 64) {
+    const std::uint64_t w = b.next();
+    for (int j = 0; j < 64; ++j)
+      EXPECT_EQ(bits[base + j], (w >> j) & 1) << base + j;
+  }
+  const std::uint64_t tail = b.next();
+  EXPECT_EQ(bits[128], tail & 1);
+  EXPECT_EQ(bits[129], (tail >> 1) & 1);
+  // Exactly three draws consumed: one per full/partial word.
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngFill, RandomBitsBalanced) {
+  Rng rng(22);
+  std::vector<std::uint8_t> bits(1 << 16);
+  rng.fill_random_bits(bits.data(), bits.size());
+  int ones = 0;
+  for (const std::uint8_t b : bits) {
+    ASSERT_LE(b, 1);
+    ones += b;
+  }
+  EXPECT_NEAR(ones, bits.size() / 2.0, bits.size() * 0.02);
+}
+
 }  // namespace
 }  // namespace rdsim

@@ -5,8 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "common/rng.h"
+#include "flash/vmath.h"
 
 namespace rdsim::flash {
 namespace {
@@ -101,12 +103,15 @@ TEST_F(VthModelTest, ZeroDoseIsIdentity) {
 }
 
 TEST_F(VthModelTest, DoseComposes) {
-  // Applying dose D1 then D2 equals applying D1 + D2 in one shot.
+  // Applying dose D1 then D2 equals applying D1 + D2 in one shot. The
+  // disturb law's exponential carries float precision (it is the value the
+  // sense kernel caches per cell), so composition holds to ~1e-6 voltage
+  // units — far below the model's ~10-unit state widths.
   const double v0 = 45.0, d1 = 2e5, d2 = 7e5;
   const double two_step =
       model_.apply_disturb(model_.apply_disturb(v0, 1.0, d1), 1.0, d2);
   const double one_shot = model_.apply_disturb(v0, 1.0, d1 + d2);
-  EXPECT_NEAR(two_step, one_shot, 1e-9);
+  EXPECT_NEAR(two_step, one_shot, 2e-5);
 }
 
 TEST_F(VthModelTest, DisturbDoseVpassSensitivity) {
@@ -201,6 +206,103 @@ TEST_F(VthModelTest, ProgramErrorsAppearAtRate) {
   const double expected =
       params_.program_error_rate * (1.0 + 8000.0 / params_.wear_prog_error_pe);
   EXPECT_NEAR(mis / static_cast<double>(n), expected, expected * 0.35);
+}
+
+// --- Vectorizable math + batched sense kernel ---------------------------
+
+TEST(Vmath, ExpMatchesLibmClosely) {
+  for (double x = -20.0; x <= 10.0; x += 0.00137) {
+    const double want = std::exp(x);
+    EXPECT_NEAR(vmath::vexp(x), want, std::abs(want) * 1e-14) << x;
+  }
+  EXPECT_DOUBLE_EQ(vmath::vexp(0.0), 1.0);
+  EXPECT_GT(vmath::vexp(-800.0), 0.0);  // Clamped, not flushed to zero.
+  EXPECT_TRUE(std::isfinite(vmath::vexp(800.0)));
+}
+
+TEST(Vmath, Log1pMatchesLibmClosely) {
+  for (double x = 0.0; x <= 50.0; x += 0.00191) {
+    const double want = std::log1p(x);
+    EXPECT_NEAR(vmath::vlog1p(x), want, std::max(want, 1e-12) * 1e-14) << x;
+  }
+  EXPECT_DOUBLE_EQ(vmath::vlog1p(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(vmath::vlog1p(1e-300), 1e-300);  // Tiny-y correction.
+}
+
+class SenseKernelTest : public ::testing::Test {
+ protected:
+  SenseKernelTest() {
+    Rng rng(7);
+    const std::size_t n = 513;  // Odd size exercises the vector tail.
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto cell = model_.sample_program(
+          kAllStates[i % kAllStates.size()], 8000.0, rng);
+      cells_.push_back(cell);
+      programmed_.push_back(static_cast<std::uint8_t>(cell.programmed));
+      v0_.push_back(cell.v0);
+      susceptibility_.push_back(cell.susceptibility);
+      leak_rate_.push_back(cell.leak_rate);
+      seed_.push_back(model_.disturb_seed(static_cast<double>(cell.v0)));
+    }
+  }
+
+  CellSoaView view() const {
+    return {programmed_.data(), v0_.data(),        susceptibility_.data(),
+            leak_rate_.data(),  seed_.data(),      cells_.size()};
+  }
+
+  FlashModelParams params_ = FlashModelParams::default_2ynm();
+  VthModel model_{params_};
+  std::vector<CellGroundTruth> cells_;
+  std::vector<std::uint8_t> programmed_;
+  std::vector<float> v0_, susceptibility_, leak_rate_;
+  std::vector<float> seed_;
+};
+
+TEST_F(SenseKernelTest, BatchBitIdenticalToScalarInAllRegimes) {
+  // The four (dose, retention) regimes must agree bit-for-bit with the
+  // scalar present_vth — the batch kernel is the same arithmetic.
+  for (const double dose : {0.0, 3.7e5}) {
+    for (const double days : {0.0, 11.5}) {
+      SCOPED_TRACE(testing::Message() << "dose=" << dose
+                                      << " days=" << days);
+      std::vector<double> out(cells_.size());
+      model_.present_vth_batch(view(), model_.sense_coeffs(dose, days, 8000),
+                               out.data());
+      for (std::size_t i = 0; i < cells_.size(); ++i) {
+        EXPECT_EQ(out[i], model_.present_vth(cells_[i], dose, days, 8000))
+            << i;
+      }
+    }
+  }
+}
+
+TEST_F(SenseKernelTest, PresentVthComposesRetentionAndDisturb) {
+  // present_vth must stay the exact composition of its two published
+  // stages, cached seed or not.
+  const double dose = 1.2e5, days = 4.0, pe = 8000;
+  for (const auto& cell : cells_) {
+    const double retained =
+        cell.v0 + cell.leak_rate * model_.retention_shift(cell.v0, days, pe);
+    EXPECT_EQ(model_.present_vth(cell, dose, days, pe),
+              model_.apply_disturb(retained, cell.susceptibility, dose));
+  }
+}
+
+TEST_F(SenseKernelTest, ClassifyBatchMatchesScalarClassify) {
+  std::vector<double> vth(cells_.size());
+  model_.present_vth_batch(view(), model_.sense_coeffs(2e5, 0.0, 8000),
+                           vth.data());
+  // Include reference-exact voltages: the >= / < split must agree.
+  vth[0] = params_.vref_a;
+  vth[1] = params_.vref_b;
+  vth[2] = params_.vref_c;
+  std::vector<std::uint8_t> states(vth.size());
+  model_.classify_batch(vth.data(), vth.size(), states.data());
+  for (std::size_t i = 0; i < vth.size(); ++i) {
+    EXPECT_EQ(static_cast<CellState>(states[i]), model_.classify(vth[i]))
+        << i;
+  }
 }
 
 TEST_F(VthModelTest, SusceptibilityLognormal) {

@@ -1,0 +1,151 @@
+// Self-timed performance smoke harness for the Monte Carlo hot paths.
+//
+// Unlike bench/perf_micro.cc this needs no google-benchmark, so it runs
+// anywhere the simulator builds; CI's perf job archives its JSON output as
+// BENCH_<sha>.json to track the perf trajectory PR over PR (see README
+// "Performance"). Metrics:
+//   page_sense_ns    one whole-wordline sense (count_errors) on a
+//                    disturbed 8K-P/E characterization block
+//   pages_per_s      derived throughput of the above
+//   cells_per_s      the same in sensed cells
+//   page_read_ns     read_page (sense + data assembly + dose accounting)
+//   retry_scan_ns    one read-retry scan of a wordline
+//   program_block_ms programming a whole block with random data
+//   fig04_tiny_ms    end-to-end tiny run of the fig04 experiment
+//   fig02_tiny_ms    end-to-end tiny run of fig02 (Monte Carlo heavy)
+//
+// Usage: perf_smoke [--out PATH] [--reps N] [--sha HEX]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "nand/chip.h"
+#include "sim/experiment.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+/// Times `op` over `reps` repetitions and returns ns per repetition.
+template <typename Fn>
+double time_ns(int reps, Fn&& op) {
+  const auto start = Clock::now();
+  for (int i = 0; i < reps; ++i) op(i);
+  return ms_since(start) * 1e6 / reps;
+}
+
+rdsim::sim::ExperimentConfig tiny_config() {
+  rdsim::sim::ExperimentConfig config;
+  config.seed = 42;
+  config.threads = 1;
+  config.geometry = rdsim::nand::Geometry::tiny();
+  config.scale = 0.02;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = nullptr;
+  const char* sha = std::getenv("GITHUB_SHA");
+  int reps = 2000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--sha") == 0 && i + 1 < argc) {
+      sha = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_smoke [--out PATH] [--reps N] [--sha HEX]\n");
+      return 2;
+    }
+  }
+  if (reps < 1) reps = 1;
+
+  using namespace rdsim;
+  const auto params = flash::FlashModelParams::default_2ynm();
+  const nand::Geometry geom = nand::Geometry::characterization();
+  nand::Chip chip(geom, params, 42);
+  auto& block = chip.block(0);
+  block.add_wear(8000);
+
+  const auto t_program = Clock::now();
+  block.program_random();
+  const double program_block_ms = ms_since(t_program);
+
+  // The paper's workhorse regime: heavy accumulated read disturb.
+  block.apply_reads(1, 1e6);
+  const auto wls = geom.wordlines_per_block;
+
+  volatile int sink = 0;  // Defeats dead-code elimination of the senses.
+  const double page_sense_ns = time_ns(reps, [&](int i) {
+    sink = sink + block.count_errors(
+        {static_cast<std::uint32_t>(i) % wls, nand::PageKind::kLsb});
+  });
+  const double page_read_ns = time_ns(reps / 4 + 1, [&](int i) {
+    sink = sink + block
+                .read_page({static_cast<std::uint32_t>(i) % wls,
+                            nand::PageKind::kMsb})
+                .raw_bit_errors;
+  });
+  const double retry_scan_ns = time_ns(reps / 4 + 1, [&](int i) {
+    sink = sink + static_cast<int>(
+        block
+            .read_retry_scan(static_cast<std::uint32_t>(i) % wls, 0.0, 520.0,
+                             0.5)
+            .size());
+  });
+  (void)sink;
+
+  const auto t_fig04 = Clock::now();
+  sim::run_experiment("fig04", tiny_config());
+  const double fig04_tiny_ms = ms_since(t_fig04);
+
+  const auto t_fig02 = Clock::now();
+  sim::run_experiment("fig02", tiny_config());
+  const double fig02_tiny_ms = ms_since(t_fig02);
+
+  const double cells = static_cast<double>(geom.bitlines);
+  std::string json = "{\n";
+  json += "  \"bench\": \"rdsim_perf_smoke\",\n";
+  json += "  \"git_sha\": \"" + std::string(sha != nullptr ? sha : "") +
+          "\",\n";
+  json += "  \"geometry\": \"64x8192\",\n";
+  char buf[256];
+  const auto metric = [&](const char* name, double value, bool last = false) {
+    std::snprintf(buf, sizeof(buf), "  \"%s\": %.6g%s\n", name, value,
+                  last ? "" : ",");
+    json += buf;
+  };
+  metric("page_sense_ns", page_sense_ns);
+  metric("pages_per_s", 1e9 / page_sense_ns);
+  metric("cells_per_s", cells * 1e9 / page_sense_ns);
+  metric("page_read_ns", page_read_ns);
+  metric("retry_scan_ns", retry_scan_ns);
+  metric("program_block_ms", program_block_ms);
+  metric("fig04_tiny_ms", fig04_tiny_ms);
+  metric("fig02_tiny_ms", fig02_tiny_ms, /*last=*/true);
+  json += "}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (out_path != nullptr) {
+    std::FILE* f = std::fopen(out_path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "perf_smoke: cannot write %s\n", out_path);
+      return 1;
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "perf_smoke: wrote %s\n", out_path);
+  }
+  return 0;
+}
