@@ -9,6 +9,12 @@
 //   * RFR  — re-labels fast-leaking cells below a boundary (targets the
 //     retention component; its bake costs extra retention).
 //
+// The symptom is demonstrated first through the queued host interface
+// (host::McChipDevice): a read command against the aged block comes back
+// with a raw error count far beyond what ECC provisions for — that is
+// the moment a controller escalates to the offline rescue mechanisms,
+// which then operate on the block itself.
+//
 // Each mechanism is evaluated independently against the factory-reference
 // baseline; they are complementary in a real controller (Vref learning in
 // the normal read path, RDR/RFR as offline last-resort recovery).
@@ -17,10 +23,12 @@
 //        defaults: 10000 P/E, 25 days, 600000 reads
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "core/rdr.h"
 #include "core/rfr.h"
 #include "core/vref_optimizer.h"
+#include "host/mc_chip_device.h"
 #include "nand/chip.h"
 
 using namespace rdsim;
@@ -47,9 +55,35 @@ int main(int argc, char** argv) {
   const double age = argc > 2 ? std::atof(argv[2]) : 25.0;
   const double reads = argc > 3 ? std::atof(argv[3]) : 600e3;
   const std::uint32_t wl = 30;
+  const auto params = flash::FlashModelParams::default_2ynm();
 
   std::printf("block: %u P/E cycles, %.0f days retention, %.0f read "
               "disturbs; victim wordline %u\n\n", pe, age, reads, wl);
+
+  // The host-visible symptom: a queued read of the victim page reports a
+  // raw error count the drive's ECC cannot absorb.
+  {
+    host::McChipDevice device(nand::Geometry::characterization(), params,
+                              2024);
+    auto& block = device.chip().block(0);
+    block.erase();
+    block.add_wear(pe);
+    block.program_random();
+    block.advance_time(age);
+    block.apply_reads(wl + 1, reads);
+
+    host::Command read;
+    read.kind = host::CommandKind::kRead;
+    read.lpn = 2ull * wl + 1;  // The victim wordline's MSB page.
+    device.submit(read);
+    std::vector<host::Completion> done;
+    device.drain(&done);
+    std::printf("host read of the victim page: %llu raw bit errors in "
+                "%.0f us\n  %s\n\n",
+                static_cast<unsigned long long>(device.read_bit_errors()),
+                done[0].latency_s() * 1e6, host::to_string(done[0]).c_str());
+  }
+
   std::printf("%-24s %12s %12s %10s\n", "mechanism", "errors", "delta",
               "relabeled");
 

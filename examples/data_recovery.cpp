@@ -1,11 +1,13 @@
 // data_recovery — end-to-end demonstration of Read Disturb Recovery with a
-// real BCH code in the loop:
+// real BCH code in the loop, on a chip fronted by the queued host
+// interface (host::McChipDevice):
 //
 // 1. Encode a payload with BCH and program it into a wordline of a worn
 //    block (bit-for-bit, via the per-cell MLC data path).
-// 2. Hammer the block with a million reads: the page's raw errors exceed
-//    the code's correction capability t, and decoding fails — this is the
-//    traditional "point of data loss".
+// 2. Hammer the block with a million reads; a host read command of the
+//    victim page now returns more raw errors than the code's correction
+//    capability t, and decoding fails — this is the traditional "point
+//    of data loss".
 // 3. Run RDR: disturb-prone boundary cells are identified by inducing
 //    extra reads and measuring per-cell threshold shifts, then re-labeled.
 // 4. Decode the recovered page: the remaining errors fit within t, and
@@ -13,18 +15,21 @@
 //
 // Usage: ./build/examples/data_recovery
 #include <cstdio>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/rdr.h"
 #include "ecc/bch.h"
+#include "host/mc_chip_device.h"
 #include "nand/chip.h"
 
 using namespace rdsim;
 
 int main() {
   const auto params = flash::FlashModelParams::default_2ynm();
-  nand::Chip chip(nand::Geometry::characterization(), params, 5);
-  auto& block = chip.block(0);
+  host::McChipDevice device(nand::Geometry::characterization(), params, 5);
+  auto& block = device.chip().block(0);
+  block.erase();  // Replace the device's fill with our own payload below.
   block.add_wear(8000);
 
   // BCH over GF(2^14): 8192 data bits with t = 30. The payload lives on
@@ -76,12 +81,26 @@ int main() {
     return states;
   };
 
-  // 2. Hammer and fail.
+  // 2. Hammer and fail. The symptom arrives through the host interface:
+  // a queued read of the victim MSB page reports the raw error count.
   block.apply_reads(victim_wl + 1, 8e5);
+  {
+    host::Command read;
+    read.kind = host::CommandKind::kRead;
+    read.lpn = 2ull * victim_wl + 1;  // MSB page of the victim wordline.
+    device.submit(read);
+    std::vector<host::Completion> done;
+    device.drain(&done);
+    std::printf("\nhost read after 800K disturbs: %s\n",
+                host::to_string(done[0]).c_str());
+    std::printf("  -> %llu raw bit errors on the wordline\n",
+                static_cast<unsigned long long>(device.read_bit_errors()));
+  }
   auto received = assemble(sense_states());
   const int raw_errors = ecc::BchCode::hamming_distance(received, codeword);
   auto attempt = code.decode(received);
-  std::printf("\nafter 800K read disturbs: %d raw bit errors (t = %d)\n",
+  std::printf("\nafter 800K read disturbs: %d raw bit errors on the MSB "
+              "payload (t = %d)\n",
               raw_errors, code.t());
   std::printf("BCH decode: %s\n",
               attempt.ok ? "OK (unexpected!)" : "FAILED - uncorrectable");

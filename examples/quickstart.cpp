@@ -6,14 +6,19 @@
 //    voltage and compare the disturb accumulation.
 // 4. Recover: push the block past ECC's limit and let RDR pull the errors
 //    back into correctable range.
+// 5. Drive the same Monte Carlo cells through the NVMe-style queued host
+//    interface (host::McChipDevice): typed commands in, per-command
+//    completion records out.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
+#include <vector>
 
 #include "core/rdr.h"
 #include "core/vpass_tuning.h"
 #include "ecc/ecc_model.h"
 #include "flash/rber_model.h"
+#include "host/mc_chip_device.h"
 #include "nand/chip.h"
 
 using namespace rdsim;
@@ -78,5 +83,30 @@ int main() {
               (1.0 - result.rber_after() / result.rber_before()) * 100.0);
   std::printf("  %d boundary cells examined, %d re-labeled\n",
               result.cells_in_window, result.cells_relabeled);
+
+  // --- 5. The queued host interface ----------------------------------------
+  // The same physics, driven the way a host drives a drive: submit typed
+  // commands into submission queues, poll completion records back.
+  host::McChipDevice device(nand::Geometry::tiny(), params, /*seed=*/7,
+                            /*queue_count=*/2);
+  host::Command read;
+  read.kind = host::CommandKind::kRead;
+  read.pages = 4;
+  for (std::uint16_t q = 0; q < 2; ++q) {
+    read.lpn = q * 16;
+    read.queue = q;
+    device.submit(read);
+  }
+  std::vector<host::Completion> completions;
+  device.drain(&completions);
+  std::printf("\nqueued host interface (%u queues, %llu logical pages):\n",
+              device.queue_count(),
+              static_cast<unsigned long long>(device.logical_pages()));
+  for (const auto& c : completions)
+    std::printf("  %s\n", host::to_string(c).c_str());
+  std::printf("  %llu pages read, %llu raw bit errors observed by the "
+              "host path\n",
+              static_cast<unsigned long long>(device.pages_read()),
+              static_cast<unsigned long long>(device.read_bit_errors()));
   return 0;
 }

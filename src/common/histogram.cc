@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace rdsim {
 
@@ -40,6 +41,20 @@ double Histogram::mean() const {
   for (std::size_t i = 0; i < counts_.size(); ++i)
     s += bin_center(i) * static_cast<double>(counts_[i]);
   return s / static_cast<double>(total_);
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  const std::uint64_t need = target == 0 ? 1 : target;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= need) return lo_ + static_cast<double>(i + 1) * width_;
+  }
+  return hi_;
 }
 
 void Histogram::clear() {

@@ -41,6 +41,14 @@ class Histogram {
   /// Empirical mean of the binned samples (bin centers weighted by counts).
   double mean() const;
 
+  /// Empirical q-quantile (q in [0, 1], clamped): the upper edge of the
+  /// first bin whose cumulative count reaches ceil(q * total). This is the
+  /// smallest bin boundary guaranteed to cover a q-fraction of the mass,
+  /// which is the conservative convention for latency percentiles (p99 of
+  /// completions is never under-reported by more than one bin width).
+  /// Returns lo() when the histogram is empty.
+  double quantile(double q) const;
+
   /// Resets all counts to zero.
   void clear();
 

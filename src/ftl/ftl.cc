@@ -96,6 +96,19 @@ std::uint32_t Ftl::read(std::uint64_t lpn) {
   return block;
 }
 
+bool Ftl::trim(std::uint64_t lpn) {
+  assert(lpn < l2p_.size());
+  const std::uint64_t packed = l2p_[lpn];
+  if (packed == kUnmapped) return false;
+  l2p_[lpn] = kUnmapped;
+  p2l_[packed] = kUnmapped;
+  auto& info = blocks_[packed / config_.pages_per_block];
+  assert(info.valid_pages > 0);
+  --info.valid_pages;
+  ++stats_.host_trims;
+  return true;
+}
+
 std::uint32_t Ftl::pick_gc_victim() const {
   // Greedy: full block with the fewest valid pages; ties broken toward
   // higher read counts so disturb-loaded blocks turn over sooner.

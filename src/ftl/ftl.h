@@ -62,6 +62,7 @@ struct BlockInfo {
 struct FtlStats {
   std::uint64_t host_reads = 0;       // pages
   std::uint64_t host_writes = 0;      // pages
+  std::uint64_t host_trims = 0;       // pages actually unmapped by trim
   std::uint64_t gc_writes = 0;        // pages copied by GC
   std::uint64_t refresh_writes = 0;   // pages copied by refresh
   std::uint64_t reclaim_writes = 0;   // pages copied by read reclaim
@@ -88,8 +89,24 @@ class Ftl {
 
   std::size_t block_count() const { return blocks_.size(); }
   const BlockInfo& block(std::size_t i) const { return blocks_[i]; }
-  /// Mutable access for the SSD layer (Vpass tuning writes back here).
-  BlockInfo& block_mut(std::size_t i) { return blocks_[i]; }
+
+  // Narrow mutators for the controller layer. These are the only ways an
+  // outside caller may touch per-block state: they cannot violate the
+  // mapping/valid-count invariants the way the old block_mut() escape
+  // hatch could.
+
+  /// Writes back a tuned pass-through voltage (Vpass Tuning's decision).
+  void set_block_vpass(std::size_t i, double vpass) {
+    blocks_[i].vpass = vpass;
+  }
+
+  /// Accounts `reads` controller-issued probe reads (MEE measurement and
+  /// step-search verification) against the block: probe reads disturb the
+  /// block exactly like host reads, so they count toward read reclaim and
+  /// disturb accumulation.
+  void note_probe_reads(std::size_t i, std::uint64_t reads) {
+    blocks_[i].reads_since_program += reads;
+  }
 
   /// Advances the FTL clock.
   void advance_time(double days) { now_days_ += days; }
@@ -104,6 +121,13 @@ class Ftl {
   std::uint32_t read(std::uint64_t lpn);
   static constexpr std::uint32_t kUnmappedBlock =
       std::numeric_limits<std::uint32_t>::max();
+
+  /// Host trim of one logical page: unmaps it and releases the physical
+  /// page (the space stops being copied by GC / refresh / reclaim — until
+  /// then, overwritten-but-never-reread data was only reclaimed by GC).
+  /// Returns false when the page was not mapped (trim of unwritten space
+  /// is a no-op, as on real drives).
+  bool trim(std::uint64_t lpn);
 
   /// Runs garbage collection until the free-block target is met.
   void collect_garbage();

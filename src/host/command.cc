@@ -1,0 +1,30 @@
+#include "host/command.h"
+
+#include <cstdio>
+
+namespace rdsim::host {
+
+const char* command_kind_name(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kRead: return "read";
+    case CommandKind::kWrite: return "write";
+    case CommandKind::kTrim: return "trim";
+    case CommandKind::kFlush: return "flush";
+  }
+  return "?";
+}
+
+std::string to_string(const Completion& c) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "id=%llu %s q=%u lpn=%llu pages=%u submit=%.9f start=%.9f "
+                "complete=%.9f stall=%.9f",
+                static_cast<unsigned long long>(c.id),
+                command_kind_name(c.kind), c.queue,
+                static_cast<unsigned long long>(c.lpn), c.pages,
+                c.submit_time_s, c.service_start_s, c.complete_time_s,
+                c.stall_s);
+  return buf;
+}
+
+}  // namespace rdsim::host

@@ -1,0 +1,73 @@
+// rdsim/host/command.h
+//
+// The host-facing command vocabulary of the NVMe-style queued interface:
+// a typed Command (read / write / trim / flush over an LBA range, stamped
+// with its submission queue and arrival time) and the per-command
+// Completion record the device hands back (service start, completion
+// time, and how much of the latency was a background-induced stall).
+// This header is dependency-free on purpose: every layer from the
+// workload generators up to the device backends speaks these types
+// without pulling in the drive model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rdsim::host {
+
+/// The command set a flash drive's host interface exposes. Trim unmaps an
+/// LBA range without writing it (the space stops being relocated by GC /
+/// refresh); flush is an ordering barrier that completes only when every
+/// previously submitted command has completed.
+enum class CommandKind : std::uint8_t { kRead, kWrite, kTrim, kFlush };
+
+/// Short lowercase name ("read", "write", "trim", "flush").
+const char* command_kind_name(CommandKind kind);
+
+/// One host command, page-granular.
+struct Command {
+  CommandKind kind = CommandKind::kRead;
+  std::uint64_t lpn = 0;         ///< First logical page of the range.
+  std::uint32_t pages = 1;       ///< Range length (ignored for flush).
+  std::uint16_t queue = 0;       ///< Submission queue (mod queue count).
+  double submit_time_s = 0.0;    ///< Host-side arrival time.
+};
+
+/// Flash operation latencies used by the device backends' time accounting.
+struct LatencyParams {
+  double read_s = 75e-6;      ///< Page read (tR).
+  double program_s = 1.3e-3;  ///< Page program (tProg).
+  double erase_s = 3.5e-3;    ///< Block erase (tBERS).
+};
+
+/// What servicing one command cost the backend: flash busy time for the
+/// command's own data movement, plus any stall it induced or absorbed
+/// (inline garbage collection triggered by a write, block turnover).
+struct ServiceCost {
+  double busy_s = 0.0;
+  double stall_s = 0.0;
+};
+
+/// Per-command completion record, posted to the completion queue.
+struct Completion {
+  std::uint64_t id = 0;        ///< Device-assigned sequence number.
+  CommandKind kind = CommandKind::kRead;
+  std::uint16_t queue = 0;     ///< Submission queue the command used.
+  std::uint64_t lpn = 0;
+  std::uint32_t pages = 1;
+  double submit_time_s = 0.0;
+  double service_start_s = 0.0;  ///< When the flash began the command.
+  double complete_time_s = 0.0;
+  double stall_s = 0.0;  ///< Share of the latency attributed to background
+                         ///< work (GC, maintenance) rather than the
+                         ///< command's own transfer.
+
+  double latency_s() const { return complete_time_s - submit_time_s; }
+  double queue_wait_s() const { return service_start_s - submit_time_s; }
+};
+
+/// Canonical single-line rendering of a completion record. The host
+/// determinism tests compare completion logs byte-for-byte through this.
+std::string to_string(const Completion& completion);
+
+}  // namespace rdsim::host

@@ -1,0 +1,134 @@
+#include "host/device.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rdsim::host {
+
+Device::Device(std::uint32_t queue_count)
+    : queues_(std::max<std::uint32_t>(1, queue_count)) {}
+
+std::uint64_t Device::submit(const Command& command) {
+  Submitted sub{command, next_id_++};
+  sub.command.queue =
+      static_cast<std::uint16_t>(command.queue % queue_count());
+  queues_[sub.command.queue].push_back(sub);
+  ++submitted_;
+  return sub.id;
+}
+
+void Device::pump() {
+  while (true) {
+    // Oldest-first arbitration: among the queue heads, service the command
+    // with the smallest sequence id. Queues are FIFO, so heads are each
+    // queue's oldest and this scan finds the global oldest.
+    std::size_t best = queues_.size();
+    for (std::size_t q = 0; q < queues_.size(); ++q) {
+      if (queues_[q].empty()) continue;
+      if (best == queues_.size() ||
+          queues_[q].front().id < queues_[best].front().id) {
+        best = q;
+      }
+    }
+    if (best == queues_.size()) return;
+    const Submitted sub = queues_[best].front();
+    queues_[best].pop_front();
+    service_one(sub);
+  }
+}
+
+void Device::reserve_background(double from_s, double until_s) {
+  if (!bg_windows_.empty() && from_s <= bg_windows_.back().until_s) {
+    bg_windows_.back().until_s =
+        std::max(bg_windows_.back().until_s, until_s);
+  } else {
+    bg_windows_.push_back({from_s, until_s});
+  }
+}
+
+void Device::service_one(const Submitted& sub) {
+  const Command& cmd = sub.command;
+  const double start = std::max(cmd.submit_time_s, flash_free_s_);
+  ServiceCost cost;  // Flush is a pure barrier: zero cost, completes at
+                     // the flash free time once everything before it did.
+  if (cmd.kind != CommandKind::kFlush) cost = do_service(cmd);
+
+  // Attribution: the part of this command's queue wait [submit, start)
+  // that overlapped a background reservation counts as stall, on top of
+  // any stall the backend charged to the command itself (e.g. inline GC
+  // on a write). Windows wholly before this command's submit time can
+  // never overlap a later command either (submit stamps are
+  // non-decreasing), so they are pruned here.
+  while (!bg_windows_.empty() &&
+         bg_windows_.front().until_s <= cmd.submit_time_s)
+    bg_windows_.pop_front();
+  double bg_overlap = 0.0;
+  for (const BgWindow& w : bg_windows_) {
+    if (w.from_s >= start) break;
+    bg_overlap += std::max(0.0, std::min(start, w.until_s) -
+                                    std::max(cmd.submit_time_s, w.from_s));
+  }
+
+  Completion rec;
+  rec.id = sub.id;
+  rec.kind = cmd.kind;
+  rec.queue = cmd.queue;
+  rec.lpn = cmd.lpn;
+  rec.pages = cmd.pages;
+  rec.submit_time_s = cmd.submit_time_s;
+  rec.service_start_s = start;
+  rec.complete_time_s = start + cost.busy_s + cost.stall_s;
+  rec.stall_s = cost.stall_s + bg_overlap;
+  flash_free_s_ = rec.complete_time_s;
+  // The stall portion of the service sits after the command's own data
+  // movement on the timeline.
+  if (cost.stall_s > 0.0)
+    reserve_background(start + cost.busy_s, rec.complete_time_s);
+
+  stats_.add(rec);
+  completion_queue_.push_back(rec);
+}
+
+std::size_t Device::poll(std::vector<Completion>* out,
+                         std::size_t max_completions) {
+  pump();
+  std::size_t n = 0;
+  while (n < max_completions && !completion_queue_.empty()) {
+    out->push_back(completion_queue_.front());
+    completion_queue_.pop_front();
+    ++n;
+  }
+  delivered_ += n;
+  return n;
+}
+
+std::size_t Device::drain(std::vector<Completion>* out) {
+  pump();
+  const std::size_t n = completion_queue_.size();
+  out->insert(out->end(), completion_queue_.begin(), completion_queue_.end());
+  completion_queue_.clear();
+  delivered_ += n;
+  return n;
+}
+
+void Device::end_of_day() {
+  pump();
+  const double busy = do_end_of_day();
+  if (busy > 0.0) {
+    const double from = flash_free_s_;
+    flash_free_s_ += busy;
+    reserve_background(from, flash_free_s_);
+  }
+}
+
+const CompletionStats& Device::stats() {
+  pump();
+  return stats_;
+}
+
+void Device::reset_stats() {
+  pump();
+  stats_ = CompletionStats();
+}
+
+}  // namespace rdsim::host

@@ -1,0 +1,133 @@
+// rdsim/host/device.h
+//
+// The unified device facade: an NVMe-style queued host interface over the
+// repository's drive backends (the analytic ssd::Ssd and the Monte Carlo
+// nand::Chip). Hosts submit typed Commands into N submission queues and
+// retrieve per-command Completion records from a completion queue via an
+// explicit submit()/poll()/drain() model.
+//
+// Arbitration and determinism. Commands are serviced oldest-first across
+// the submission queue heads (each queue is FIFO, and the device always
+// picks the queue whose head command was submitted earliest — NVMe
+// round-robin arbitration degenerates to exactly this whenever producers
+// feed the queues in global submission order, which all of rdsim's
+// generators do). Because the service schedule of a command is a pure
+// function of the submission stream — simulated clocks only, never the
+// wall clock or the poll cadence — the completion log is byte-identical
+// no matter how often the host polls: the determinism contract
+// tests/test_host.cc enforces.
+//
+// Time model. The device keeps a single flash timeline (`flash_free_s`):
+// a command starts at max(its submit time, flash free time) and occupies
+// the flash for the backend-reported busy + stall seconds. Background
+// work — inline GC charged to a write, or the nightly maintenance that
+// end_of_day() runs — reserves flash time too, and the portion of a
+// later command's queue wait that overlaps such a reservation is
+// attributed to `Completion::stall_s`, so tail-latency experiments can
+// tell device congestion from background interference.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "host/command.h"
+#include "host/stats.h"
+
+namespace rdsim::host {
+
+class Device {
+ public:
+  /// `queue_count` >= 1 submission queues (command.queue is taken modulo
+  /// this count, so any router works against any device width).
+  explicit Device(std::uint32_t queue_count);
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  std::uint32_t queue_count() const {
+    return static_cast<std::uint32_t>(queues_.size());
+  }
+
+  /// Exported logical space of the backend, in pages.
+  virtual std::uint64_t logical_pages() const = 0;
+
+  /// Enqueues one command; returns its device-assigned sequence id.
+  /// Servicing is lazy (poll/drain/stats/end_of_day trigger it), but the
+  /// schedule a command receives does not depend on when that happens.
+  std::uint64_t submit(const Command& command);
+
+  /// Moves up to `max_completions` completion records (oldest first) into
+  /// `out` (appended); returns how many were delivered.
+  std::size_t poll(std::vector<Completion>* out, std::size_t max_completions);
+
+  /// Drains every pending completion into `out`; returns the count.
+  std::size_t drain(std::vector<Completion>* out);
+
+  /// Runs the backend's nightly maintenance (refresh, reclaim, tuning) and
+  /// reserves the flash timeline for the busy seconds it consumed, so the
+  /// next day's first commands observe the maintenance stall.
+  void end_of_day();
+
+  /// Aggregate completion statistics (services any still-queued commands
+  /// first so the numbers cover everything submitted so far).
+  const CompletionStats& stats();
+
+  /// Forgets accumulated statistics (after servicing anything queued) so
+  /// a measurement window can exclude warm-up traffic. The completion
+  /// queue, ids, and the flash timeline are untouched.
+  void reset_stats();
+
+  /// Commands submitted but not yet delivered through poll()/drain().
+  std::size_t outstanding() const { return submitted_ - delivered_; }
+
+  /// Current flash timeline position (end of the last scheduled work).
+  double now_s() const { return flash_free_s_; }
+
+ protected:
+  /// Backend hook: perform the command's data movement and report its
+  /// cost. Flush never reaches this (the queue layer implements the
+  /// barrier; with oldest-first arbitration it completes at the flash
+  /// free time, i.e. after everything submitted before it).
+  virtual ServiceCost do_service(const Command& command) = 0;
+
+  /// Backend hook: nightly maintenance; returns flash busy seconds.
+  virtual double do_end_of_day() { return 0.0; }
+
+ private:
+  struct Submitted {
+    Command command;
+    std::uint64_t id;
+  };
+
+  /// Services every queued command, oldest-first across queue heads.
+  void pump();
+  void service_one(const Submitted& sub);
+
+  std::vector<std::deque<Submitted>> queues_;
+  std::deque<Completion> completion_queue_;
+  CompletionStats stats_;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t delivered_ = 0;
+  /// Records a background reservation [from_s, until_s) on the flash
+  /// timeline, merging with the newest window when they touch.
+  void reserve_background(double from_s, double until_s);
+
+  double flash_free_s_ = 0.0;
+  /// Background reservations on the flash timeline, oldest first and
+  /// disjoint: the part of a waiter's queue delay [submit, start) that
+  /// overlaps these windows is attributed as stall. Windows ending at or
+  /// before a serviced command's submit time are pruned — submit stamps
+  /// are non-decreasing in every rdsim driver, so no later-id command
+  /// can still overlap them (for a non-monotone hand-built stream this
+  /// pruning under-attributes, never over-attributes).
+  struct BgWindow {
+    double from_s;
+    double until_s;
+  };
+  std::deque<BgWindow> bg_windows_;
+};
+
+}  // namespace rdsim::host

@@ -1,0 +1,76 @@
+// rdsim/host/driver.h
+//
+// Host-side driving patterns shared by the QoS experiments, the perf
+// harness, the examples, and the tests — so the subtle parts (slot
+// accounting, submit-time re-stamping, warm-up hygiene) exist exactly
+// once.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "host/device.h"
+
+namespace rdsim::host {
+
+/// Fills the device's whole logical space once (ascending lpn order) so
+/// every subsequent read hits mapped data, then discards the warm-up
+/// completions and statistics. The fill still occupies the flash
+/// timeline — start the workload clock at device.now_s() (or drive it
+/// closed-loop) so measured commands don't queue behind the fill.
+inline void warm_fill(Device& device) {
+  Command write;
+  write.kind = CommandKind::kWrite;
+  const std::uint64_t logical = device.logical_pages();
+  for (std::uint64_t lpn = 0; lpn < logical; ++lpn) {
+    write.lpn = lpn;
+    device.submit(write);
+  }
+  std::vector<Completion> scratch;
+  device.drain(&scratch);
+  device.reset_stats();
+}
+
+/// Closed-loop (zero think time) replay at a fixed queue depth: keeps at
+/// most `depth` commands outstanding and re-stamps each command's submit
+/// time to the instant a completion freed a slot — the fio-style QD
+/// benchmark pattern. The clock carries across run() calls, so a
+/// multi-day replay with Device::end_of_day() between batches stays
+/// monotone.
+class ClosedLoopDriver {
+ public:
+  ClosedLoopDriver(Device& device, int depth)
+      : device_(&device),
+        depth_(static_cast<std::size_t>(depth < 1 ? 1 : depth)),
+        release_s_(device.now_s()),
+        last_submit_s_(release_s_) {}
+
+  /// Replays one batch of commands (submit-time stamps are overwritten)
+  /// and drains every completion at the end of the batch.
+  void run(const std::vector<Command>& commands) {
+    std::vector<Completion> got;
+    for (Command c : commands) {
+      if (device_->outstanding() >= depth_) {
+        got.clear();
+        device_->poll(&got, 1);
+        release_s_ = got.front().complete_time_s;
+      }
+      c.submit_time_s = std::max(last_submit_s_, release_s_);
+      last_submit_s_ = c.submit_time_s;
+      device_->submit(c);
+    }
+    got.clear();
+    device_->drain(&got);
+    if (!got.empty())
+      release_s_ = std::max(release_s_, got.back().complete_time_s);
+  }
+
+ private:
+  Device* device_;
+  std::size_t depth_;
+  double release_s_;
+  double last_submit_s_;
+};
+
+}  // namespace rdsim::host

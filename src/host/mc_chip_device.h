@@ -1,0 +1,71 @@
+// rdsim/host/mc_chip_device.h
+//
+// host::Device backend over the per-cell Monte Carlo chip (nand::Chip):
+// the same queued command interface as the analytic drive, but every read
+// senses real simulated cells — it accumulates genuine disturb dose on
+// the chip and reports the raw bit errors the sense observed. This is
+// what lets characterization-grade physics be driven by the exact host
+// workload machinery the whole-drive experiments use.
+//
+// Logical layout: lpn -> (block = lpn / pages_per_block, then LSB/MSB
+// pages interleaved along the wordlines: page index 2*wl + kind). Every
+// block is programmed with random data at construction, like a
+// characterization drive prepared for a read-disturb study. A host write
+// models log-structured turnover: each page write costs tProg, and once a
+// block has absorbed pages_per_block writes it is erased and reprogrammed
+// (one P/E cycle, disturb state cleared) with the erase charged as the
+// write's stall. Trim and flush are metadata-only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "host/device.h"
+#include "nand/chip.h"
+
+namespace rdsim::host {
+
+class McChipDevice : public Device {
+ public:
+  McChipDevice(const nand::Geometry& geometry,
+               const flash::FlashModelParams& params, std::uint64_t seed,
+               std::uint32_t queue_count = 1,
+               const LatencyParams& latency = LatencyParams{});
+
+  /// The underlying chip, for characterization-level setup (pre-wear,
+  /// retention aging, bulk disturb) between queued operations.
+  nand::Chip& chip() { return chip_; }
+  const nand::Chip& chip() const { return chip_; }
+
+  std::uint64_t logical_pages() const override {
+    return static_cast<std::uint64_t>(chip_.geometry().blocks) *
+           chip_.geometry().pages_per_block();
+  }
+
+  /// Cumulative raw bit errors observed by queued reads (the host-visible
+  /// symptom ECC has to absorb).
+  std::uint64_t read_bit_errors() const { return read_bit_errors_; }
+  /// Queued page reads / writes serviced, and blocks turned over.
+  std::uint64_t pages_read() const { return pages_read_; }
+  std::uint64_t pages_written() const { return pages_written_; }
+  std::uint64_t block_rewrites() const { return block_rewrites_; }
+
+ protected:
+  ServiceCost do_service(const Command& command) override;
+  /// A day on the MC chip is pure retention aging (no FTL maintenance).
+  double do_end_of_day() override;
+
+ private:
+  nand::PageAddress page_address(std::uint64_t lpn, std::uint32_t* block)
+      const;
+
+  nand::Chip chip_;
+  LatencyParams latency_;
+  std::vector<std::uint32_t> writes_into_block_;
+  std::uint64_t read_bit_errors_ = 0;
+  std::uint64_t pages_read_ = 0;
+  std::uint64_t pages_written_ = 0;
+  std::uint64_t block_rewrites_ = 0;
+};
+
+}  // namespace rdsim::host

@@ -1,0 +1,39 @@
+// rdsim/host/ssd_device.h
+//
+// host::Device backend over the analytic whole-drive simulator ssd::Ssd:
+// the production-shaped path for trace replay and QoS experiments. The
+// queue layer owns scheduling and completion records; the Ssd services
+// each command's data movement through the FTL and reports its cost.
+#pragma once
+
+#include <cstdint>
+
+#include "host/device.h"
+#include "ssd/ssd.h"
+
+namespace rdsim::host {
+
+class SsdDevice : public Device {
+ public:
+  SsdDevice(const ssd::SsdConfig& config,
+            const flash::FlashModelParams& params, std::uint64_t seed,
+            std::uint32_t queue_count = 1)
+      : Device(queue_count), ssd_(config, params, seed) {}
+
+  const ssd::Ssd& ssd() const { return ssd_; }
+
+  std::uint64_t logical_pages() const override {
+    return ssd_.ftl().config().logical_pages();
+  }
+
+ protected:
+  ServiceCost do_service(const Command& command) override {
+    return ssd_.service(command);
+  }
+  double do_end_of_day() override { return ssd_.end_of_day(); }
+
+ private:
+  ssd::Ssd ssd_;
+};
+
+}  // namespace rdsim::host

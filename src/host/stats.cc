@@ -1,0 +1,53 @@
+#include "host/stats.h"
+
+#include <algorithm>
+
+namespace rdsim::host {
+
+CompletionStats::CompletionStats(double max_latency_s, std::size_t bins)
+    : kinds_{KindAgg(max_latency_s, bins), KindAgg(max_latency_s, bins),
+             KindAgg(max_latency_s, bins), KindAgg(max_latency_s, bins)} {}
+
+void CompletionStats::add(const Completion& c) {
+  KindAgg& agg = at(c.kind);
+  const double latency = c.latency_s();
+  ++agg.count;
+  agg.pages += c.kind == CommandKind::kFlush ? 0 : c.pages;
+  agg.latency_sum_s += latency;
+  agg.max_s = std::max(agg.max_s, latency);
+  agg.latency.add(latency);
+
+  if (commands_ == 0 || c.submit_time_s < first_submit_s_)
+    first_submit_s_ = c.submit_time_s;
+  last_complete_s_ = std::max(last_complete_s_, c.complete_time_s);
+  ++commands_;
+  total_pages_ += c.kind == CommandKind::kFlush ? 0 : c.pages;
+  stall_seconds_ += c.stall_s;
+}
+
+double CompletionStats::mean_latency_s(CommandKind kind) const {
+  const KindAgg& agg = at(kind);
+  return agg.count == 0
+             ? 0.0
+             : agg.latency_sum_s / static_cast<double>(agg.count);
+}
+
+double CompletionStats::latency_quantile_s(CommandKind kind, double q) const {
+  return at(kind).latency.quantile(q);
+}
+
+double CompletionStats::span_s() const {
+  return commands_ == 0 ? 0.0 : last_complete_s_ - first_submit_s_;
+}
+
+double CompletionStats::iops() const {
+  const double span = span_s();
+  return span <= 0.0 ? 0.0 : static_cast<double>(commands_) / span;
+}
+
+double CompletionStats::page_rate() const {
+  const double span = span_s();
+  return span <= 0.0 ? 0.0 : static_cast<double>(total_pages_) / span;
+}
+
+}  // namespace rdsim::host

@@ -1,0 +1,74 @@
+// rdsim/host/stats.h
+//
+// CompletionStats aggregates the completion stream of a host::Device:
+// per-kind command/page counts, throughput over the simulated makespan,
+// and latency mean / p50 / p99 / p999 via common::Histogram — the
+// system-level numbers the QoS experiments report.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/histogram.h"
+#include "host/command.h"
+
+namespace rdsim::host {
+
+class CompletionStats {
+ public:
+  /// Latency histograms span [0, max_latency_s) at max_latency_s / bins
+  /// resolution (default 250 ms at 5 us); samples beyond the range clamp
+  /// into the last bin, so a saturated tail reports the histogram
+  /// ceiling — never silently less (max_latency_s() stays exact).
+  explicit CompletionStats(double max_latency_s = 0.25,
+                           std::size_t bins = 50000);
+
+  void add(const Completion& completion);
+
+  std::uint64_t commands() const { return commands_; }
+  std::uint64_t commands(CommandKind kind) const { return at(kind).count; }
+  std::uint64_t pages(CommandKind kind) const { return at(kind).pages; }
+
+  /// Mean latency of `kind` commands (exact, not binned). 0 when none.
+  double mean_latency_s(CommandKind kind) const;
+  /// Largest observed latency of `kind` commands (exact).
+  double max_latency_s(CommandKind kind) const { return at(kind).max_s; }
+  /// Binned latency quantile (see Histogram::quantile) of `kind` commands.
+  double latency_quantile_s(CommandKind kind, double q) const;
+
+  /// Total background-induced stall time attributed across completions.
+  double stall_seconds() const { return stall_seconds_; }
+
+  /// Simulated makespan: first submission to last completion.
+  double span_s() const;
+  /// Commands per simulated second over the makespan (0 if degenerate).
+  double iops() const;
+  /// Read/written/trimmed pages per simulated second over the makespan.
+  double page_rate() const;
+
+ private:
+  struct KindAgg {
+    std::uint64_t count = 0;
+    std::uint64_t pages = 0;
+    double latency_sum_s = 0.0;
+    double max_s = 0.0;
+    Histogram latency;
+    explicit KindAgg(double max_latency_s, std::size_t bins)
+        : latency(0.0, max_latency_s, bins) {}
+  };
+  const KindAgg& at(CommandKind kind) const {
+    return kinds_[static_cast<std::size_t>(kind)];
+  }
+  KindAgg& at(CommandKind kind) {
+    return kinds_[static_cast<std::size_t>(kind)];
+  }
+
+  std::array<KindAgg, 4> kinds_;
+  std::uint64_t commands_ = 0;
+  std::uint64_t total_pages_ = 0;
+  double stall_seconds_ = 0.0;
+  double first_submit_s_ = 0.0;
+  double last_complete_s_ = 0.0;
+};
+
+}  // namespace rdsim::host

@@ -35,6 +35,9 @@ const std::vector<ExperimentInfo>& experiments() {
        run_mitigation_compare},
       {"overheads", "Vpass Tuning time/storage overheads (512 GB SSD)",
        run_overheads},
+      {"fig_qos",
+       "Read latency percentiles vs mitigation policy and queue depth",
+       run_fig_qos},
   };
   return kExperiments;
 }

@@ -1,8 +1,10 @@
-// System-scale experiments: the whole-SSD endurance evaluation (Fig. 8)
-// and the DRAM RowHammer population figures (Figs. 11-12). Each workload
-// or module is one shard; the volume knobs (trace size, FTL geometry,
-// rows per module, replay days) honor the context's scale so the tests
-// can run the same code in milliseconds.
+// System-scale experiments: the whole-SSD endurance evaluation (Fig. 8),
+// the queued-host QoS study (fig_qos), and the DRAM RowHammer population
+// figures (Figs. 11-12). Each workload, combo, or module is one shard;
+// the volume knobs (trace size, FTL geometry, rows per module, replay
+// days) honor the context's scale so the tests can run the same code in
+// milliseconds. Drives are driven exclusively through the host::Device
+// queued interface.
 #include <algorithm>
 #include <string>
 #include <vector>
@@ -11,6 +13,8 @@
 #include "dram/rowhammer.h"
 #include "ecc/ecc_model.h"
 #include "flash/rber_model.h"
+#include "host/driver.h"
+#include "host/ssd_device.h"
 #include "sim/experiments.h"
 #include "ssd/ssd.h"
 #include "workload/generator.h"
@@ -48,19 +52,24 @@ Table run_fig08(ExperimentContext& ctx) {
         config.ftl.blocks = full_scale ? 1024 : 128;
         config.ftl.pages_per_block = full_scale ? 256 : 32;
         config.vpass_tuning = false;  // Pressure measurement only.
-        ssd::Ssd drive(config, params, drive_seed);
+        host::SsdDevice drive(config, params, drive_seed);
 
-        workload::TraceGenerator gen(
-            profile, drive.ftl().config().logical_pages(), trace_seed);
+        workload::TraceGenerator gen(profile, drive.logical_pages(),
+                                     trace_seed);
         // Warm the drive (fill the logical space once), then replay one
         // refresh interval to observe steady-state block read pressure.
-        for (std::uint64_t lpn = 0;
-             lpn < drive.ftl().config().logical_pages(); ++lpn)
-          drive.ftl_mut().write(lpn);
-        for (int day = 0; day < days; ++day) drive.run_day(gen.day());
+        host::warm_fill(drive);
+        std::vector<host::Completion> scratch;
+        for (int day = 0; day < days; ++day) {
+          for (const auto& c : workload::to_commands(gen.day()))
+            drive.submit(c);
+          drive.drain(&scratch);
+          drive.end_of_day();
+          scratch.clear();
+        }
 
         const double reads_per_interval =
-            static_cast<double>(drive.max_reads_per_interval());
+            static_cast<double>(drive.ssd().max_reads_per_interval());
         const double base = evaluator.endurance_pe(reads_per_interval, false);
         const double tuned = evaluator.endurance_pe(reads_per_interval, true);
         const double gain = (tuned / base - 1.0) * 100.0;
@@ -84,6 +93,120 @@ Table run_fig08(ExperimentContext& ctx) {
   table.row("average_improvement_pct");
   table.row(strf("%.1f",
                  improvement_sum / static_cast<double>(results.size())));
+  return table;
+}
+
+Table run_fig_qos(ExperimentContext& ctx) {
+  // System QoS study on the queued host interface: read tail latency vs
+  // read-disturb mitigation policy across queue depths. The host drives
+  // the drive closed-loop (zero think time) at a fixed queue depth over
+  // 4 submission queues; the same command stream — including trims and
+  // flushes — is replayed against each policy, so differences come from
+  // the background work each policy induces (reclaim churn, tuning
+  // probes), not from sampling.
+  const auto params = flash::FlashModelParams::default_2ynm();
+  const bool full_scale = ctx.scale() >= 1.0;
+  const int days = full_scale ? 3 : 2;
+
+  workload::WorkloadProfile profile =
+      workload::profile_by_name("fiu-web-vm");
+  profile.daily_page_ios = std::max(4000.0, profile.daily_page_ios *
+                                                ctx.scale());
+  profile.trim_fraction = 0.10;
+  profile.flush_period_s = 400.0;
+
+  // Reclaim threshold sized off the replayed volume (the hottest block
+  // draws a few percent of the daily reads), so the policy engages within
+  // the replay at any scale — including the floored tiny volumes.
+  const auto reclaim_threshold = std::max<std::uint64_t>(
+      50, static_cast<std::uint64_t>(0.025 * profile.read_fraction *
+                                     profile.daily_page_ios));
+
+  struct Policy {
+    const char* name;
+    bool tuning;
+    std::uint64_t reclaim;
+  };
+  const Policy policies[] = {
+      {"none", false, 0},
+      {"reclaim", false, reclaim_threshold},
+      {"tuning", true, 0},
+  };
+  const int depths[] = {1, 4, 16};
+  constexpr int kDepths = 3;
+  const std::size_t combos = std::size(policies) * kDepths;
+
+  // One drive seed and one trace seed shared by every combo (same scheme
+  // as fig08), so rows differ only by policy and depth.
+  const std::uint64_t drive_seed = 11 + (ctx.seed() - 42);
+  const std::uint64_t trace_seed = 4321 + (ctx.seed() - 42);
+
+  const auto rows = ctx.map_seeded<std::string>(
+      combos, [&](std::size_t combo, Rng&) {
+        const Policy& policy = policies[combo / kDepths];
+        const int depth = depths[combo % kDepths];
+
+        ssd::SsdConfig config;
+        config.ftl.blocks = full_scale ? 512 : 64;
+        config.ftl.pages_per_block = full_scale ? 128 : 32;
+        config.ftl.overprovision = 0.2;
+        config.ftl.gc_free_target = 4;
+        config.vpass_tuning = policy.tuning;
+        config.ftl.read_reclaim_threshold = policy.reclaim;
+        host::SsdDevice device(config, params, drive_seed,
+                               /*queue_count=*/4);
+        host::warm_fill(device);
+
+        workload::TraceGenerator gen(profile, device.logical_pages(),
+                                     trace_seed, device.queue_count());
+        // Closed-loop replay: keep `depth` commands outstanding; the
+        // next command is submitted the instant a completion frees a
+        // slot.
+        host::ClosedLoopDriver driver(device, depth);
+        for (int day = 0; day < days; ++day) {
+          driver.run(gen.day_commands());
+          device.end_of_day();
+        }
+
+        const host::CompletionStats& stats = device.stats();
+        const auto us = [](double seconds) { return seconds * 1e6; };
+        using host::CommandKind;
+        double latency_sum_s = 0.0;
+        for (const CommandKind k :
+             {CommandKind::kRead, CommandKind::kWrite, CommandKind::kTrim,
+              CommandKind::kFlush})
+          latency_sum_s += stats.mean_latency_s(k) *
+                           static_cast<double>(stats.commands(k));
+        const double stall_pct =
+            latency_sum_s <= 0.0
+                ? 0.0
+                : stats.stall_seconds() / latency_sum_s * 100.0;
+        return strf(
+            "%s,%d,%llu,%llu,%llu,%llu,%.0f,%.1f,%.1f,%.1f,%.1f,%.1f",
+            policy.name, depth,
+            static_cast<unsigned long long>(
+                stats.commands(CommandKind::kRead)),
+            static_cast<unsigned long long>(
+                stats.commands(CommandKind::kWrite)),
+            static_cast<unsigned long long>(
+                stats.commands(CommandKind::kTrim)),
+            static_cast<unsigned long long>(
+                stats.commands(CommandKind::kFlush)),
+            stats.iops(), us(stats.mean_latency_s(CommandKind::kRead)),
+            us(stats.latency_quantile_s(CommandKind::kRead, 0.50)),
+            us(stats.latency_quantile_s(CommandKind::kRead, 0.99)),
+            us(stats.latency_quantile_s(CommandKind::kRead, 0.999)),
+            stall_pct);
+      });
+
+  Table table;
+  table.comment(
+      "fig_qos: read latency percentiles vs mitigation policy and queue "
+      "depth (closed-loop host, 4 submission queues)");
+  table.row(
+      "policy,queue_depth,reads,writes,trims,flushes,iops,"
+      "read_mean_us,read_p50_us,read_p99_us,read_p999_us,stall_pct");
+  for (const auto& r : rows) table.row(r);
   return table;
 }
 

@@ -60,26 +60,55 @@ Ssd::Ssd(const SsdConfig& config, const flash::FlashModelParams& params,
       pe_seen_(config.ftl.blocks, 0),
       last_refresh_day_(config.ftl.blocks, 0.0) {
   for (std::uint32_t b = 0; b < config_.ftl.blocks; ++b)
-    ftl_.block_mut(b).vpass = params.vpass_nominal;
+    ftl_.set_block_vpass(b, params.vpass_nominal);
 }
 
-void Ssd::submit(const workload::IoRequest& request) {
+host::ServiceCost Ssd::service(const host::Command& command) {
+  host::ServiceCost cost;
   const std::uint64_t logical = ftl_.config().logical_pages();
-  for (std::uint32_t i = 0; i < request.pages; ++i) {
-    const std::uint64_t lpn = (request.lpn + i) % logical;
-    if (request.is_write) {
-      ftl_.write(lpn);
-      stats_.host_io_seconds += config_.latency.program_s;
-    } else {
-      ftl_.read(lpn);
-      stats_.host_io_seconds += config_.latency.read_s;
-    }
+  switch (command.kind) {
+    case host::CommandKind::kRead:
+      for (std::uint32_t i = 0; i < command.pages; ++i) {
+        ftl_.read((command.lpn + i) % logical);
+        cost.busy_s += config_.latency.read_s;
+      }
+      break;
+    case host::CommandKind::kWrite:
+      for (std::uint32_t i = 0; i < command.pages; ++i) {
+        ftl_.write((command.lpn + i) % logical);
+        cost.busy_s += config_.latency.program_s;
+      }
+      // GC the writes triggered inline runs before the command completes:
+      // charge it to the command as a stall, not as generic background.
+      cost.stall_s = accrue_background();
+      break;
+    case host::CommandKind::kTrim:
+      // Metadata-only: the mapping update costs no flash busy time.
+      for (std::uint32_t i = 0; i < command.pages; ++i)
+        ftl_.trim((command.lpn + i) % logical);
+      break;
+    case host::CommandKind::kFlush:
+      break;  // Barrier semantics live in the host::Device queue layer.
   }
+  stats_.host_io_seconds += cost.busy_s;
+  return cost;
 }
 
-void Ssd::run_day(const std::vector<workload::IoRequest>& day) {
-  for (const auto& r : day) submit(r);
-  end_of_day();
+double Ssd::accrue_background() {
+  const auto& fs = ftl_.stats();
+  const std::uint64_t bg_writes_total =
+      fs.gc_writes + fs.refresh_writes + fs.reclaim_writes;
+  const std::uint64_t erases_total =
+      fs.gc_erases + fs.refreshes + fs.reclaims;
+  const double seconds =
+      static_cast<double>(bg_writes_total - bg_writes_seen_) *
+          (config_.latency.read_s + config_.latency.program_s) +
+      static_cast<double>(erases_total - erases_seen_) *
+          config_.latency.erase_s;
+  bg_writes_seen_ = bg_writes_total;
+  erases_seen_ = erases_total;
+  stats_.background_seconds += seconds;
+  return seconds;
 }
 
 void Ssd::sync_block_epochs() {
@@ -93,34 +122,24 @@ void Ssd::sync_block_epochs() {
       disturb_rber_[b] = 0.0;
       reads_snapshot_[b] = 0;
       last_refresh_day_[b] = ftl_.now_days();
-      ftl_.block_mut(b).vpass = model_.params().vpass_nominal;
+      ftl_.set_block_vpass(b, model_.params().vpass_nominal);
     }
   }
 }
 
-void Ssd::end_of_day() {
+double Ssd::end_of_day() {
   ftl_.advance_time(1.0);
   ++stats_.days;
+  const double probe_seconds_before = stats_.tuning_probe_seconds;
 
   // 1. Remap-based refresh of aged blocks, then read reclaim if enabled.
   for (const std::uint32_t b : ftl_.blocks_due_refresh()) ftl_.refresh_block(b);
   ftl_.apply_read_reclaim();
   ftl_.collect_garbage();
   sync_block_epochs();
-  // Background busy time for the whole day, including GC triggered inline
-  // by host writes: one read + one program per moved page, plus erases.
-  const auto& fs = ftl_.stats();
-  const std::uint64_t bg_writes_total =
-      fs.gc_writes + fs.refresh_writes + fs.reclaim_writes;
-  const std::uint64_t erases_total =
-      fs.gc_erases + fs.refreshes + fs.reclaims;
-  stats_.background_seconds +=
-      static_cast<double>(bg_writes_total - bg_writes_seen_) *
-          (config_.latency.read_s + config_.latency.program_s) +
-      static_cast<double>(erases_total - erases_seen_) *
-          config_.latency.erase_s;
-  bg_writes_seen_ = bg_writes_total;
-  erases_seen_ = erases_total;
+  // Whatever background activity was not already charged to a write's
+  // inline-GC stall belongs to the nightly maintenance.
+  const double maintenance_bg_seconds = accrue_background();
 
   // 2. Account today's reads at the Vpass each block actually used.
   for (std::uint32_t b = 0; b < disturb_rber_.size(); ++b) {
@@ -138,7 +157,7 @@ void Ssd::end_of_day() {
 
   // 3. Daily Vpass tuning (the paper's mechanism) for blocks with data.
   for (std::uint32_t b = 0; b < disturb_rber_.size(); ++b) {
-    auto& info = ftl_.block_mut(b);
+    const auto& info = ftl_.block(b);
     if (info.state == ftl::BlockInfo::State::kFree || info.valid_pages == 0)
       continue;
     const double age = ftl_.now_days() - info.program_day;
@@ -150,11 +169,14 @@ void Ssd::end_of_day() {
       const core::TuningDecision decision =
           refreshed_today ? controller_.relearn(probe)
                           : controller_.verify_or_raise(probe, info.vpass);
-      info.vpass = decision.vpass;
+      ftl_.set_block_vpass(b, decision.vpass);
       // Probe cost: the MEE read plus each step-search verification read.
+      // The probes disturb the block like any other read, so they also
+      // count against its read budget.
+      const std::uint64_t probe_reads = 1 + decision.probe_steps;
+      ftl_.note_probe_reads(b, probe_reads);
       stats_.tuning_probe_seconds +=
-          static_cast<double>(1 + decision.probe_steps) *
-          config_.latency.read_s;
+          static_cast<double>(probe_reads) * config_.latency.read_s;
       stats_.tuning_fallbacks += decision.fallback ? 1 : 0;
       stats_.sum_vpass_reduction_pct +=
           (model_.params().vpass_nominal - decision.vpass) /
@@ -167,6 +189,9 @@ void Ssd::end_of_day() {
     if (block_worst_rber(b) > ecc_.rber_capability())
       ++stats_.uncorrectable_page_events;
   }
+
+  return maintenance_bg_seconds +
+         (stats_.tuning_probe_seconds - probe_seconds_before);
 }
 
 double Ssd::block_worst_rber(std::uint32_t b) const {

@@ -1,14 +1,20 @@
 // rdsim/ssd/ssd.h
 //
-// Whole-drive simulator: trace replay through the FTL with per-block
-// reliability tracking (P/E wear, data age, read disturb accumulated at
-// the block's tuned Vpass) and the paper's daily maintenance loop —
-// remap-based refresh, optional read reclaim, and per-block Vpass Tuning
-// driven by the real VpassTuningController.
+// Whole-drive simulator: typed host commands serviced through the FTL
+// with per-block reliability tracking (P/E wear, data age, read disturb
+// accumulated at the block's tuned Vpass) and the paper's daily
+// maintenance loop — remap-based refresh, optional read reclaim, and
+// per-block Vpass Tuning driven by the real VpassTuningController.
+//
+// The Ssd consumes host::Commands (read / write / trim; flush is a pure
+// queue barrier handled by the host::Device facade) and reports the cost
+// of each: flash busy seconds plus any inline-GC stall a write absorbed.
+// It is driven through host::SsdDevice, which adds the NVMe-style
+// submission/completion queue model on top.
 //
 // Error rates come from the analytic flash::RberModel; a per-cell Monte
 // Carlo model would not scale to a drive. The same controller logic is
-// exercised against the Monte Carlo chip in tests and examples.
+// exercised against the Monte Carlo chip via host::McChipDevice.
 #pragma once
 
 #include <cstdint>
@@ -19,16 +25,12 @@
 #include "flash/params.h"
 #include "flash/rber_model.h"
 #include "ftl/ftl.h"
-#include "workload/trace.h"
+#include "host/command.h"
 
 namespace rdsim::ssd {
 
-/// Flash operation latencies for the drive's time accounting.
-struct LatencyParams {
-  double read_s = 75e-6;      ///< Page read (tR).
-  double program_s = 1.3e-3;  ///< Page program (tProg).
-  double erase_s = 3.5e-3;    ///< Block erase (tBERS).
-};
+/// Flash operation latencies (shared vocabulary with the host layer).
+using LatencyParams = host::LatencyParams;
 
 struct SsdConfig {
   ftl::FtlConfig ftl;
@@ -72,16 +74,19 @@ class Ssd {
 
   const SsdConfig& config() const { return config_; }
   const ftl::Ftl& ftl() const { return ftl_; }
-  ftl::Ftl& ftl_mut() { return ftl_; }
   const SsdStats& stats() const { return stats_; }
   const flash::RberModel& rber_model() const { return model_; }
 
-  /// Submits one request (expands multi-page requests).
-  void submit(const workload::IoRequest& request);
+  /// Services one typed host command (multi-page ranges wrap the logical
+  /// space). Returns the command's flash cost: busy seconds for its own
+  /// data movement, plus the inline-GC stall a write triggered.
+  host::ServiceCost service(const host::Command& command);
 
-  /// Submits a day of requests, then runs the nightly maintenance
-  /// (refresh, read reclaim, Vpass tuning, reliability scan).
-  void run_day(const std::vector<workload::IoRequest>& day);
+  /// Nightly maintenance: refresh, read reclaim, GC, per-block Vpass
+  /// tuning, reliability scan. Returns the flash busy seconds the
+  /// maintenance consumed (background copies/erases + tuning probes), so
+  /// the device facade can reserve the flash timeline for it.
+  double end_of_day();
 
   /// Current worst-page RBER of a block (0 for blocks without data).
   double block_worst_rber(std::uint32_t b) const;
@@ -100,10 +105,12 @@ class Ssd {
   }
 
  private:
-  void end_of_day();
   /// Detects blocks erased since the last scan and resets their
   /// reliability accumulators.
   void sync_block_epochs();
+  /// Converts background FTL activity (GC/refresh/reclaim copies and
+  /// erases) since the last call into seconds, accumulating the stat.
+  double accrue_background();
 
   SsdConfig config_;
   flash::RberModel model_;
@@ -118,7 +125,7 @@ class Ssd {
   std::vector<double> last_refresh_day_;
 
   std::uint64_t max_reads_per_interval_ = 0;
-  // Day-over-day counters for background time accounting.
+  // Counters for incremental background time accounting.
   std::uint64_t bg_writes_seen_ = 0;
   std::uint64_t erases_seen_ = 0;
   SsdStats stats_;

@@ -8,17 +8,20 @@ namespace rdsim::workload {
 
 TraceGenerator::TraceGenerator(const WorkloadProfile& profile,
                                std::uint64_t logical_pages,
-                               std::uint64_t seed)
+                               std::uint64_t seed, std::uint16_t queues)
     : profile_(profile),
       footprint_pages_(std::max<std::uint64_t>(
           1, static_cast<std::uint64_t>(profile.footprint_fraction *
                                         static_cast<double>(logical_pages)))),
       read_ranks_(footprint_pages_, profile.read_zipf_theta),
       write_ranks_(footprint_pages_, profile.write_zipf_theta),
-      rng_(seed) {
+      rng_(seed),
+      command_rng_(Rng::stream(seed, 0x636d64 /* "cmd" */)),
+      queues_(std::max<std::uint16_t>(1, queues)) {
   const double requests_per_day =
       profile_.daily_page_ios / profile_.mean_request_pages;
   mean_interarrival_s_ = 86400.0 / std::max(1.0, requests_per_day);
+  if (profile_.flush_period_s > 0.0) next_flush_s_ = profile_.flush_period_s;
 }
 
 std::uint64_t TraceGenerator::rank_to_lpn(std::uint64_t rank,
@@ -57,6 +60,51 @@ std::vector<IoRequest> TraceGenerator::day() {
       break;
     }
     out.push_back(r);
+  }
+  return out;
+}
+
+std::uint16_t TraceGenerator::route() {
+  return static_cast<std::uint16_t>(command_seq_++ % queues_);
+}
+
+host::Command TraceGenerator::next_command() {
+  host::Command c;
+  // A due flush goes out before the next request is drawn, stamped at the
+  // current clock so the stream stays arrival-ordered.
+  if (clock_s_ >= next_flush_s_) {
+    next_flush_s_ += profile_.flush_period_s;
+    c.kind = host::CommandKind::kFlush;
+    c.lpn = 0;
+    c.pages = 0;
+    c.submit_time_s = clock_s_;
+    c.queue = route();
+    return c;
+  }
+  const IoRequest r = next();
+  c.lpn = r.lpn;
+  c.pages = r.pages;
+  c.submit_time_s = r.time_s;
+  c.kind = !r.is_write ? host::CommandKind::kRead
+           : command_rng_.bernoulli(profile_.trim_fraction)
+               ? host::CommandKind::kTrim
+               : host::CommandKind::kWrite;
+  c.queue = route();
+  return c;
+}
+
+std::vector<host::Command> TraceGenerator::day_commands() {
+  std::vector<host::Command> out;
+  const double day_end = clock_s_ + 86400.0;
+  out.reserve(static_cast<std::size_t>(profile_.daily_page_ios /
+                                       profile_.mean_request_pages * 1.1));
+  while (true) {
+    host::Command c = next_command();
+    if (c.submit_time_s >= day_end) {
+      clock_s_ = day_end;
+      break;
+    }
+    out.push_back(c);
   }
   return out;
 }

@@ -4,12 +4,22 @@
 // writes draw their logical pages from independent Zipf popularity
 // rankings over the workload's footprint, with a per-workload random
 // permutation so the hot set is not trivially the lowest addresses.
+//
+// Two equivalent front-ends:
+//   * next()/day()                   — raw IoRequests (legacy replay);
+//   * next_command()/day_commands()  — typed host::Commands for the
+//     queued device interface, with the profile's trim fraction and
+//     flush cadence overlaid and submission queues assigned round-robin.
+// The command stream derives its trim/flush decisions from a separate
+// RNG stream, so enabling them never perturbs the IoRequest sequence.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/rng.h"
+#include "host/command.h"
 #include "workload/profiles.h"
 #include "workload/trace.h"
 #include "workload/zipf.h"
@@ -20,11 +30,13 @@ class TraceGenerator {
  public:
   /// `logical_pages` is the drive's exported logical space; the workload
   /// touches the first footprint_fraction of it (after permutation).
+  /// `queues` is the submission-queue fan-out commands are routed over.
   TraceGenerator(const WorkloadProfile& profile, std::uint64_t logical_pages,
-                 std::uint64_t seed);
+                 std::uint64_t seed, std::uint16_t queues = 1);
 
   const WorkloadProfile& profile() const { return profile_; }
   std::uint64_t footprint_pages() const { return footprint_pages_; }
+  std::uint16_t queues() const { return queues_; }
 
   /// Generates one request with Poisson-ish arrival spacing so that one
   /// simulated day contains ~daily_page_ios page accesses.
@@ -32,6 +44,14 @@ class TraceGenerator {
 
   /// Generates a full day of requests (time_s in [0, 86400)).
   std::vector<IoRequest> day();
+
+  /// Generates the next typed host command: the request stream of next()
+  /// with the profile's trim fraction applied to writes, flushes emitted
+  /// at the profile's cadence, and queues assigned round-robin.
+  host::Command next_command();
+
+  /// Generates a full day of typed commands (arrival-ordered).
+  std::vector<host::Command> day_commands();
 
  private:
   /// Maps a popularity rank to a logical page, spreading hot ranks across
@@ -41,11 +61,19 @@ class TraceGenerator {
   /// read counts accumulate on a block between refreshes.
   std::uint64_t rank_to_lpn(std::uint64_t rank, std::uint64_t salt) const;
 
+  /// Round-robin submission-queue router.
+  std::uint16_t route();
+
   WorkloadProfile profile_;
   std::uint64_t footprint_pages_;
   ZipfSampler read_ranks_;
   ZipfSampler write_ranks_;
   Rng rng_;
+  Rng command_rng_;  ///< Trim decisions only; decoupled from rng_ so the
+                     ///< IoRequest stream is independent of trim config.
+  std::uint16_t queues_;
+  std::uint64_t command_seq_ = 0;
+  double next_flush_s_ = std::numeric_limits<double>::infinity();
   double clock_s_ = 0.0;
   double mean_interarrival_s_;
 };

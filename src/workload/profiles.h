@@ -22,6 +22,14 @@ struct WorkloadProfile {
   double read_zipf_theta = 0.9;   ///< Read locality (higher = hotter).
   double write_zipf_theta = 0.6;  ///< Write locality.
   double mean_request_pages = 4.0;  ///< Average request size in pages.
+
+  // Command-stream shaping (consumed by TraceGenerator::next_command();
+  // the plain IoRequest stream is independent of these, so enabling them
+  // never shifts existing request-replay results).
+  double trim_fraction = 0.0;   ///< Fraction of write requests issued as
+                                ///< kTrim (deallocate) instead of kWrite.
+  double flush_period_s = 0.0;  ///< Host flush cadence in seconds
+                                ///< (0 = the host never flushes).
 };
 
 /// The nine-trace evaluation suite mirroring the families the paper used:

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "host/command.h"
+
 namespace rdsim::workload {
 
 /// One host request, already normalized to page granularity.
@@ -36,5 +38,11 @@ struct TraceStats {
     (r.is_write ? write_pages : read_pages) += r.pages;
   }
 };
+
+/// Converts a replayed trace into the typed command stream the queued
+/// host::Device interface consumes, preserving order and assigning
+/// submission queues round-robin (implemented in trace_io.cc).
+std::vector<host::Command> to_commands(const std::vector<IoRequest>& trace,
+                                       std::uint16_t queues = 1);
 
 }  // namespace rdsim::workload

@@ -1,5 +1,6 @@
 #include "workload/trace_io.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <stdexcept>
@@ -120,6 +121,24 @@ std::vector<IoRequest> read_msr_trace(std::istream& in,
     if (parse_msr_line(line, page_bytes, first_tick, &r)) trace.push_back(r);
   }
   return trace;
+}
+
+std::vector<host::Command> to_commands(const std::vector<IoRequest>& trace,
+                                       std::uint16_t queues) {
+  const std::uint16_t n = std::max<std::uint16_t>(1, queues);
+  std::vector<host::Command> out;
+  out.reserve(trace.size());
+  std::uint64_t seq = 0;
+  for (const IoRequest& r : trace) {
+    host::Command c;
+    c.kind = r.is_write ? host::CommandKind::kWrite : host::CommandKind::kRead;
+    c.lpn = r.lpn;
+    c.pages = r.pages;
+    c.submit_time_s = r.time_s;
+    c.queue = static_cast<std::uint16_t>(seq++ % n);
+    out.push_back(c);
+  }
+  return out;
 }
 
 }  // namespace rdsim::workload

@@ -12,6 +12,7 @@
 #include "ecc/ecc_model.h"
 #include "flash/rber_model.h"
 #include "flash/vth_model.h"
+#include "host/ssd_device.h"
 #include "nand/randomizer.h"
 #include "ssd/ssd.h"
 #include "workload/zipf.h"
@@ -161,31 +162,39 @@ TEST(EdgeSsd, EmptyDayStillDoesMaintenance) {
   cfg.ftl.pages_per_block = 16;
   cfg.ftl.overprovision = 0.25;
   cfg.ftl.gc_free_target = 2;
-  ssd::Ssd drive(cfg, params, 1);
-  for (std::uint64_t lpn = 0; lpn < 64; ++lpn) drive.ftl_mut().write(lpn);
-  for (int day = 0; day < 10; ++day) drive.run_day({});
-  EXPECT_EQ(drive.stats().days, 10u);
+  host::SsdDevice drive(cfg, params, 1);
+  host::Command write;
+  write.kind = host::CommandKind::kWrite;
+  for (std::uint64_t lpn = 0; lpn < 64; ++lpn) {
+    write.lpn = lpn;
+    drive.submit(write);
+  }
+  for (int day = 0; day < 10; ++day) drive.end_of_day();
+  EXPECT_EQ(drive.ssd().stats().days, 10u);
   // Weekly refresh fired even with zero host traffic.
-  EXPECT_GT(drive.ftl().stats().refreshes, 0u);
-  EXPECT_TRUE(drive.ftl().check_invariants());
+  EXPECT_GT(drive.ssd().ftl().stats().refreshes, 0u);
+  EXPECT_TRUE(drive.ssd().ftl().check_invariants());
 }
 
-TEST(EdgeSsd, MultiPageRequestWrapsLogicalSpace) {
+TEST(EdgeSsd, MultiPageCommandWrapsLogicalSpace) {
   const auto params = flash::FlashModelParams::default_2ynm();
   ssd::SsdConfig cfg;
   cfg.ftl.blocks = 32;
   cfg.ftl.pages_per_block = 16;
   cfg.ftl.overprovision = 0.25;
   cfg.ftl.gc_free_target = 2;
-  ssd::Ssd drive(cfg, params, 2);
-  const auto logical = drive.ftl().config().logical_pages();
-  workload::IoRequest r;
-  r.lpn = logical - 2;
-  r.pages = 5;  // Crosses the end of the logical space.
-  r.is_write = true;
-  drive.submit(r);
-  EXPECT_EQ(drive.ftl().stats().host_writes, 5u);
-  EXPECT_TRUE(drive.ftl().check_invariants());
+  host::SsdDevice drive(cfg, params, 2);
+  const auto logical = drive.logical_pages();
+  host::Command c;
+  c.kind = host::CommandKind::kWrite;
+  c.lpn = logical - 2;
+  c.pages = 5;  // Crosses the end of the logical space.
+  drive.submit(c);
+  std::vector<host::Completion> done;
+  ASSERT_EQ(drive.drain(&done), 1u);
+  EXPECT_EQ(done[0].pages, 5u);
+  EXPECT_EQ(drive.ssd().ftl().stats().host_writes, 5u);
+  EXPECT_TRUE(drive.ssd().ftl().check_invariants());
 }
 
 TEST(EdgeRng, LargeBoundUniform) {

@@ -145,13 +145,75 @@ TEST(Ftl, ReadReclaimTriggersAtThreshold) {
   EXPECT_NE(ftl.read(0), Ftl::kUnmappedBlock);
 }
 
+TEST(Ftl, TrimUnmapsPageAndDecrementsValidCount) {
+  Ftl ftl(small_config());
+  const auto block = ftl.write(5);
+  const auto valid_before = ftl.block(block).valid_pages;
+  EXPECT_TRUE(ftl.trim(5));
+  EXPECT_EQ(ftl.block(block).valid_pages, valid_before - 1);
+  EXPECT_EQ(ftl.read(5), Ftl::kUnmappedBlock);
+  EXPECT_EQ(ftl.stats().host_trims, 1u);
+  EXPECT_TRUE(ftl.check_invariants());
+}
+
+TEST(Ftl, TrimOfUnmappedPageIsNoOp) {
+  Ftl ftl(small_config());
+  EXPECT_FALSE(ftl.trim(9));
+  EXPECT_EQ(ftl.stats().host_trims, 0u);
+  // Double trim: second is a no-op too.
+  ftl.write(9);
+  EXPECT_TRUE(ftl.trim(9));
+  EXPECT_FALSE(ftl.trim(9));
+  EXPECT_EQ(ftl.stats().host_trims, 1u);
+  EXPECT_TRUE(ftl.check_invariants());
+}
+
+TEST(Ftl, TrimmedSpaceIsNotCopiedByGc) {
+  // Fill a block, trim all of it, and write until the first GC fires:
+  // greedy victim selection must pick the zero-valid trimmed block and
+  // reclaim it with ZERO copy writes (trimmed data is dead, not
+  // relocated) — a regression that relocates unmapped pages fails the
+  // exact equality below.
+  auto cfg = small_config();
+  Ftl ftl(cfg);
+  for (std::uint64_t lpn = 0; lpn < cfg.pages_per_block; ++lpn)
+    ftl.write(lpn);
+  for (std::uint64_t lpn = 0; lpn < cfg.pages_per_block; ++lpn)
+    ftl.trim(lpn);
+  // Fresh distinct writes until GC triggers; stop at the first erase.
+  std::uint64_t lpn = cfg.pages_per_block;
+  const std::uint64_t logical = ftl.config().logical_pages();
+  while (ftl.stats().gc_erases == 0) {
+    ftl.write(lpn);
+    lpn = cfg.pages_per_block +
+          (lpn + 1 - cfg.pages_per_block) % (logical - cfg.pages_per_block);
+  }
+  EXPECT_EQ(ftl.stats().gc_erases, 1u);
+  EXPECT_EQ(ftl.stats().gc_writes, 0u);
+  EXPECT_TRUE(ftl.check_invariants());
+}
+
+TEST(Ftl, NarrowMutatorsTouchOnlyTheirField) {
+  Ftl ftl(small_config());
+  const auto block = ftl.write(3);
+  ftl.set_block_vpass(block, 497.0);
+  EXPECT_DOUBLE_EQ(ftl.block(block).vpass, 497.0);
+  const auto reads_before = ftl.block(block).reads_since_program;
+  ftl.note_probe_reads(block, 5);
+  EXPECT_EQ(ftl.block(block).reads_since_program, reads_before + 5);
+  EXPECT_TRUE(ftl.check_invariants());
+}
+
 TEST(Ftl, RandomOpsPreserveInvariants) {
   Ftl ftl(small_config());
   Rng rng(3);
   for (int i = 0; i < 20000; ++i) {
     const auto lpn = rng.uniform_u64(ftl.config().logical_pages());
-    if (rng.bernoulli(0.4))
+    const double dice = rng.uniform();
+    if (dice < 0.4)
       ftl.write(lpn);
+    else if (dice < 0.45)
+      ftl.trim(lpn);
     else
       ftl.read(lpn);
     if (i % 4096 == 0) {

@@ -55,8 +55,11 @@ struct GoldenEntry {
 
 // Golden CRCs at seed 42, tiny geometry, scale 0.01 (PR 2: first version,
 // captured together with the SoA cell store + packed program_random draw
-// stream this PR introduced).
+// stream this PR introduced; PR 3 added fig_qos and kept every other
+// hash unchanged through the queued-host-interface refactor — fig08's
+// FTL op sequence is preserved exactly by the command conversion).
 constexpr GoldenEntry kGolden[] = {
+    {"fig_qos", 0x21AD8CF4},
     {"fig02", 0x14FD011A},
     {"fig03", 0x3774575E},
     {"fig04", 0xD9633849},

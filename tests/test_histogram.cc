@@ -64,6 +64,26 @@ TEST(Histogram, MeanOfBinnedSamples) {
   EXPECT_DOUBLE_EQ(h.mean(), 5.0);
 }
 
+TEST(Histogram, QuantileWalksTheMass) {
+  Histogram h(0.0, 10.0, 10);  // Bin width 1.
+  for (int i = 0; i < 90; ++i) h.add(0.5);  // Bin 0.
+  for (int i = 0; i < 10; ++i) h.add(8.5);  // Bin 8.
+  // Median sits in bin 0: its upper edge is 1.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  // p90 is the boundary: 90 samples reach it inside bin 0.
+  EXPECT_DOUBLE_EQ(h.quantile(0.90), 1.0);
+  // Anything past p90 needs the tail bin.
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 9.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 9.0);
+  // q = 0 still points at the first populated bin's upper edge.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+}
+
+TEST(Histogram, QuantileOfEmptyIsLo) {
+  Histogram h(2.0, 4.0, 4);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+}
+
 TEST(Histogram, EmptyBehaviour) {
   Histogram h(0.0, 1.0, 2);
   EXPECT_DOUBLE_EQ(h.pdf(0), 0.0);

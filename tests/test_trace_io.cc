@@ -139,7 +139,7 @@ TEST(FtlSnapshot, RoundTripPreservesMapping) {
 TEST(FtlSnapshot, PreservesPerBlockVpass) {
   ftl::Ftl a(snap_config());
   a.write(0);
-  a.block_mut(0).vpass = 491.5;
+  a.set_block_vpass(0, 491.5);
   const auto snap = a.snapshot();
   ftl::Ftl b(snap_config());
   ASSERT_TRUE(b.restore(snap));
@@ -147,6 +147,58 @@ TEST(FtlSnapshot, PreservesPerBlockVpass) {
   for (std::size_t i = 0; i < b.block_count(); ++i)
     found |= b.block(i).vpass == 491.5;
   EXPECT_TRUE(found);
+}
+
+TEST(FtlSnapshot, RoundTripAcrossTrimGcRefresh) {
+  // The snapshot must capture the post-trim mapping state exactly: after
+  // a trim + churn (GC) + refresh sequence, the restored FTL serves the
+  // same mapping, counts the trims, and keeps the invariants.
+  ftl::Ftl a(snap_config());
+  Rng rng(7);
+  const auto logical = a.config().logical_pages();
+  for (std::uint64_t lpn = 0; lpn < logical; ++lpn) a.write(lpn);
+  // Trim the lower half (stride 3), churn the upper half until GC runs —
+  // the trimmed pages are never rewritten.
+  for (std::uint64_t lpn = 0; lpn < logical / 2; lpn += 3) a.trim(lpn);
+  for (int i = 0; i < 400; ++i)
+    a.write(logical / 2 + rng.uniform_u64(logical - logical / 2));
+  a.advance_time(8.0);
+  for (const auto b : a.blocks_due_refresh()) a.refresh_block(b);
+  ASSERT_GT(a.stats().host_trims, 0u);
+  ASSERT_GT(a.stats().gc_erases, 0u);
+  ASSERT_GT(a.stats().refreshes, 0u);
+  ASSERT_TRUE(a.check_invariants());
+
+  const auto snap = a.snapshot();
+  ftl::Ftl b(snap_config());
+  ASSERT_TRUE(b.restore(snap));
+  EXPECT_TRUE(b.check_invariants());
+  EXPECT_EQ(b.stats().host_trims, a.stats().host_trims);
+  EXPECT_EQ(b.stats().refreshes, a.stats().refreshes);
+  EXPECT_EQ(b.free_blocks(), a.free_blocks());
+  for (std::uint64_t lpn = 0; lpn < logical; ++lpn)
+    EXPECT_EQ(b.read(lpn), a.read(lpn));
+  // Trimmed-and-never-rewritten pages stay unmapped through restore.
+  for (std::uint64_t lpn = 0; lpn < logical / 2; lpn += 3)
+    EXPECT_EQ(b.read(lpn), ftl::Ftl::kUnmappedBlock);
+}
+
+TEST(TraceIo, ToCommandsPreservesOrderAndRoutesRoundRobin) {
+  std::vector<IoRequest> trace;
+  for (int i = 0; i < 6; ++i)
+    trace.push_back({static_cast<double>(i), static_cast<std::uint64_t>(i),
+                     static_cast<std::uint32_t>(i + 1), i % 2 == 0});
+  const auto commands = workload::to_commands(trace, 4);
+  ASSERT_EQ(commands.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(commands[i].lpn, trace[i].lpn);
+    EXPECT_EQ(commands[i].pages, trace[i].pages);
+    EXPECT_DOUBLE_EQ(commands[i].submit_time_s, trace[i].time_s);
+    EXPECT_EQ(commands[i].kind, trace[i].is_write
+                                    ? host::CommandKind::kWrite
+                                    : host::CommandKind::kRead);
+    EXPECT_EQ(commands[i].queue, i % 4);
+  }
 }
 
 TEST(FtlSnapshot, RejectsCorruption) {

@@ -2,6 +2,7 @@
 // the generator.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <map>
 
 #include "workload/generator.h"
@@ -151,6 +152,73 @@ TEST(Generator, DeterministicForSeed) {
     EXPECT_EQ(ra.lpn, rb.lpn);
     EXPECT_EQ(ra.is_write, rb.is_write);
     EXPECT_EQ(ra.pages, rb.pages);
+  }
+}
+
+TEST(CommandStream, TrimFractionAndFlushCadenceHonored) {
+  auto profile = profile_by_name("postmark");
+  profile.daily_page_ios = 40000;
+  profile.trim_fraction = 0.25;
+  profile.flush_period_s = 3600.0;  // 24 flushes per day.
+  TraceGenerator gen(profile, 1u << 20, 21, /*queues=*/4);
+  std::uint64_t reads = 0, writes = 0, trims = 0, flushes = 0;
+  for (const auto& c : gen.day_commands()) {
+    switch (c.kind) {
+      case host::CommandKind::kRead: ++reads; break;
+      case host::CommandKind::kWrite: ++writes; break;
+      case host::CommandKind::kTrim: ++trims; break;
+      case host::CommandKind::kFlush: ++flushes; break;
+    }
+  }
+  EXPECT_GT(reads, 0u);
+  EXPECT_GT(writes, 0u);
+  // Trims are the configured fraction of the write stream.
+  EXPECT_NEAR(static_cast<double>(trims) / static_cast<double>(trims + writes),
+              profile.trim_fraction, 0.05);
+  EXPECT_GE(flushes, 22u);
+  EXPECT_LE(flushes, 24u);
+}
+
+TEST(CommandStream, RouterSpansQueuesRoundRobin) {
+  auto profile = profile_by_name("fiu-mail");
+  TraceGenerator gen(profile, 1u << 20, 22, /*queues=*/3);
+  std::array<int, 3> per_queue{};
+  for (int i = 0; i < 999; ++i) ++per_queue[gen.next_command().queue % 3];
+  EXPECT_EQ(per_queue[0], 333);
+  EXPECT_EQ(per_queue[1], 333);
+  EXPECT_EQ(per_queue[2], 333);
+}
+
+TEST(CommandStream, TrimConfigDoesNotPerturbIoRequestStream) {
+  // The trim/flush overlay draws from a decoupled RNG stream: the raw
+  // IoRequest sequence (and so every request-replay golden) must be
+  // byte-identical whether or not command shaping is enabled.
+  auto plain = profile_by_name("msr-src");
+  auto shaped = plain;
+  shaped.trim_fraction = 0.5;
+  shaped.flush_period_s = 600.0;
+  TraceGenerator a(plain, 1u << 20, 23), b(shaped, 1u << 20, 23);
+  for (int i = 0; i < 5000; ++i) {
+    const auto ra = a.next(), rb = b.next();
+    EXPECT_EQ(ra.lpn, rb.lpn);
+    EXPECT_EQ(ra.is_write, rb.is_write);
+    EXPECT_EQ(ra.pages, rb.pages);
+    EXPECT_DOUBLE_EQ(ra.time_s, rb.time_s);
+  }
+}
+
+TEST(CommandStream, CommandsMirrorUnderlyingRequests) {
+  // With shaping disabled, next_command() is exactly next() retyped.
+  const auto profile = profile_by_name("cello99");
+  TraceGenerator a(profile, 1u << 20, 24), b(profile, 1u << 20, 24);
+  for (int i = 0; i < 2000; ++i) {
+    const auto r = a.next();
+    const auto c = b.next_command();
+    EXPECT_EQ(c.lpn, r.lpn);
+    EXPECT_EQ(c.pages, r.pages);
+    EXPECT_DOUBLE_EQ(c.submit_time_s, r.time_s);
+    EXPECT_EQ(c.kind, r.is_write ? host::CommandKind::kWrite
+                                 : host::CommandKind::kRead);
   }
 }
 
