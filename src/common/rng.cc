@@ -128,6 +128,11 @@ void Rng::fill_normal(double* dst, std::size_t n, double mean, double stddev) {
   for (std::size_t i = 0; i < n; ++i) dst[i] = normal(mean, stddev);
 }
 
+void Rng::fill_normal(float* dst, std::size_t n, double mean, double stddev) {
+  for (std::size_t i = 0; i < n; ++i)
+    dst[i] = static_cast<float>(normal(mean, stddev));
+}
+
 void Rng::fill_random_bits(std::uint8_t* dst, std::size_t n) {
   std::size_t i = 0;
   for (; i + 64 <= n; i += 64) {
@@ -152,6 +157,21 @@ Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_id) {
   // in the seed. Rng's constructor then runs the result through SplitMix64
   // again to fill the xoshiro state.
   std::uint64_t x = stream_id ^ 0x6A09E667F3BCC909ULL;
+  const std::uint64_t mixed_id = splitmix64(x);
+  x = seed ^ mixed_id;
+  return Rng(splitmix64(x));
+}
+
+Rng Rng::at(std::uint64_t seed, std::uint64_t stream_id,
+            std::uint64_t counter) {
+  // stream()'s construction extended by one input: whiten the counter,
+  // fold it into the stream id, whiten again, fold in the seed. Every
+  // component passes through a full SplitMix64 avalanche before it meets
+  // the next, so nearby (stream, counter) pairs land in uncorrelated
+  // states; Rng's constructor mixes the final value a third time.
+  std::uint64_t x = counter ^ 0xBB67AE8584CAA73BULL;
+  const std::uint64_t mixed_counter = splitmix64(x);
+  x = stream_id ^ mixed_counter;
   const std::uint64_t mixed_id = splitmix64(x);
   x = seed ^ mixed_id;
   return Rng(splitmix64(x));

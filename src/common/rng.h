@@ -90,6 +90,13 @@ class Rng {
   void fill_normal(double* dst, std::size_t n, double mean = 0.0,
                    double stddev = 1.0);
 
+  /// Float variant: dst[i] = float(normal(mean, stddev)), consuming the
+  /// stream exactly like the double fill. Lets callers whose storage is
+  /// float (per-bitline thresholds, SoA cell fields) skip the
+  /// double-buffer-then-cast round trip.
+  void fill_normal(float* dst, std::size_t n, double mean = 0.0,
+                   double stddev = 1.0);
+
   /// Fills dst[0..n) with random bits (one byte per bit, values 0/1),
   /// unpacking 64 bits per raw draw, least-significant bit first. A final
   /// partial word consumes one draw for the remaining bits.
@@ -105,6 +112,18 @@ class Rng {
   /// how many threads ran or in what order — keeping merged results
   /// byte-identical across thread counts.
   static Rng stream(std::uint64_t seed, std::uint64_t stream_id);
+
+  /// Counter-based derivation: the `counter`-th generator of stream
+  /// `stream_id` under `seed`, as a pure function of the triple — no state
+  /// is consumed from any live generator, so the result never depends on
+  /// how many draws (or which other derivations) happened before. The
+  /// Monte Carlo block uses this to make each wordline's ground truth a
+  /// pure function of (block seed, program epoch, wordline): cells can be
+  /// materialized lazily in any touch order and still come out
+  /// bit-identical. SplitMix64-style: each component is injected through a
+  /// full avalanche round, like stream() but with one more input.
+  static Rng at(std::uint64_t seed, std::uint64_t stream_id,
+                std::uint64_t counter);
 
  private:
   std::array<std::uint64_t, 4> s_{};

@@ -87,28 +87,84 @@ double VthModel::state_sd(CellState state, double pe_cycles) const {
   return s.sd * (1.0 + params_.wear_sd_growth * pe_cycles);
 }
 
-CellGroundTruth VthModel::sample_program(CellState state, double pe_cycles,
-                                         Rng& rng) const {
-  CellGroundTruth cell;
-  cell.programmed = state;
-  CellState landed = state;
+namespace {
+
+/// Index of the state a cell actually lands in: with probability `perr`
+/// (split by the same uniform's lower half for the direction) it is one
+/// state off the intended `idx` — towards the middle for the end states.
+/// Branch-free so the batch's landed pass vectorizes.
+inline int landed_index(int idx, double u, double perr) {
+  const int mis = u < perr ? 1 : 0;
+  const int delta = idx == 0 ? 1 : (idx == 3 ? -1 : (u < 0.5 * perr ? 1 : -1));
+  return idx + mis * delta;
+}
+
+}  // namespace
+
+CellGroundTruth VthModel::sample_program_from_draws(CellState state,
+                                                    double pe_cycles, double u,
+                                                    double z0, double zs,
+                                                    double zl) const {
   const double perr = params_.program_error_rate *
                       (1.0 + pe_cycles / params_.wear_prog_error_pe);
-  if (rng.bernoulli(perr)) {
-    // Mis-program to an adjacent state (towards the middle for the ends).
-    const int idx = static_cast<int>(state);
-    const int delta = (idx == 0) ? 1 : (idx == 3) ? -1 : (rng.bernoulli(0.5) ? 1 : -1);
-    landed = static_cast<CellState>(idx + delta);
-  }
-  cell.v0 = static_cast<float>(
-      rng.normal(state_mean(landed, pe_cycles), state_sd(landed, pe_cycles)));
-  // Scalar std::exp on purpose: this RNG-serial loop cannot vectorize, and
-  // libm's scalar exp beats vmath::vexp's long Horner dependency chain.
-  cell.susceptibility =
-      static_cast<float>(std::exp(rng.normal(0.0, params_.disturb_sigma)));
-  cell.leak_rate =
-      static_cast<float>(std::exp(rng.normal(0.0, params_.ret_sigma)));
+  const auto landed = static_cast<CellState>(
+      landed_index(static_cast<int>(state), u, perr));
+  CellGroundTruth cell;
+  cell.programmed = state;
+  cell.v0 = static_cast<float>(state_mean(landed, pe_cycles) +
+                               state_sd(landed, pe_cycles) * z0);
+  // vmath::vexp (not libm) so the batched wordline fill and this scalar
+  // path produce identical bits for identical draws.
+  cell.susceptibility = static_cast<float>(vmath::vexp(zs));
+  cell.leak_rate = static_cast<float>(vmath::vexp(zl));
   return cell;
+}
+
+CellGroundTruth VthModel::sample_program(CellState state, double pe_cycles,
+                                         Rng& rng) const {
+  const double u = rng.uniform();
+  const double z0 = rng.normal();
+  const double zs = rng.normal(0.0, params_.disturb_sigma);
+  const double zl = rng.normal(0.0, params_.ret_sigma);
+  return sample_program_from_draws(state, pe_cycles, u, z0, zs, zl);
+}
+
+void VthModel::sample_program_batch(const std::uint8_t* intended,
+                                    std::size_t n, double pe_cycles, Rng& rng,
+                                    ProgramSampleScratch& scratch, float* v0,
+                                    float* susceptibility,
+                                    float* leak_rate) const {
+  scratch.u.resize(n);
+  scratch.z.resize(n);
+  scratch.landed.resize(n);
+  const double perr = params_.program_error_rate *
+                      (1.0 + pe_cycles / params_.wear_prog_error_pe);
+  double mean[4], sd[4];
+  for (int s = 0; s < 4; ++s) {
+    mean[s] = state_mean(static_cast<CellState>(s), pe_cycles);
+    sd[s] = state_sd(static_cast<CellState>(s), pe_cycles);
+  }
+
+  // Pass 1: mis-program uniforms -> landed states (branch-free).
+  rng.fill_uniform(scratch.u.data(), n);
+  for (std::size_t i = 0; i < n; ++i)
+    scratch.landed[i] = static_cast<std::uint8_t>(
+        landed_index(intended[i], scratch.u[i], perr));
+
+  // Pass 2: v0 = landed mean + landed sd * z.
+  rng.fill_normal(scratch.z.data(), n);
+  for (std::size_t i = 0; i < n; ++i)
+    v0[i] = static_cast<float>(mean[scratch.landed[i]] +
+                               sd[scratch.landed[i]] * scratch.z[i]);
+
+  // Passes 3/4: lognormal multipliers. The normals are RNG-serial, but the
+  // exponential runs as a straight-line vexp loop over the whole wordline.
+  rng.fill_normal(scratch.z.data(), n, 0.0, params_.disturb_sigma);
+  for (std::size_t i = 0; i < n; ++i)
+    susceptibility[i] = static_cast<float>(vmath::vexp(scratch.z[i]));
+  rng.fill_normal(scratch.z.data(), n, 0.0, params_.ret_sigma);
+  for (std::size_t i = 0; i < n; ++i)
+    leak_rate[i] = static_cast<float>(vmath::vexp(scratch.z[i]));
 }
 
 double VthModel::disturb_dose(double reads, double vpass,

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.h"
 #include "flash/params.h"
@@ -68,8 +69,47 @@ class VthModel {
   /// Samples the post-program Vth of a cell intended to hold `state`,
   /// including the program-error channel (cell lands one state off with a
   /// wear-dependent probability). Returns the ground truth record.
+  ///
+  /// Draw discipline (shared with the batch below): one uniform for the
+  /// mis-program channel (its sub-perr/2 half also decides the direction
+  /// for middle states), then three normals — v0 (standard, scaled by the
+  /// landed state's mean/sd), susceptibility exponent N(0, disturb_sigma),
+  /// leak exponent N(0, ret_sigma). The lognormal exponentials use
+  /// vmath::vexp so scalar and batch sampling are bit-identical.
   CellGroundTruth sample_program(CellState state, double pe_cycles,
                                  Rng& rng) const;
+
+  /// The per-cell program-sampling arithmetic, factored out of the RNG:
+  /// `u` is the mis-program uniform, `z0` the standard normal for v0,
+  /// `zs`/`zl` the (already sigma-scaled) susceptibility/leak exponents.
+  /// Single source of truth for sample_program and sample_program_batch.
+  CellGroundTruth sample_program_from_draws(CellState state, double pe_cycles,
+                                            double u, double z0, double zs,
+                                            double zl) const;
+
+  /// Reusable workspace for sample_program_batch (uniforms, one normal
+  /// lane, landed states). Owned by the caller so the const model stays
+  /// thread-compatible.
+  struct ProgramSampleScratch {
+    std::vector<double> u;              ///< Mis-program uniforms.
+    std::vector<double> z;              ///< Normal draws, one field at a time.
+    std::vector<std::uint8_t> landed;   ///< Post-mis-program landed states.
+  };
+
+  /// Batched program sampling of one wordline: cells[i] intends state
+  /// `intended[i]`; writes the sampled ground truth into the SoA rows
+  /// v0/susceptibility/leak_rate (the intended states are the caller's —
+  /// they are input here, not output). Consumes `rng` in four documented
+  /// passes — fill_uniform(n) for the mis-program channel, then three
+  /// fill_normal(n) passes (standard for v0, sigma-scaled for the two
+  /// lognormal exponents) — so the per-cell values equal
+  /// sample_program_from_draws over the pass-ordered draws, with the
+  /// Marsaglia-serial normals batched per field and the exponentials a
+  /// vectorized vmath::vexp pass instead of 2n scalar std::exp calls.
+  void sample_program_batch(const std::uint8_t* intended, std::size_t n,
+                            double pe_cycles, Rng& rng,
+                            ProgramSampleScratch& scratch, float* v0,
+                            float* susceptibility, float* leak_rate) const;
 
   /// Read-disturb dose contributed by `reads` read operations performed at
   /// pass-through voltage `vpass` on a block with `pe_cycles` of wear.

@@ -15,6 +15,12 @@
 // block has absorbed pages_per_block writes it is erased and reprogrammed
 // (one P/E cycle, disturb state cleared) with the erase charged as the
 // write's stall. Trim and flush are metadata-only.
+//
+// Both the construction-time bulk program and each turnover reprogram are
+// O(bookkeeping) under the block's lazy cell materialization: a rewritten
+// block resamples only the wordlines later reads actually touch, so large
+// simulated drives with read-skewed workloads cost cells proportional to
+// the read footprint, not the drive capacity.
 #pragma once
 
 #include <cstdint>

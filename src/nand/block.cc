@@ -42,13 +42,12 @@ static_assert(bit_tables_match(),
 Block::Block(const Geometry& geometry, const flash::VthModel& model, Rng rng)
     : geometry_(geometry),
       model_(&model),
-      rng_(rng),
       cell_count_(geometry.cells_per_block()),
       // One uninitialized allocation for all per-cell arrays: 4 float
       // fields plus the state bytes (the byte view of the tail floats is
-      // legal — unsigned char may alias anything). reset_cells() below
-      // writes the erased defaults; the seed field stays untouched until
-      // its lazy fill.
+      // legal — unsigned char may alias anything). Every row stays
+      // untouched until ensure_wordline materializes it, so constructing
+      // a block costs one allocation and no arena traffic at all.
       cell_arena_(std::make_unique_for_overwrite<float[]>(
           4 * cell_count_ + (cell_count_ + 3) / 4)),
       v0_(cell_arena_.get()),
@@ -57,6 +56,8 @@ Block::Block(const Geometry& geometry, const flash::VthModel& model, Rng rng)
       disturb_seed_(leak_rate_ + cell_count_),
       state_(reinterpret_cast<std::uint8_t*>(disturb_seed_ + cell_count_)),
       seed_valid_(geometry.wordlines_per_block, 0),
+      wl_ready_(geometry.wordlines_per_block, 0),
+      block_seed_(rng.next()),
       vpass_(model.params().vpass_nominal),
       self_dose_(geometry.wordlines_per_block, 0.0),
       blocking_threshold_(geometry.bitlines,
@@ -64,23 +65,16 @@ Block::Block(const Geometry& geometry, const flash::VthModel& model, Rng rng)
       blocking_sorted_(geometry.bitlines,
                        std::numeric_limits<float>::infinity()),
       vth_scratch_(geometry.bitlines, 0.0),
-      state_scratch_(geometry.bitlines, 0) {
-  reset_cells();
-}
+      state_scratch_(geometry.bitlines, 0) {}
 
-void Block::reset_cells() {
-  // Erased ground truth: CellState::kEr with default multipliers. ER
-  // stores data bits (1,1) in the Gray code. The exp(-B*v0) cache is not
-  // rewritten — invalidating the per-wordline flags is enough.
-  std::fill_n(state_, cell_count_, std::uint8_t{0});
-  std::fill_n(v0_, cell_count_, 0.0F);
-  std::fill_n(susceptibility_, cell_count_, 1.0F);
-  std::fill_n(leak_rate_, cell_count_, 1.0F);
+void Block::invalidate_cells() {
+  std::fill(wl_ready_.begin(), wl_ready_.end(), std::uint8_t{0});
   std::fill(seed_valid_.begin(), seed_valid_.end(), std::uint8_t{0});
 }
 
 void Block::erase() {
-  reset_cells();
+  invalidate_cells();
+  pending_random_ = false;
   programmed_ = false;
   dose_total_ = 0.0;
   std::fill(self_dose_.begin(), self_dose_.end(), 0.0);
@@ -96,53 +90,100 @@ void Block::add_wear(std::uint32_t pe) {
 }
 
 void Block::program_random() {
-  PageBits lsb(geometry_.bitlines), msb(geometry_.bitlines);
-  // One 64-bit draw yields 64 data bits; cells still receive their (LSB,
-  // MSB) pair in bitline order, LSB first, exactly as the per-bit draws
-  // did.
-  std::vector<std::uint8_t> bits(2 * static_cast<std::size_t>(geometry_.bitlines));
-  for (std::uint32_t wl = 0; wl < geometry_.wordlines_per_block; ++wl) {
-    rng_.fill_random_bits(bits.data(), bits.size());
-    for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl) {
-      lsb[bl] = bits[2 * static_cast<std::size_t>(bl)];
-      msb[bl] = bits[2 * static_cast<std::size_t>(bl) + 1];
-    }
-    program_wordline(wl, lsb, msb);
-  }
+  assert(!programmed_ && "program_random requires erased state");
+  // Record the program event; cells materialize lazily per wordline from
+  // Rng::at(block_seed_, program_epoch_, wl). Invalidate any rows an
+  // erased-state sense may have materialized since the erase.
+  invalidate_cells();
+  pending_random_ = true;
+  ++program_epoch_;
+  program_pe_ = pe_cycles_;
+  ++pe_cycles_;
+  programmed_ = true;
+  programmed_day_ = now_days_;
+  draw_blocking_thresholds();
 }
 
 void Block::program_wordline(std::uint32_t wl, const PageBits& lsb,
                              const PageBits& msb) {
   assert(wl < geometry_.wordlines_per_block);
   assert(lsb.size() == geometry_.bitlines && msb.size() == geometry_.bitlines);
-  const double pe = pe_cycles_;
+  assert(!pending_random_ && "mixing explicit programming with a pending "
+                             "program_random is not supported");
+  if (wl == 0) ++program_epoch_;  // Each pass over the block is one event.
   const std::size_t base = index(wl, 0);
   seed_valid_[wl] = 0;  // The exp(-B*v0) cache refills on the next sense.
-  for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl) {
-    const CellState state = flash::state_of_bits(lsb[bl], msb[bl]);
-    const flash::CellGroundTruth cell =
-        model_->sample_program(state, pe, rng_);
-    const std::size_t i = base + bl;
-    state_[i] = static_cast<std::uint8_t>(cell.programmed);
-    v0_[i] = cell.v0;
-    susceptibility_[i] = cell.susceptibility;
-    leak_rate_[i] = cell.leak_rate;
-  }
+  for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl)
+    state_[base + bl] =
+        static_cast<std::uint8_t>(flash::state_of_bits(lsb[bl], msb[bl]));
+  // Same per-wordline stream family as the lazy path (minus the data-bit
+  // draws — the data is the caller's), so explicit programming is equally
+  // order-pure within its epoch. Sampling wear is the live P/E count:
+  // this path materializes eagerly, so no snapshot is needed.
+  Rng wl_rng = Rng::at(block_seed_, program_epoch_, wl);
+  model_->sample_program_batch(state_ + base, geometry_.bitlines,
+                               static_cast<double>(pe_cycles_), wl_rng,
+                               program_scratch_, v0_ + base,
+                               susceptibility_ + base, leak_rate_ + base);
+  wl_ready_[wl] = 1;
   if (wl + 1 == geometry_.wordlines_per_block) {
     // Whole block programmed: account the P/E cycle, timestamp the data,
-    // and draw each bitline's pass-through blocking threshold from the
-    // calibrated top-tail distribution.
+    // and draw each bitline's pass-through blocking threshold.
     ++pe_cycles_;
     programmed_ = true;
     programmed_day_ = now_days_;
-    const auto& p = model_->params();
-    rng_.fill_normal(vth_scratch_.data(), vth_scratch_.size(),
-                     p.tail_mean + p.mc_tail_mean_adjust, p.tail_sd);
-    for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl)
-      blocking_threshold_[bl] = static_cast<float>(vth_scratch_[bl]);
-    blocking_sorted_ = blocking_threshold_;
-    std::sort(blocking_sorted_.begin(), blocking_sorted_.end());
+    draw_blocking_thresholds();
   }
+}
+
+void Block::draw_blocking_thresholds() {
+  // Each bitline's pass-through blocking threshold, from the calibrated
+  // top-tail distribution, on a stream id past every wordline's so the
+  // draws are independent of which (and whether) wordlines materialize.
+  const auto& p = model_->params();
+  Rng rng =
+      Rng::at(block_seed_, program_epoch_, geometry_.wordlines_per_block);
+  rng.fill_normal(blocking_threshold_.data(), blocking_threshold_.size(),
+                  p.tail_mean + p.mc_tail_mean_adjust, p.tail_sd);
+  std::copy(blocking_threshold_.begin(), blocking_threshold_.end(),
+            blocking_sorted_.begin());
+  std::sort(blocking_sorted_.begin(), blocking_sorted_.end());
+}
+
+void Block::ensure_wordline(std::uint32_t wl) const {
+  assert(wl < geometry_.wordlines_per_block);
+  if (wl_ready_[wl] == 0) materialize_wordline(wl);
+}
+
+void Block::materialize_wordline(std::uint32_t wl) const {
+  const std::size_t base = index(wl, 0);
+  if (pending_random_) {
+    // The deferred half of program_random: draw this wordline's data bits
+    // (64 per raw draw, (LSB, MSB) per bitline in order) and program
+    // sample from the wordline's own counter-based stream — a pure
+    // function of (block seed, epoch, wl), independent of touch order.
+    Rng wl_rng = Rng::at(block_seed_, program_epoch_, wl);
+    bits_scratch_.resize(2 * static_cast<std::size_t>(geometry_.bitlines));
+    wl_rng.fill_random_bits(bits_scratch_.data(), bits_scratch_.size());
+    const std::uint8_t* bits = bits_scratch_.data();
+    for (std::uint32_t bl = 0; bl < geometry_.bitlines; ++bl)
+      state_[base + bl] = static_cast<std::uint8_t>(flash::state_of_bits(
+          bits[2 * static_cast<std::size_t>(bl)],
+          bits[2 * static_cast<std::size_t>(bl) + 1]));
+    model_->sample_program_batch(state_ + base, geometry_.bitlines,
+                                 program_pe_, wl_rng, program_scratch_,
+                                 v0_ + base, susceptibility_ + base,
+                                 leak_rate_ + base);
+  } else {
+    // Erased ground truth: CellState::kEr (data bits (1,1) in the Gray
+    // code) with default multipliers.
+    std::fill_n(state_ + base, geometry_.bitlines, std::uint8_t{0});
+    std::fill_n(v0_ + base, geometry_.bitlines, 0.0F);
+    std::fill_n(susceptibility_ + base, geometry_.bitlines, 1.0F);
+    std::fill_n(leak_rate_ + base, geometry_.bitlines, 1.0F);
+  }
+  seed_valid_[wl] = 0;
+  wl_ready_[wl] = 1;
 }
 
 void Block::apply_reads(std::uint32_t wl, double count) {
@@ -183,6 +224,7 @@ void Block::ensure_disturb_seed(std::uint32_t wl) const {
 double Block::present_vth(std::uint32_t wl, std::uint32_t bl) const {
   const auto coeffs = model_->sense_coeffs(dose_for_wordline(wl),
                                            retention_days(), pe_cycles_);
+  ensure_wordline(wl);
   ensure_disturb_seed(wl);
   const std::size_t i = index(wl, bl);
   return model_->present_vth_cached(
@@ -194,6 +236,7 @@ double Block::present_vth(std::uint32_t wl, std::uint32_t bl) const {
 void Block::present_vth_into(std::uint32_t wl, double* out) const {
   const auto coeffs = model_->sense_coeffs(dose_for_wordline(wl),
                                            retention_days(), pe_cycles_);
+  ensure_wordline(wl);
   ensure_disturb_seed(wl);
   const std::size_t base = index(wl, 0);
   const flash::CellSoaView view{state_ + base,

@@ -17,6 +17,17 @@
 // reusing a per-wordline exp(-B*v0) cache filled on first sense),
 // branchless classification, and a bit-compare against the programmed
 // data pages.
+//
+// Programming is O(bookkeeping): program_random() records the program
+// event (epoch, P/E at program time, random-data intent) and draws only
+// the per-bitline blocking thresholds; the per-cell ground truth of a
+// wordline is materialized lazily on first touch from the counter-based
+// stream Rng::at(block seed, program epoch, wl) — a pure function of
+// that triple, so the cells are bit-identical no matter which wordlines
+// are touched first (or whether some are never touched at all).
+// Characterization experiments rebuild and program a whole chip per
+// measurement point but sense only a few wordlines; deferring the
+// sampling removes ~95% of chip-construction cost.
 #pragma once
 
 #include <array>
@@ -68,6 +79,9 @@ class Block {
 
   /// Programs every wordline with pseudo-random data, counting one P/E
   /// cycle together with the preceding erase. Requires erased state.
+  /// O(bitlines) bookkeeping: per-cell sampling is deferred to the first
+  /// touch of each wordline (see the header comment); only the
+  /// per-bitline blocking thresholds are drawn here.
   void program_random();
 
   /// Programs one wordline with explicit LSB/MSB pages (bits 0/1, size ==
@@ -109,11 +123,13 @@ class Block {
 
   /// Intended (programmed) state of one cell.
   flash::CellState cell_state(std::uint32_t wl, std::uint32_t bl) const {
+    ensure_wordline(wl);
     return static_cast<flash::CellState>(state_[index(wl, bl)]);
   }
 
   /// Ground truth record of one cell, assembled from the SoA store.
   flash::CellGroundTruth cell(std::uint32_t wl, std::uint32_t bl) const {
+    ensure_wordline(wl);
     const std::size_t i = index(wl, bl);
     return {static_cast<flash::CellState>(state_[i]), v0_[i],
             susceptibility_[i], leak_rate_[i]};
@@ -156,17 +172,18 @@ class Block {
 
   Geometry geometry_;
   const flash::VthModel* model_;
-  Rng rng_;
 
   // Structure-of-arrays cell ground truth, wordline-major, all fields
   // carved out of one uninitialized arena allocation — characterization
   // experiments construct whole chips per measurement point, so block
-  // setup cost is page-fault-bound and five separate eagerly-initialized
-  // vectors measurably tax them. reset_cells() writes the erased
-  // defaults. The programmed data bits are not stored separately: state_
-  // is the intended state and the Gray code is a bijection, so error
-  // counting derives both sensed and truth bits from state bytes with
-  // the same branch-free arithmetic.
+  // setup cost must stay page-fault-bound. No field is ever initialized
+  // eagerly: a wordline's row is filled on first touch by
+  // ensure_wordline() (erased defaults, or the program-time sample when a
+  // program_random is pending), and erase()/program_random() only flip
+  // the per-wordline validity flags. The programmed data bits are not
+  // stored separately: state_ is the intended state and the Gray code is
+  // a bijection, so error counting derives both sensed and truth bits
+  // from state bytes with the same branch-free arithmetic.
   //
   // disturb_seed_ is the cached disturb transform exp(-B*v0) per cell,
   // filled lazily one wordline at a time by a vectorized pass on the
@@ -185,13 +202,42 @@ class Block {
                                    ///< const sense paths).
   std::uint8_t* state_ = nullptr;  ///< Intended CellState bytes.
   mutable std::vector<std::uint8_t> seed_valid_;  ///< Per wordline.
+  mutable std::vector<std::uint8_t> wl_ready_;    ///< Row materialized?
 
-  /// Resets every cell to the erased ground truth (ER, default
-  /// multipliers) and invalidates the seed cache.
-  void reset_cells();
+  /// Invalidates every wordline's materialized row (the lazy equivalent
+  /// of rewriting the ~2 MB arena with erased defaults).
+  void invalidate_cells();
 
-  /// Fills disturb_seed_ for wordline `wl` if not already valid.
+  /// Materializes wordline `wl`'s ground-truth row if not already valid:
+  /// erased defaults, or — when a program_random is pending — the data
+  /// bits and program sample drawn from Rng::at(block_seed_,
+  /// program_epoch_, wl).
+  void ensure_wordline(std::uint32_t wl) const;
+  void materialize_wordline(std::uint32_t wl) const;
+
+  /// Draws the per-bitline blocking thresholds for the just-completed
+  /// program (their own counter-based stream, so they are independent of
+  /// wordline materialization order) and rebuilds the sorted copy.
+  void draw_blocking_thresholds();
+
+  /// Fills disturb_seed_ for wordline `wl` if not already valid. The
+  /// wordline row must already be materialized.
   void ensure_disturb_seed(std::uint32_t wl) const;
+
+  /// Root of every per-wordline stream this block derives; fixed at
+  /// construction from the chip's fork.
+  std::uint64_t block_seed_ = 0;
+  /// Program-event counter: bumped at the start of every program event
+  /// (program_random, or an explicit pass beginning at wordline 0) so
+  /// each event owns a distinct (block_seed_, epoch) stream family and
+  /// draws fresh data even if a caller skips the erase.
+  std::uint64_t program_epoch_ = 0;
+  /// P/E count the resident data was programmed at (sampling input for
+  /// lazily materialized wordlines; pe_cycles_ itself moves on at the
+  /// program's end).
+  double program_pe_ = 0.0;
+  /// A program_random is recorded but its cells not yet materialized.
+  bool pending_random_ = false;
 
   std::uint32_t pe_cycles_ = 0;
   bool programmed_ = false;
@@ -219,6 +265,10 @@ class Block {
   /// multiple threads (experiment shards own their chips).
   mutable std::vector<double> vth_scratch_;
   mutable std::vector<std::uint8_t> state_scratch_;
+  /// Lazy-materialization scratch: one wordline's data bits (2 per cell)
+  /// and the program-sampling workspace, reused across wordlines.
+  mutable std::vector<std::uint8_t> bits_scratch_;
+  mutable flash::VthModel::ProgramSampleScratch program_scratch_;
 };
 
 }  // namespace rdsim::nand

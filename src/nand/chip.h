@@ -5,6 +5,13 @@
 // FPGA-attached 2Y-nm parts; experiments drive it through the same
 // operations a flash controller would issue (erase, program, read,
 // read-retry).
+//
+// Construction is cheap by design: each block gets only a seed (one fork
+// of the chip's root Rng) and an untouched cell arena — programming a
+// block records bookkeeping and the per-cell ground truth materializes
+// lazily per wordline on first touch (see nand/block.h). Experiments can
+// therefore rebuild a chip per measurement point for free and pay only
+// for the wordlines they actually sense.
 #pragma once
 
 #include <memory>

@@ -30,6 +30,10 @@ std::uint32_t mid_wl(const nand::Geometry& g) {
 }
 
 /// A freshly programmed characterization block at `pe` P/E cycles.
+/// Cheap to call per measurement point: programming is bookkeeping-only
+/// and cells materialize lazily, so a point that senses one wordline pays
+/// for one wordline — not the whole block (the experiments below rebuild
+/// the same chip seed at every x-value precisely to isolate the dose).
 nand::Chip make_aged_chip(const nand::Geometry& g,
                           const flash::FlashModelParams& params,
                           std::uint64_t seed, std::uint32_t pe) {

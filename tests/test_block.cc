@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
+#include <vector>
 
 #include "nand/chip.h"
 #include "nand/randomizer.h"
@@ -245,24 +248,155 @@ TEST_F(BlockTest, CellAccessorsAgree) {
 }
 
 TEST_F(BlockTest, ProgramRandomBitAssignmentMatchesDrawStream) {
-  // program_random unpacks 64 data bits per raw draw, wordline by
-  // wordline, (LSB, MSB) per bitline in order; the stored ground truth
-  // must match an *independent* unpacking of the same stream — this
-  // pins the assignment order itself, not just determinism.
+  // A wordline's random data is drawn from the counter-based stream
+  // Rng::at(block seed, program epoch, wl) — 64 data bits per raw draw,
+  // (LSB, MSB) per bitline in order. The stored ground truth must match
+  // an *independent* derivation of the same stream — this pins the
+  // assignment order and the seed derivation, not just determinism.
   auto& b = chip_.block(1);
   b.program_random();
-  // Mirror the block's private stream: Chip seeds block i with the i-th
-  // fork of Rng(seed); this fixture's chip seed is 11.
+  // Mirror the block's seed: Chip seeds block i with the i-th fork of
+  // Rng(seed) (this fixture's chip seed is 11), and the block's stream
+  // root is that fork's first output. Epochs count program events from 1,
+  // so the first program after construction runs at epoch 1.
   Rng root(11);
   root.fork();               // Block 0's stream.
-  Rng mirror = root.fork();  // Block 1's stream.
-  std::vector<std::uint8_t> bits(2 * static_cast<std::size_t>(geom_.bitlines));
-  mirror.fill_random_bits(bits.data(), bits.size());
-  for (std::uint32_t bl = 0; bl < geom_.bitlines; ++bl) {
-    ASSERT_EQ(b.cell_state(0, bl),
-              flash::state_of_bits(bits[2 * bl], bits[2 * bl + 1]))
-        << bl;
+  const std::uint64_t block_seed = root.fork().next();
+  for (const std::uint32_t wl : {0u, 7u}) {
+    Rng mirror = Rng::at(block_seed, /*epoch=*/1, wl);
+    std::vector<std::uint8_t> bits(2 *
+                                   static_cast<std::size_t>(geom_.bitlines));
+    mirror.fill_random_bits(bits.data(), bits.size());
+    for (std::uint32_t bl = 0; bl < geom_.bitlines; ++bl) {
+      ASSERT_EQ(b.cell_state(wl, bl),
+                flash::state_of_bits(bits[2 * bl], bits[2 * bl + 1]))
+          << "wl " << wl << " bl " << bl;
+    }
   }
+}
+
+// --- Lazy materialization: ground truth must be a pure function of
+// (block seed, program epoch, wordline), independent of touch order. ---
+
+/// Collects every observable ground-truth field of one wordline.
+std::vector<double> wordline_fingerprint(const Block& b, std::uint32_t wl) {
+  std::vector<double> out;
+  for (std::uint32_t bl = 0; bl < b.geometry().bitlines; ++bl) {
+    const auto cell = b.cell(wl, bl);
+    out.push_back(static_cast<double>(cell.programmed));
+    out.push_back(cell.v0);
+    out.push_back(cell.susceptibility);
+    out.push_back(cell.leak_rate);
+  }
+  const auto page = b.present_vth_page(wl);
+  out.insert(out.end(), page.begin(), page.end());
+  return out;
+}
+
+TEST_F(BlockTest, MaterializationOrderDoesNotChangeGroundTruth) {
+  // Same chip seed, three different touch orders (ascending, descending,
+  // shuffled-with-revisits); every wordline's cells and present Vth must
+  // come out bit-identical.
+  const auto make_block = [&](Chip& chip) -> Block& {
+    auto& b = chip.block(0);
+    b.add_wear(8000);
+    b.program_random();
+    b.apply_reads(3, 2e5);  // Dose so present_vth exercises the full path.
+    return b;
+  };
+  Chip fwd(geom_, params_, 77), rev(geom_, params_, 77),
+      shuf(geom_, params_, 77);
+  Block& a = make_block(fwd);
+  Block& b = make_block(rev);
+  Block& c = make_block(shuf);
+
+  std::vector<std::uint32_t> order(geom_.wordlines_per_block);
+  for (std::uint32_t wl = 0; wl < order.size(); ++wl) order[wl] = wl;
+  // Deterministic shuffle, with one wordline touched twice up front.
+  Rng shuffle_rng(5);
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[shuffle_rng.uniform_u64(i)]);
+  std::vector<std::vector<double>> got_a(order.size()), got_b(order.size()),
+      got_c(order.size());
+  for (std::uint32_t wl = 0; wl < order.size(); ++wl)
+    got_a[wl] = wordline_fingerprint(a, wl);
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    const auto wl = static_cast<std::uint32_t>(order.size() - 1 - i);
+    got_b[wl] = wordline_fingerprint(b, wl);
+  }
+  got_c[order[0]] = wordline_fingerprint(c, order[0]);  // Revisit below.
+  for (const std::uint32_t wl : order) got_c[wl] = wordline_fingerprint(c, wl);
+  for (std::uint32_t wl = 0; wl < order.size(); ++wl) {
+    EXPECT_EQ(got_a[wl], got_b[wl]) << "ascending vs descending, wl " << wl;
+    EXPECT_EQ(got_a[wl], got_c[wl]) << "ascending vs shuffled, wl " << wl;
+  }
+}
+
+TEST_F(BlockTest, LazyAndEagerFullBlockAgree) {
+  // Touching every wordline immediately after programming (the eager
+  // pattern) and sensing lazily in scattered order later must yield the
+  // same errors and the same ground truth.
+  Chip eager_chip(geom_, params_, 91), lazy_chip(geom_, params_, 91);
+  for (auto* chip : {&eager_chip, &lazy_chip}) {
+    auto& b = chip->block(0);
+    b.add_wear(8000);
+    b.program_random();
+  }
+  auto& eager = eager_chip.block(0);
+  auto& lazy = lazy_chip.block(0);
+  // Eager: force-materialize everything up front.
+  for (std::uint32_t wl = 0; wl < geom_.wordlines_per_block; ++wl)
+    (void)eager.cell(wl, 0);
+  for (auto* b : {&eager, &lazy}) {
+    b->apply_reads(4, 5e5);
+    b->advance_time(1.5);
+  }
+  for (std::uint32_t i = 0; i < geom_.wordlines_per_block; ++i) {
+    // Lazy side touches wordlines middle-out; eager side in order.
+    const std::uint32_t lazy_wl =
+        (geom_.wordlines_per_block / 2 + 5 * i) % geom_.wordlines_per_block;
+    EXPECT_EQ(lazy.count_errors({lazy_wl, PageKind::kLsb}),
+              eager.count_errors({lazy_wl, PageKind::kLsb}));
+    EXPECT_EQ(wordline_fingerprint(lazy, lazy_wl),
+              wordline_fingerprint(eager, lazy_wl));
+  }
+  for (std::uint32_t wl = 0; wl < geom_.wordlines_per_block; ++wl) {
+    EXPECT_EQ(lazy.count_errors({wl, PageKind::kMsb}),
+              eager.count_errors({wl, PageKind::kMsb}));
+  }
+}
+
+TEST_F(BlockTest, ExplicitReprogramDrawsFreshSamples) {
+  // Epochs count program events, not erases: a second explicit pass over
+  // the block (the log-structured rewrite pattern) must resample the
+  // cells even with identical data and no intervening erase.
+  auto& b = chip_.block(3);
+  PageBits lsb(geom_.bitlines, 1), msb(geom_.bitlines, 0);  // All P1.
+  for (std::uint32_t wl = 0; wl < geom_.wordlines_per_block; ++wl)
+    b.program_wordline(wl, lsb, msb);
+  const float first = b.cell(2, 5).v0;
+  for (std::uint32_t wl = 0; wl < geom_.wordlines_per_block; ++wl)
+    b.program_wordline(wl, lsb, msb);
+  EXPECT_EQ(b.cell(2, 5).programmed, flash::CellState::kP1);
+  EXPECT_NE(b.cell(2, 5).v0, first);
+  EXPECT_EQ(b.pe_cycles(), 2u);
+}
+
+TEST_F(BlockTest, ReprogramChangesGroundTruthEpoch) {
+  // Each erase advances the program epoch, so a reprogrammed block draws
+  // fresh data and fresh cells — reading before or after must not leak
+  // the previous epoch's rows.
+  auto& b = chip_.block(2);
+  b.program_random();
+  const auto first = wordline_fingerprint(b, 6);
+  b.erase();
+  b.program_random();
+  const auto second = wordline_fingerprint(b, 6);
+  EXPECT_NE(first, second);
+  // And an untouched-then-erased wordline yields erased ground truth.
+  b.erase();
+  EXPECT_EQ(b.cell(9, 0).programmed, flash::CellState::kEr);
+  EXPECT_EQ(b.cell(9, 0).v0, 0.0F);
 }
 
 TEST(Randomizer, RoundTripAndKeyVariation) {

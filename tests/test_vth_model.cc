@@ -305,6 +305,56 @@ TEST_F(SenseKernelTest, ClassifyBatchMatchesScalarClassify) {
   }
 }
 
+TEST_F(VthModelTest, SampleProgramBatchMatchesScalarStream) {
+  // sample_program_batch consumes the generator in four documented passes
+  // (mis-program uniforms, v0 normals, the two sigma-scaled lognormal
+  // exponents); replaying those passes with scalar draws through
+  // sample_program_from_draws must reproduce every cell bit-for-bit and
+  // leave the two generators stream-aligned.
+  const std::size_t n = 517;  // Odd size: Marsaglia cache crosses passes.
+  std::vector<std::uint8_t> intended(n);
+  for (std::size_t i = 0; i < n; ++i)
+    intended[i] = static_cast<std::uint8_t>(i % 4);
+  for (const double pe : {0.0, 8000.0}) {
+    SCOPED_TRACE(pe);
+    Rng batch_rng(33), scalar_rng(33);
+    std::vector<float> v0(n), susc(n), leak(n);
+    VthModel::ProgramSampleScratch scratch;
+    model_.sample_program_batch(intended.data(), n, pe, batch_rng, scratch,
+                                v0.data(), susc.data(), leak.data());
+    std::vector<double> u(n), z0(n), zs(n), zl(n);
+    scalar_rng.fill_uniform(u.data(), n);
+    scalar_rng.fill_normal(z0.data(), n);
+    scalar_rng.fill_normal(zs.data(), n, 0.0, params_.disturb_sigma);
+    scalar_rng.fill_normal(zl.data(), n, 0.0, params_.ret_sigma);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto cell = model_.sample_program_from_draws(
+          static_cast<CellState>(intended[i]), pe, u[i], z0[i], zs[i], zl[i]);
+      ASSERT_EQ(v0[i], cell.v0) << i;
+      ASSERT_EQ(susc[i], cell.susceptibility) << i;
+      ASSERT_EQ(leak[i], cell.leak_rate) << i;
+    }
+    EXPECT_EQ(batch_rng.next(), scalar_rng.next());
+  }
+}
+
+TEST_F(VthModelTest, SampleProgramScalarIsBatchOfOne) {
+  // The scalar entry point is the n=1 case of the batch discipline.
+  for (const auto state : kAllStates) {
+    Rng a(41), b(41);
+    const auto scalar = model_.sample_program(state, 8000.0, a);
+    const std::uint8_t intended = static_cast<std::uint8_t>(state);
+    float v0 = 0, susc = 0, leak = 0;
+    VthModel::ProgramSampleScratch scratch;
+    model_.sample_program_batch(&intended, 1, 8000.0, b, scratch, &v0, &susc,
+                                &leak);
+    EXPECT_EQ(scalar.v0, v0);
+    EXPECT_EQ(scalar.susceptibility, susc);
+    EXPECT_EQ(scalar.leak_rate, leak);
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
 TEST_F(VthModelTest, SusceptibilityLognormal) {
   Rng rng(5);
   double sum_log = 0.0;

@@ -5,12 +5,18 @@
 // BENCH_<sha>.json to track the perf trajectory PR over PR (see README
 // "Performance"). Metrics:
 //   page_sense_ns    one whole-wordline sense (count_errors) on a
-//                    disturbed 8K-P/E characterization block
+//                    disturbed 8K-P/E characterization block, warm (all
+//                    wordlines pre-materialized — the steady-state kernel)
 //   pages_per_s      derived throughput of the above
 //   cells_per_s      the same in sensed cells
 //   page_read_ns     read_page (sense + data assembly + dose accounting)
 //   retry_scan_ns    one read-retry scan of a wordline
-//   program_block_ms programming a whole block with random data
+//   program_block_ms programming a whole block with random data (pure
+//                    bookkeeping since lazy materialization)
+//   make_aged_chip_ms  chip construction + pre-wear + program, the once-
+//                    per-measurement-point setup the MC experiments pay
+//   materialize_ns_per_wl  first touch of one programmed wordline: the
+//                    deferred data-bit + program-sample cost plus one sense
 //   fig04_tiny_ms    end-to-end tiny run of the fig04 experiment
 //   fig02_tiny_ms    end-to-end tiny run of fig02 (Monte Carlo heavy)
 //
@@ -22,13 +28,20 @@
 //   drive_kcmds_per_s_wall   simulator speed: thousand commands serviced
 //                            per wall-clock second across both runs
 //
-// Usage: perf_smoke [--out PATH] [--reps N] [--sha HEX]
+// With --compare BASELINE.json (CI passes bench/BENCH_baseline.json) each
+// metric is checked against the committed baseline and any regression
+// beyond 15% prints a PERF WARNING to stderr — warn-only, since absolute
+// numbers shift with the host; the committed baseline documents the
+// expected order of magnitude and catches step-change regressions.
+//
+// Usage: perf_smoke [--out PATH] [--reps N] [--sha HEX] [--compare PATH]
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "host/driver.h"
@@ -112,10 +125,76 @@ DriveMetrics drive_replay(int depth, std::uint64_t commands) {
   return m;
 }
 
+/// Parses the flat { "key": number, ... } JSON perf_smoke itself emits.
+/// Returns name/value pairs; non-numeric fields are skipped.
+std::vector<std::pair<std::string, double>> parse_flat_json(const char* path) {
+  std::vector<std::pair<std::string, double>> out;
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return out;
+  char line[512];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    const char* key_begin = std::strchr(line, '"');
+    if (key_begin == nullptr) continue;
+    const char* key_end = std::strchr(key_begin + 1, '"');
+    if (key_end == nullptr) continue;
+    const char* colon = std::strchr(key_end, ':');
+    if (colon == nullptr) continue;
+    char* value_end = nullptr;
+    const double value = std::strtod(colon + 1, &value_end);
+    if (value_end == colon + 1) continue;  // Not a number (a string field).
+    out.emplace_back(std::string(key_begin + 1, key_end), value);
+  }
+  std::fclose(f);
+  return out;
+}
+
+/// True for metrics where larger is better (throughputs); everything else
+/// perf_smoke emits is a latency/duration where smaller is better.
+bool higher_is_better(const std::string& name) {
+  return name.find("per_s") != std::string::npos ||
+         name.find("iops") != std::string::npos;
+}
+
+/// Warns (stderr) about any metric that regressed >15% vs the baseline
+/// file. Returns the number of warnings; missing baseline is not an error.
+int compare_to_baseline(
+    const char* path,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  const auto baseline = parse_flat_json(path);
+  if (baseline.empty()) {
+    std::fprintf(stderr, "perf_smoke: no baseline metrics in %s\n", path);
+    return 0;
+  }
+  int warnings = 0;
+  for (const auto& [name, value] : metrics) {
+    for (const auto& [base_name, base] : baseline) {
+      if (base_name != name || base <= 0.0 || value <= 0.0) continue;
+      const bool regressed = higher_is_better(name)
+                                 ? value < base * 0.85
+                                 : value > base * 1.15;
+      if (regressed) {
+        ++warnings;
+        std::fprintf(stderr,
+                     "PERF WARNING: %s regressed %.1f%% vs baseline "
+                     "(%.6g -> %.6g)\n",
+                     name.c_str(),
+                     (higher_is_better(name) ? base / value - 1.0
+                                             : value / base - 1.0) *
+                         100.0,
+                     base, value);
+      }
+    }
+  }
+  if (warnings == 0)
+    std::fprintf(stderr, "perf_smoke: all metrics within 15%% of %s\n", path);
+  return warnings;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const char* out_path = nullptr;
+  const char* compare_path = nullptr;
   const char* sha = std::getenv("GITHUB_SHA");
   int reps = 2000;
   for (int i = 1; i < argc; ++i) {
@@ -125,9 +204,12 @@ int main(int argc, char** argv) {
       reps = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--sha") == 0 && i + 1 < argc) {
       sha = argv[++i];
+    } else if (std::strcmp(argv[i], "--compare") == 0 && i + 1 < argc) {
+      compare_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: perf_smoke [--out PATH] [--reps N] [--sha HEX]\n");
+                   "usage: perf_smoke [--out PATH] [--reps N] [--sha HEX] "
+                   "[--compare PATH]\n");
       return 2;
     }
   }
@@ -149,6 +231,25 @@ int main(int argc, char** argv) {
   const auto wls = geom.wordlines_per_block;
 
   volatile int sink = 0;  // Defeats dead-code elimination of the senses.
+
+  // Chip construction as the MC experiments pay it per measurement point:
+  // build + pre-wear + program (bookkeeping-only under lazy
+  // materialization), then the deferred per-wordline cost on first touch.
+  const auto t_aged = Clock::now();
+  nand::Chip aged_chip(geom, params, 43);
+  aged_chip.block(0).add_wear(8000);
+  aged_chip.block(0).program_random();
+  const double make_aged_chip_ms = ms_since(t_aged);
+  const double materialize_ns_per_wl = time_ns(static_cast<int>(wls), [&](int i) {
+    sink = sink + aged_chip.block(0).count_errors(
+        {static_cast<std::uint32_t>(i), nand::PageKind::kLsb});
+  });
+
+  // Warm every wordline of the measurement block before the steady-state
+  // sense timings so first-touch materialization is not conflated in.
+  for (std::uint32_t wl = 0; wl < wls; ++wl)
+    sink = sink + block.count_errors({wl, nand::PageKind::kLsb});
+
   const double page_sense_ns = time_ns(reps, [&](int i) {
     sink = sink + block.count_errors(
         {static_cast<std::uint32_t>(i) % wls, nand::PageKind::kLsb});
@@ -185,31 +286,39 @@ int main(int argc, char** argv) {
       ((qd1.wall_ms + qd32.wall_ms) * 1e-3) / 1e3;
 
   const double cells = static_cast<double>(geom.bitlines);
+  const std::vector<std::pair<std::string, double>> metrics = {
+      {"page_sense_ns", page_sense_ns},
+      {"pages_per_s", 1e9 / page_sense_ns},
+      {"cells_per_s", cells * 1e9 / page_sense_ns},
+      {"page_read_ns", page_read_ns},
+      {"retry_scan_ns", retry_scan_ns},
+      {"program_block_ms", program_block_ms},
+      {"make_aged_chip_ms", make_aged_chip_ms},
+      {"materialize_ns_per_wl", materialize_ns_per_wl},
+      {"fig04_tiny_ms", fig04_tiny_ms},
+      {"fig02_tiny_ms", fig02_tiny_ms},
+      {"drive_qd1_iops", qd1.iops},
+      {"drive_qd1_p99_read_us", qd1.p99_read_us},
+      {"drive_qd32_iops", qd32.iops},
+      {"drive_qd32_p99_read_us", qd32.p99_read_us},
+      {"drive_kcmds_per_s_wall", drive_kcmds_per_s_wall},
+  };
+
   std::string json = "{\n";
   json += "  \"bench\": \"rdsim_perf_smoke\",\n";
   json += "  \"git_sha\": \"" + std::string(sha != nullptr ? sha : "") +
           "\",\n";
   json += "  \"geometry\": \"64x8192\",\n";
   char buf[256];
-  const auto metric = [&](const char* name, double value, bool last = false) {
-    std::snprintf(buf, sizeof(buf), "  \"%s\": %.6g%s\n", name, value,
-                  last ? "" : ",");
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "  \"%s\": %.6g%s\n",
+                  metrics[i].first.c_str(), metrics[i].second,
+                  i + 1 == metrics.size() ? "" : ",");
     json += buf;
-  };
-  metric("page_sense_ns", page_sense_ns);
-  metric("pages_per_s", 1e9 / page_sense_ns);
-  metric("cells_per_s", cells * 1e9 / page_sense_ns);
-  metric("page_read_ns", page_read_ns);
-  metric("retry_scan_ns", retry_scan_ns);
-  metric("program_block_ms", program_block_ms);
-  metric("fig04_tiny_ms", fig04_tiny_ms);
-  metric("fig02_tiny_ms", fig02_tiny_ms);
-  metric("drive_qd1_iops", qd1.iops);
-  metric("drive_qd1_p99_read_us", qd1.p99_read_us);
-  metric("drive_qd32_iops", qd32.iops);
-  metric("drive_qd32_p99_read_us", qd32.p99_read_us);
-  metric("drive_kcmds_per_s_wall", drive_kcmds_per_s_wall, /*last=*/true);
+  }
   json += "}\n";
+
+  if (compare_path != nullptr) compare_to_baseline(compare_path, metrics);
 
   std::fputs(json.c_str(), stdout);
   if (out_path != nullptr) {
