@@ -1,17 +1,16 @@
-#include "sim/runner.h"
+#include "common/thread_pool.h"
 
 #include <algorithm>
 
-namespace rdsim::sim {
+namespace rdsim {
 
-ExperimentRunner::ExperimentRunner(int threads)
-    : threads_(std::max(1, threads)) {
+ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
   workers_.reserve(static_cast<std::size_t>(threads_ - 1));
   for (int i = 0; i < threads_ - 1; ++i)
     workers_.emplace_back([this] { worker_loop(); });
 }
 
-ExperimentRunner::~ExperimentRunner() {
+ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
@@ -20,8 +19,8 @@ ExperimentRunner::~ExperimentRunner() {
   for (auto& w : workers_) w.join();
 }
 
-void ExperimentRunner::drain_batch(const std::function<void(std::size_t)>& fn,
-                                   std::size_t n) {
+void ThreadPool::drain_batch(const std::function<void(std::size_t)>& fn,
+                             std::size_t n) {
   for (std::size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
        i < n; i = next_index_.fetch_add(1, std::memory_order_relaxed)) {
     try {
@@ -33,7 +32,7 @@ void ExperimentRunner::drain_batch(const std::function<void(std::size_t)>& fn,
   }
 }
 
-void ExperimentRunner::worker_loop() {
+void ThreadPool::worker_loop() {
   std::uint64_t seen_batch = 0;
   for (;;) {
     const std::function<void(std::size_t)>* fn = nullptr;
@@ -58,8 +57,8 @@ void ExperimentRunner::worker_loop() {
   }
 }
 
-void ExperimentRunner::for_each(std::size_t n,
-                                const std::function<void(std::size_t)>& fn) {
+void ThreadPool::for_each(std::size_t n,
+                          const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
     // Inline fast path: no pool interaction, exceptions propagate directly.
@@ -87,4 +86,4 @@ void ExperimentRunner::for_each(std::size_t n,
   if (error) std::rethrow_exception(error);
 }
 
-}  // namespace rdsim::sim
+}  // namespace rdsim

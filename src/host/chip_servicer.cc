@@ -1,0 +1,58 @@
+#include "host/chip_servicer.h"
+
+namespace rdsim::host {
+
+ChipServicer::ChipServicer(const nand::Geometry& geometry,
+                           const flash::FlashModelParams& params,
+                           std::uint64_t seed, const LatencyParams& latency)
+    : chip_(geometry, params, seed),
+      latency_(latency),
+      writes_into_block_(geometry.blocks, 0) {
+  for (std::size_t b = 0; b < chip_.block_count(); ++b)
+    chip_.block(b).program_random();
+}
+
+nand::PageAddress ChipServicer::page_address(std::uint64_t lpn,
+                                             std::uint32_t* block) const {
+  const std::uint32_t ppb = chip_.geometry().pages_per_block();
+  *block = static_cast<std::uint32_t>(lpn / ppb);
+  const auto page = static_cast<std::uint32_t>(lpn % ppb);
+  return {page / 2,
+          (page & 1) != 0 ? nand::PageKind::kMsb : nand::PageKind::kLsb};
+}
+
+ServiceCost ChipServicer::service_page(CommandKind kind, std::uint64_t lpn) {
+  ServiceCost cost;
+  std::uint32_t b = 0;
+  const nand::PageAddress address = page_address(lpn, &b);
+  switch (kind) {
+    case CommandKind::kRead: {
+      const nand::ReadResult result = chip_.block(b).read_page(address);
+      read_bit_errors_ += static_cast<std::uint64_t>(result.raw_bit_errors);
+      ++pages_read_;
+      cost.busy_s += latency_.read_s;
+      break;
+    }
+    case CommandKind::kWrite: {
+      // Log-structured turnover: the block's resident (random) data
+      // stands in for the host's; after a block's worth of writes it is
+      // erased and reprogrammed, clearing disturb and costing one P/E.
+      ++pages_written_;
+      cost.busy_s += latency_.program_s;
+      if (++writes_into_block_[b] >= chip_.geometry().pages_per_block()) {
+        writes_into_block_[b] = 0;
+        chip_.block(b).erase();
+        chip_.block(b).program_random();
+        ++block_rewrites_;
+        cost.stall_s += latency_.erase_s;
+      }
+      break;
+    }
+    case CommandKind::kTrim:
+    case CommandKind::kFlush:
+      break;  // Metadata-only on the raw chip.
+  }
+  return cost;
+}
+
+}  // namespace rdsim::host

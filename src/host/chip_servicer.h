@@ -1,0 +1,79 @@
+// rdsim/host/chip_servicer.h
+//
+// ChipServicer: the Monte-Carlo data-movement engine behind one
+// nand::Chip, shared by the single-chip McChipDevice backend and by each
+// shard of ShardedDevice — so the physics a queued read or write performs
+// (and its cost accounting) exists exactly once, and a one-shard
+// ShardedDevice is the single-chip device by construction.
+//
+// Logical layout: lpn -> (block = lpn / pages_per_block, then LSB/MSB
+// pages interleaved along the wordlines: page index 2*wl + kind). Every
+// block is programmed with random data at construction, like a
+// characterization drive prepared for a read-disturb study. A host write
+// models log-structured turnover: each page write costs tProg, and once a
+// block has absorbed pages_per_block writes it is erased and reprogrammed
+// (one P/E cycle, disturb state cleared) with the erase charged as the
+// write's stall.
+//
+// Both the construction-time bulk program and each turnover reprogram are
+// O(bookkeeping) under the block's lazy cell materialization: a rewritten
+// block resamples only the wordlines later reads actually touch, so large
+// simulated drives with read-skewed workloads cost cells proportional to
+// the read footprint, not the drive capacity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "host/command.h"
+#include "nand/chip.h"
+
+namespace rdsim::host {
+
+class ChipServicer {
+ public:
+  ChipServicer(const nand::Geometry& geometry,
+               const flash::FlashModelParams& params, std::uint64_t seed,
+               const LatencyParams& latency);
+
+  nand::Chip& chip() { return chip_; }
+  const nand::Chip& chip() const { return chip_; }
+
+  /// Pages this chip exports (blocks * pages_per_block).
+  std::uint64_t logical_pages() const {
+    return static_cast<std::uint64_t>(chip_.geometry().blocks) *
+           chip_.geometry().pages_per_block();
+  }
+
+  /// Services one page of a command on this chip. `lpn` must be local to
+  /// the chip (callers wrap / de-stripe first). Reads sense real cells
+  /// and accumulate the observed raw bit errors; writes pay tProg and,
+  /// on block turnover, an erase charged as stall. Trim and flush are
+  /// metadata-only on a raw chip. Returns the page's cost contribution.
+  ServiceCost service_page(CommandKind kind, std::uint64_t lpn);
+
+  /// One simulated day on a raw chip is pure retention aging.
+  void advance_day() { chip_.advance_time(1.0); }
+
+  /// Cumulative raw bit errors observed by queued reads (the host-visible
+  /// symptom ECC has to absorb).
+  std::uint64_t read_bit_errors() const { return read_bit_errors_; }
+  /// Queued page reads / writes serviced, and blocks turned over.
+  std::uint64_t pages_read() const { return pages_read_; }
+  std::uint64_t pages_written() const { return pages_written_; }
+  std::uint64_t block_rewrites() const { return block_rewrites_; }
+
+ private:
+  nand::PageAddress page_address(std::uint64_t lpn, std::uint32_t* block)
+      const;
+
+  nand::Chip chip_;
+  LatencyParams latency_;
+  std::vector<std::uint32_t> writes_into_block_;
+  std::uint64_t read_bit_errors_ = 0;
+  std::uint64_t pages_read_ = 0;
+  std::uint64_t pages_written_ = 0;
+  std::uint64_t block_rewrites_ = 0;
+};
+
+}  // namespace rdsim::host

@@ -70,4 +70,14 @@ struct Completion {
 /// determinism tests compare completion logs byte-for-byte through this.
 std::string to_string(const Completion& completion);
 
+/// The deterministic completion-log order: (complete_time, submit id).
+/// ShardedDevice sorts its merged log with this, and ClosedLoopDriver's
+/// buffer relies on receiving records in exactly this order — keep the
+/// two on one definition.
+inline bool completion_log_order(const Completion& a, const Completion& b) {
+  return a.complete_time_s != b.complete_time_s
+             ? a.complete_time_s < b.complete_time_s
+             : a.id < b.id;
+}
+
 }  // namespace rdsim::host

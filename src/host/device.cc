@@ -1,7 +1,6 @@
 #include "host/device.h"
 
 #include <algorithm>
-#include <cassert>
 
 namespace rdsim::host {
 
@@ -17,9 +16,10 @@ std::uint64_t Device::submit(const Command& command) {
   return sub.id;
 }
 
-void Device::pump() {
+std::vector<Device::Submitted> Device::take_pending() {
+  std::vector<Submitted> pending;
   while (true) {
-    // Oldest-first arbitration: among the queue heads, service the command
+    // Oldest-first arbitration: among the queue heads, take the command
     // with the smallest sequence id. Queues are FIFO, so heads are each
     // queue's oldest and this scan finds the global oldest.
     std::size_t best = queues_.size();
@@ -30,68 +30,18 @@ void Device::pump() {
         best = q;
       }
     }
-    if (best == queues_.size()) return;
-    const Submitted sub = queues_[best].front();
+    if (best == queues_.size()) return pending;
+    pending.push_back(queues_[best].front());
     queues_[best].pop_front();
-    service_one(sub);
   }
 }
 
-void Device::reserve_background(double from_s, double until_s) {
-  if (!bg_windows_.empty() && from_s <= bg_windows_.back().until_s) {
-    bg_windows_.back().until_s =
-        std::max(bg_windows_.back().until_s, until_s);
-  } else {
-    bg_windows_.push_back({from_s, until_s});
-  }
-}
-
-void Device::service_one(const Submitted& sub) {
-  const Command& cmd = sub.command;
-  const double start = std::max(cmd.submit_time_s, flash_free_s_);
-  ServiceCost cost;  // Flush is a pure barrier: zero cost, completes at
-                     // the flash free time once everything before it did.
-  if (cmd.kind != CommandKind::kFlush) cost = do_service(cmd);
-
-  // Attribution: the part of this command's queue wait [submit, start)
-  // that overlapped a background reservation counts as stall, on top of
-  // any stall the backend charged to the command itself (e.g. inline GC
-  // on a write). Windows wholly before this command's submit time can
-  // never overlap a later command either (submit stamps are
-  // non-decreasing), so they are pruned here.
-  while (!bg_windows_.empty() &&
-         bg_windows_.front().until_s <= cmd.submit_time_s)
-    bg_windows_.pop_front();
-  double bg_overlap = 0.0;
-  for (const BgWindow& w : bg_windows_) {
-    if (w.from_s >= start) break;
-    bg_overlap += std::max(0.0, std::min(start, w.until_s) -
-                                    std::max(cmd.submit_time_s, w.from_s));
-  }
-
-  Completion rec;
-  rec.id = sub.id;
-  rec.kind = cmd.kind;
-  rec.queue = cmd.queue;
-  rec.lpn = cmd.lpn;
-  rec.pages = cmd.pages;
-  rec.submit_time_s = cmd.submit_time_s;
-  rec.service_start_s = start;
-  rec.complete_time_s = start + cost.busy_s + cost.stall_s;
-  rec.stall_s = cost.stall_s + bg_overlap;
-  flash_free_s_ = rec.complete_time_s;
-  // The stall portion of the service sits after the command's own data
-  // movement on the timeline.
-  if (cost.stall_s > 0.0)
-    reserve_background(start + cost.busy_s, rec.complete_time_s);
-
-  stats_.add(rec);
-  completion_queue_.push_back(rec);
-}
+void Device::release_ready(bool) {}
 
 std::size_t Device::poll(std::vector<Completion>* out,
                          std::size_t max_completions) {
   pump();
+  release_ready(/*drain_all=*/false);
   std::size_t n = 0;
   while (n < max_completions && !completion_queue_.empty()) {
     out->push_back(completion_queue_.front());
@@ -104,6 +54,7 @@ std::size_t Device::poll(std::vector<Completion>* out,
 
 std::size_t Device::drain(std::vector<Completion>* out) {
   pump();
+  release_ready(/*drain_all=*/true);
   const std::size_t n = completion_queue_.size();
   out->insert(out->end(), completion_queue_.begin(), completion_queue_.end());
   completion_queue_.clear();
@@ -113,12 +64,7 @@ std::size_t Device::drain(std::vector<Completion>* out) {
 
 void Device::end_of_day() {
   pump();
-  const double busy = do_end_of_day();
-  if (busy > 0.0) {
-    const double from = flash_free_s_;
-    flash_free_s_ += busy;
-    reserve_background(from, flash_free_s_);
-  }
+  run_end_of_day();
 }
 
 const CompletionStats& Device::stats() {
@@ -129,6 +75,43 @@ const CompletionStats& Device::stats() {
 void Device::reset_stats() {
   pump();
   stats_ = CompletionStats();
+}
+
+// --- SerialDevice ----------------------------------------------------------
+
+void SerialDevice::pump() {
+  for (const Submitted& sub : take_pending()) service_one(sub);
+}
+
+void SerialDevice::service_one(const Submitted& sub) {
+  const Command& cmd = sub.command;
+  ServiceCost cost;  // Flush is a pure barrier: zero cost, completes at
+                     // the flash free time once everything before it did.
+  if (cmd.kind != CommandKind::kFlush) cost = do_service(cmd);
+  const FlashTimeline::Slot slot =
+      timeline_.schedule(cmd.submit_time_s, cost);
+
+  Completion rec;
+  rec.id = sub.id;
+  rec.kind = cmd.kind;
+  rec.queue = cmd.queue;
+  rec.lpn = cmd.lpn;
+  rec.pages = cmd.pages;
+  rec.submit_time_s = cmd.submit_time_s;
+  rec.service_start_s = slot.start_s;
+  rec.complete_time_s = slot.complete_s;
+  // The part of this command's queue wait that overlapped a background
+  // reservation counts as stall, on top of any stall the backend charged
+  // to the command itself (e.g. inline GC on a write).
+  rec.stall_s = cost.stall_s + slot.bg_overlap_s;
+
+  record(rec);
+  deliver(rec);
+}
+
+void SerialDevice::run_end_of_day() {
+  const double busy = do_end_of_day();
+  if (busy > 0.0) timeline_.reserve_next(busy);
 }
 
 }  // namespace rdsim::host

@@ -2,9 +2,10 @@
 //
 // The unified device facade: an NVMe-style queued host interface over the
 // repository's drive backends (the analytic ssd::Ssd and the Monte Carlo
-// nand::Chip). Hosts submit typed Commands into N submission queues and
-// retrieve per-command Completion records from a completion queue via an
-// explicit submit()/poll()/drain() model.
+// nand::Chip, single-chip or sharded across many). Hosts submit typed
+// Commands into N submission queues and retrieve per-command Completion
+// records from a completion queue via an explicit submit()/poll()/drain()
+// model.
 //
 // Arbitration and determinism. Commands are serviced oldest-first across
 // the submission queue heads (each queue is FIFO, and the device always
@@ -13,18 +14,21 @@
 // feed the queues in global submission order, which all of rdsim's
 // generators do). Because the service schedule of a command is a pure
 // function of the submission stream — simulated clocks only, never the
-// wall clock or the poll cadence — the completion log is byte-identical
-// no matter how often the host polls: the determinism contract
-// tests/test_host.cc enforces.
+// wall clock, the poll cadence, or the worker thread count — the
+// completion log is byte-identical no matter how often the host polls or
+// how many threads a sharded backend uses: the determinism contract
+// documented in docs/ARCHITECTURE.md and enforced by tests/test_host.cc
+// and tests/test_sharded_device.cc.
 //
-// Time model. The device keeps a single flash timeline (`flash_free_s`):
-// a command starts at max(its submit time, flash free time) and occupies
-// the flash for the backend-reported busy + stall seconds. Background
-// work — inline GC charged to a write, or the nightly maintenance that
-// end_of_day() runs — reserves flash time too, and the portion of a
-// later command's queue wait that overlaps such a reservation is
-// attributed to `Completion::stall_s`, so tail-latency experiments can
-// tell device congestion from background interference.
+// Class split:
+//   * Device        — the abstract facade: submission queues, completion
+//                     queue, statistics, id assignment. Knows nothing
+//                     about time.
+//   * SerialDevice  — the single-timeline engine (one FlashTimeline):
+//                     backends implement do_service()/do_end_of_day().
+//                     SsdDevice and McChipDevice derive from this.
+//   * ShardedDevice — N chips, N timelines, deterministic merge
+//                     (sharded_device.h).
 #pragma once
 
 #include <cstdint>
@@ -33,6 +37,7 @@
 
 #include "host/command.h"
 #include "host/stats.h"
+#include "host/timeline.h"
 
 namespace rdsim::host {
 
@@ -59,15 +64,16 @@ class Device {
   std::uint64_t submit(const Command& command);
 
   /// Moves up to `max_completions` completion records (oldest first) into
-  /// `out` (appended); returns how many were delivered.
+  /// `out` (appended); returns how many were delivered. A backend may
+  /// withhold records whose position in the deterministic log could still
+  /// change (see ShardedDevice); drain() always delivers everything.
   std::size_t poll(std::vector<Completion>* out, std::size_t max_completions);
 
   /// Drains every pending completion into `out`; returns the count.
   std::size_t drain(std::vector<Completion>* out);
 
-  /// Runs the backend's nightly maintenance (refresh, reclaim, tuning) and
-  /// reserves the flash timeline for the busy seconds it consumed, so the
-  /// next day's first commands observe the maintenance stall.
+  /// Runs the backend's nightly maintenance (refresh, reclaim, tuning,
+  /// retention aging) after servicing everything queued.
   void end_of_day();
 
   /// Aggregate completion statistics (services any still-queued commands
@@ -76,14 +82,67 @@ class Device {
 
   /// Forgets accumulated statistics (after servicing anything queued) so
   /// a measurement window can exclude warm-up traffic. The completion
-  /// queue, ids, and the flash timeline are untouched.
-  void reset_stats();
+  /// queue, ids, and the flash timelines are untouched. Virtual so
+  /// backends with side ledgers (ShardedDevice's per-shard stall
+  /// accounting) reset them in the same stroke.
+  virtual void reset_stats();
 
   /// Commands submitted but not yet delivered through poll()/drain().
   std::size_t outstanding() const { return submitted_ - delivered_; }
 
-  /// Current flash timeline position (end of the last scheduled work).
-  double now_s() const { return flash_free_s_; }
+  /// Current simulated time: end of the last scheduled work across the
+  /// backend's timeline(s).
+  virtual double now_s() const = 0;
+
+ protected:
+  struct Submitted {
+    Command command;
+    std::uint64_t id;
+  };
+
+  /// Backend hook: service every queued command (pull them with
+  /// take_pending()), record() each completion, and make delivered
+  /// records available via deliver(). Called by poll/drain/stats/
+  /// end_of_day before they act.
+  virtual void pump() = 0;
+
+  /// Backend hook: nightly maintenance, run after pump().
+  virtual void run_end_of_day() = 0;
+
+  /// Backend hook: called after pump() by poll (drain_all = false) and
+  /// drain (drain_all = true), so backends that withhold completions can
+  /// release what is safe (everything, for a drain). Default: no-op.
+  virtual void release_ready(bool drain_all);
+
+  /// Pops every queued command, oldest-first across queue heads (global
+  /// submission order).
+  std::vector<Submitted> take_pending();
+
+  /// Accounts a serviced command in the statistics.
+  void record(const Completion& completion) { stats_.add(completion); }
+
+  /// Appends a record to the completion queue (the delivery order).
+  void deliver(const Completion& completion) {
+    completion_queue_.push_back(completion);
+  }
+
+ private:
+  std::vector<std::deque<Submitted>> queues_;
+  std::deque<Completion> completion_queue_;
+  CompletionStats stats_;
+  std::uint64_t next_id_ = 0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+/// The single-timeline engine: one flash unit services the merged stream
+/// oldest-first. Backends implement the per-command cost hook; the queue
+/// layer owns scheduling, stall attribution, and completion records.
+class SerialDevice : public Device {
+ public:
+  explicit SerialDevice(std::uint32_t queue_count) : Device(queue_count) {}
+
+  double now_s() const override { return timeline_.free_s(); }
 
  protected:
   /// Backend hook: perform the command's data movement and report its
@@ -95,39 +154,13 @@ class Device {
   /// Backend hook: nightly maintenance; returns flash busy seconds.
   virtual double do_end_of_day() { return 0.0; }
 
- private:
-  struct Submitted {
-    Command command;
-    std::uint64_t id;
-  };
+  void pump() override;
+  void run_end_of_day() override;
 
-  /// Services every queued command, oldest-first across queue heads.
-  void pump();
+ private:
   void service_one(const Submitted& sub);
 
-  std::vector<std::deque<Submitted>> queues_;
-  std::deque<Completion> completion_queue_;
-  CompletionStats stats_;
-  std::uint64_t next_id_ = 0;
-  std::uint64_t submitted_ = 0;
-  std::uint64_t delivered_ = 0;
-  /// Records a background reservation [from_s, until_s) on the flash
-  /// timeline, merging with the newest window when they touch.
-  void reserve_background(double from_s, double until_s);
-
-  double flash_free_s_ = 0.0;
-  /// Background reservations on the flash timeline, oldest first and
-  /// disjoint: the part of a waiter's queue delay [submit, start) that
-  /// overlaps these windows is attributed as stall. Windows ending at or
-  /// before a serviced command's submit time are pruned — submit stamps
-  /// are non-decreasing in every rdsim driver, so no later-id command
-  /// can still overlap them (for a non-monotone hand-built stream this
-  /// pruning under-attributes, never over-attributes).
-  struct BgWindow {
-    double from_s;
-    double until_s;
-  };
-  std::deque<BgWindow> bg_windows_;
+  FlashTimeline timeline_;
 };
 
 }  // namespace rdsim::host

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <iterator>
 #include <vector>
 
 #include "host/device.h"
@@ -16,9 +17,12 @@ namespace rdsim::host {
 
 /// Fills the device's whole logical space once (ascending lpn order) so
 /// every subsequent read hits mapped data, then discards the warm-up
-/// completions and statistics. The fill still occupies the flash
-/// timeline — start the workload clock at device.now_s() (or drive it
-/// closed-loop) so measured commands don't queue behind the fill.
+/// completions and statistics. Works for any backend: on a striped
+/// ShardedDevice the ascending-lpn pass round-robins the shards, so each
+/// shard's chip is filled (and turned over) evenly. The fill still
+/// occupies the flash timeline(s) — start the workload clock at
+/// device.now_s() (or drive it closed-loop) so measured commands don't
+/// queue behind the fill.
 inline void warm_fill(Device& device) {
   Command write;
   write.kind = CommandKind::kWrite;
@@ -38,6 +42,15 @@ inline void warm_fill(Device& device) {
 /// benchmark pattern. The clock carries across run() calls, so a
 /// multi-day replay with Device::end_of_day() between batches stays
 /// monotone.
+///
+/// In-flight accounting is driver-side, and slots are freed in
+/// completion-time order from a drained buffer: poll() may legitimately
+/// return nothing on a sharded device (records whose log position is not
+/// final yet are withheld), but drain() always delivers, sorted by
+/// (complete_time, submit order) — so the "next completion" that frees a
+/// slot is exactly the earliest one, on every backend. On a
+/// single-timeline device completions are already in that order, so the
+/// replay schedule (and fig_qos's golden) is unchanged by this buffering.
 class ClosedLoopDriver {
  public:
   ClosedLoopDriver(Device& device, int depth)
@@ -47,30 +60,73 @@ class ClosedLoopDriver {
         last_submit_s_(release_s_) {}
 
   /// Replays one batch of commands (submit-time stamps are overwritten)
-  /// and drains every completion at the end of the batch.
+  /// and absorbs every completion at the end of the batch.
   void run(const std::vector<Command>& commands) {
-    std::vector<Completion> got;
     for (Command c : commands) {
-      if (device_->outstanding() >= depth_) {
-        got.clear();
-        device_->poll(&got, 1);
-        release_s_ = got.front().complete_time_s;
-      }
+      if (in_flight_ >= depth_) release_s_ = next_completion_s();
       c.submit_time_s = std::max(last_submit_s_, release_s_);
       last_submit_s_ = c.submit_time_s;
       device_->submit(c);
+      ++in_flight_;
     }
-    got.clear();
-    device_->drain(&got);
-    if (!got.empty())
-      release_s_ = std::max(release_s_, got.back().complete_time_s);
+    // End of batch: absorb everything still in flight so the next run()
+    // (or end_of_day) starts from a quiet device. Both the local buffer
+    // and the device deliver in completion order, so each back() is the
+    // latest completion it holds.
+    if (next_ < buffer_.size())
+      release_s_ = std::max(release_s_, buffer_.back().complete_time_s);
+    buffer_.clear();
+    device_->drain(&buffer_);
+    if (!buffer_.empty())
+      release_s_ = std::max(release_s_, buffer_.back().complete_time_s);
+    buffer_.clear();
+    next_ = 0;
+    in_flight_ = 0;
   }
 
  private:
+  /// Completion time of the next (earliest) in-flight completion. A
+  /// command submitted since the last drain can complete *earlier* than
+  /// anything still buffered (independent shard timelines), so fresh
+  /// completions are drained and merged before taking the minimum —
+  /// both the device's delivery and the buffer follow
+  /// completion_log_order, so the buffer stays a sorted queue holding at
+  /// most ~depth unconsumed records. On a single-timeline device fresh
+  /// records always sort after the buffered tail, so the merge
+  /// degenerates to an append.
+  double next_completion_s() {
+    fresh_.clear();
+    device_->drain(&fresh_);
+    if (!fresh_.empty()) {
+      if (next_ > 0) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + static_cast<std::ptrdiff_t>(next_));
+        next_ = 0;
+      }
+      if (buffer_.empty() ||
+          !completion_log_order(fresh_.front(), buffer_.back())) {
+        buffer_.insert(buffer_.end(), fresh_.begin(), fresh_.end());
+      } else {
+        const auto mid = static_cast<std::ptrdiff_t>(buffer_.size());
+        buffer_.insert(buffer_.end(), fresh_.begin(), fresh_.end());
+        std::inplace_merge(buffer_.begin(), buffer_.begin() + mid,
+                           buffer_.end(), completion_log_order);
+      }
+    }
+    const double t = buffer_[next_].complete_time_s;
+    ++next_;
+    --in_flight_;
+    return t;
+  }
+
   Device* device_;
   std::size_t depth_;
   double release_s_;
   double last_submit_s_;
+  std::size_t in_flight_ = 0;
+  std::vector<Completion> buffer_;
+  std::vector<Completion> fresh_;
+  std::size_t next_ = 0;
 };
 
 }  // namespace rdsim::host

@@ -7,31 +7,21 @@
 // what lets characterization-grade physics be driven by the exact host
 // workload machinery the whole-drive experiments use.
 //
-// Logical layout: lpn -> (block = lpn / pages_per_block, then LSB/MSB
-// pages interleaved along the wordlines: page index 2*wl + kind). Every
-// block is programmed with random data at construction, like a
-// characterization drive prepared for a read-disturb study. A host write
-// models log-structured turnover: each page write costs tProg, and once a
-// block has absorbed pages_per_block writes it is erased and reprogrammed
-// (one P/E cycle, disturb state cleared) with the erase charged as the
-// write's stall. Trim and flush are metadata-only.
-//
-// Both the construction-time bulk program and each turnover reprogram are
-// O(bookkeeping) under the block's lazy cell materialization: a rewritten
-// block resamples only the wordlines later reads actually touch, so large
-// simulated drives with read-skewed workloads cost cells proportional to
-// the read footprint, not the drive capacity.
+// The chip-level data movement (logical layout, log-structured write
+// turnover, cost accounting) lives in ChipServicer, shared with
+// ShardedDevice's per-shard chips; this class is the single-chip,
+// single-timeline wiring of that engine into the queued facade. For an
+// N-chip drive, see host::ShardedDevice (sharded_device.h).
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
+#include "host/chip_servicer.h"
 #include "host/device.h"
-#include "nand/chip.h"
 
 namespace rdsim::host {
 
-class McChipDevice : public Device {
+class McChipDevice : public SerialDevice {
  public:
   McChipDevice(const nand::Geometry& geometry,
                const flash::FlashModelParams& params, std::uint64_t seed,
@@ -40,21 +30,20 @@ class McChipDevice : public Device {
 
   /// The underlying chip, for characterization-level setup (pre-wear,
   /// retention aging, bulk disturb) between queued operations.
-  nand::Chip& chip() { return chip_; }
-  const nand::Chip& chip() const { return chip_; }
+  nand::Chip& chip() { return servicer_.chip(); }
+  const nand::Chip& chip() const { return servicer_.chip(); }
 
   std::uint64_t logical_pages() const override {
-    return static_cast<std::uint64_t>(chip_.geometry().blocks) *
-           chip_.geometry().pages_per_block();
+    return servicer_.logical_pages();
   }
 
   /// Cumulative raw bit errors observed by queued reads (the host-visible
   /// symptom ECC has to absorb).
-  std::uint64_t read_bit_errors() const { return read_bit_errors_; }
+  std::uint64_t read_bit_errors() const { return servicer_.read_bit_errors(); }
   /// Queued page reads / writes serviced, and blocks turned over.
-  std::uint64_t pages_read() const { return pages_read_; }
-  std::uint64_t pages_written() const { return pages_written_; }
-  std::uint64_t block_rewrites() const { return block_rewrites_; }
+  std::uint64_t pages_read() const { return servicer_.pages_read(); }
+  std::uint64_t pages_written() const { return servicer_.pages_written(); }
+  std::uint64_t block_rewrites() const { return servicer_.block_rewrites(); }
 
  protected:
   ServiceCost do_service(const Command& command) override;
@@ -62,16 +51,7 @@ class McChipDevice : public Device {
   double do_end_of_day() override;
 
  private:
-  nand::PageAddress page_address(std::uint64_t lpn, std::uint32_t* block)
-      const;
-
-  nand::Chip chip_;
-  LatencyParams latency_;
-  std::vector<std::uint32_t> writes_into_block_;
-  std::uint64_t read_bit_errors_ = 0;
-  std::uint64_t pages_read_ = 0;
-  std::uint64_t pages_written_ = 0;
-  std::uint64_t block_rewrites_ = 0;
+  ChipServicer servicer_;
 };
 
 }  // namespace rdsim::host

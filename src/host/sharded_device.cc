@@ -1,0 +1,205 @@
+#include "host/sharded_device.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace rdsim::host {
+
+ShardedDevice::ShardedDevice(const nand::Geometry& shard_geometry,
+                             const flash::FlashModelParams& params,
+                             std::uint64_t seed, std::uint32_t shards,
+                             int workers, std::uint32_t queue_count,
+                             const LatencyParams& latency)
+    : Device(queue_count), pool_(workers) {
+  shards_.resize(std::max<std::uint32_t>(1, shards));
+  // Chip construction is bookkeeping-only under lazy materialization, so
+  // building the shards serially costs nothing worth parallelizing.
+  for (std::uint32_t s = 0; s < shards_.size(); ++s)
+    shards_[s].servicer = std::make_unique<ChipServicer>(
+        shard_geometry, params, shard_seed(seed, s), latency);
+}
+
+std::uint64_t ShardedDevice::shard_seed(std::uint64_t seed,
+                                        std::uint32_t shard) {
+  // One decorrelated 64-bit chip seed per shard, a pure function of
+  // (device seed, shard index) — the same derivation discipline as the
+  // experiment shards' Rng::stream(seed, i).
+  return Rng::stream(seed, shard).next();
+}
+
+std::uint64_t ShardedDevice::read_bit_errors() const {
+  std::uint64_t n = 0;
+  for (const Shard& s : shards_) n += s.servicer->read_bit_errors();
+  return n;
+}
+
+std::uint64_t ShardedDevice::pages_read() const {
+  std::uint64_t n = 0;
+  for (const Shard& s : shards_) n += s.servicer->pages_read();
+  return n;
+}
+
+std::uint64_t ShardedDevice::pages_written() const {
+  std::uint64_t n = 0;
+  for (const Shard& s : shards_) n += s.servicer->pages_written();
+  return n;
+}
+
+std::uint64_t ShardedDevice::block_rewrites() const {
+  std::uint64_t n = 0;
+  for (const Shard& s : shards_) n += s.servicer->block_rewrites();
+  return n;
+}
+
+double ShardedDevice::now_s() const {
+  double t = 0.0;
+  for (const Shard& s : shards_) t = std::max(t, s.timeline.free_s());
+  return t;
+}
+
+void ShardedDevice::pump() {
+  const std::vector<Submitted> pending = take_pending();
+  if (pending.empty()) return;
+  for (const Submitted& sub : pending)
+    watermark_s_ = std::max(watermark_s_, sub.command.submit_time_s);
+
+  // Service in flush-separated segments: within a segment the shards run
+  // concurrently and never wait for each other; each flush is a
+  // cross-shard barrier handled on the coordinating thread.
+  std::vector<Completion> merged;
+  merged.reserve(pending.size());
+  std::size_t i = 0;
+  while (i < pending.size()) {
+    if (pending[i].command.kind == CommandKind::kFlush) {
+      merged.push_back(service_flush(pending[i]));
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < pending.size() &&
+           pending[j].command.kind != CommandKind::kFlush)
+      ++j;
+    service_segment(pending, i, j, &merged);
+    i = j;
+  }
+
+  for (const Completion& rec : merged) record(rec);
+  held_.insert(held_.end(), merged.begin(), merged.end());
+  std::sort(held_.begin(), held_.end(), completion_log_order);
+}
+
+void ShardedDevice::service_segment(const std::vector<Submitted>& pending,
+                                    std::size_t begin, std::size_t end,
+                                    std::vector<Completion>* out) {
+  const std::size_t n = end - begin;
+  const std::uint32_t shard_n = shard_count();
+  sub_results_.assign(n * shard_n, SubResult{});
+  const std::uint64_t logical = logical_pages();
+
+  pool_.for_each(shard_n, [&](std::size_t s) {
+    Shard& shard = shards_[s];
+    for (std::size_t k = 0; k < n; ++k) {
+      const Command& cmd = pending[begin + k].command;
+      ServiceCost cost;
+      bool touched = false;
+      if (cmd.pages == 0) {
+        // Degenerate range: schedule a zero-cost record on the owning
+        // shard so the command still completes exactly once.
+        touched = shard_of(cmd.lpn % logical) == s;
+      } else {
+        for (std::uint32_t p = 0; p < cmd.pages; ++p) {
+          const std::uint64_t lpn = (cmd.lpn + p) % logical;
+          if (shard_of(lpn) != s) continue;
+          touched = true;
+          const ServiceCost page =
+              shard.servicer->service_page(cmd.kind, local_lpn(lpn));
+          cost.busy_s += page.busy_s;
+          cost.stall_s += page.stall_s;
+        }
+      }
+      if (!touched) continue;
+      const FlashTimeline::Slot slot =
+          shard.timeline.schedule(cmd.submit_time_s, cost);
+      SubResult& r = sub_results_[k * shard_n + s];
+      r.present = true;
+      r.start_s = slot.start_s;
+      r.complete_s = slot.complete_s;
+      r.stall_s = cost.stall_s + slot.bg_overlap_s;
+      shard.stall_seconds += r.stall_s;
+    }
+  });
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const Submitted& sub = pending[begin + k];
+    Completion rec;
+    rec.id = sub.id;
+    rec.kind = sub.command.kind;
+    rec.queue = sub.command.queue;
+    rec.lpn = sub.command.lpn;
+    rec.pages = sub.command.pages;
+    rec.submit_time_s = sub.command.submit_time_s;
+    double start = std::numeric_limits<double>::infinity();
+    double complete = 0.0;
+    double stall = 0.0;
+    for (std::uint32_t s = 0; s < shard_n; ++s) {
+      const SubResult& r = sub_results_[k * shard_n + s];
+      if (!r.present) continue;
+      start = std::min(start, r.start_s);
+      complete = std::max(complete, r.complete_s);
+      stall += r.stall_s;
+    }
+    rec.service_start_s = start;
+    rec.complete_time_s = complete;
+    rec.stall_s = stall;
+    out->push_back(rec);
+  }
+}
+
+Completion ShardedDevice::service_flush(const Submitted& sub) {
+  const Command& cmd = sub.command;
+  double barrier = 0.0;
+  double stall = 0.0;
+  for (Shard& shard : shards_) {
+    const FlashTimeline::Slot slot =
+        shard.timeline.schedule(cmd.submit_time_s, ServiceCost{});
+    barrier = std::max(barrier, slot.start_s);
+    stall += slot.bg_overlap_s;
+    shard.stall_seconds += slot.bg_overlap_s;
+  }
+  for (Shard& shard : shards_) shard.timeline.barrier(barrier);
+
+  Completion rec;
+  rec.id = sub.id;
+  rec.kind = cmd.kind;
+  rec.queue = cmd.queue;
+  rec.lpn = cmd.lpn;
+  rec.pages = cmd.pages;
+  rec.submit_time_s = cmd.submit_time_s;
+  rec.service_start_s = barrier;
+  rec.complete_time_s = barrier;
+  rec.stall_s = stall;
+  return rec;
+}
+
+void ShardedDevice::release_ready(bool drain_all) {
+  std::size_t n = 0;
+  while (n < held_.size() &&
+         (drain_all || held_[n].complete_time_s <= watermark_s_)) {
+    deliver(held_[n]);
+    ++n;
+  }
+  held_.erase(held_.begin(), held_.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+void ShardedDevice::reset_stats() {
+  Device::reset_stats();
+  for (Shard& shard : shards_) shard.stall_seconds = 0.0;
+}
+
+void ShardedDevice::run_end_of_day() {
+  for (Shard& shard : shards_) shard.servicer->advance_day();
+}
+
+}  // namespace rdsim::host

@@ -1,0 +1,168 @@
+// rdsim/host/sharded_device.h
+//
+// host::ShardedDevice: a queued-device backend that stripes the logical
+// page space across N per-worker Monte Carlo chips (one nand::Chip +
+// one FlashTimeline per shard) and services the shards concurrently on a
+// common/thread_pool.h ThreadPool — the drive-scale counterpart of the
+// single-chip McChipDevice, and the host-layer instantiation of the same
+// determinism contract sim::ExperimentRunner gives the experiments.
+//
+// Striping. Global lpn L (wrapped modulo logical_pages()) lives on shard
+// L % shards at shard-local lpn L / shards — RAID-0 page striping, so a
+// sequential multi-page command fans its pages out across chips and hot
+// ranges spread evenly. Within its shard a page maps exactly like the
+// single-chip device (block = local lpn / pages_per_block, LSB/MSB
+// interleaved along the wordlines; see chip_servicer.h).
+//
+// Scheduling. Each shard owns an independent flash timeline: a command's
+// per-shard portion starts at max(submit time, that shard's free time)
+// and the shards never wait for each other — except at a flush, which is
+// a cross-shard barrier (it completes when every shard finished all
+// earlier work, and every shard's timeline advances to that point). A
+// command's completion record combines its per-shard slots: service
+// start is the earliest shard start, completion the latest shard
+// completion, and stall the sum of the per-shard attributed stalls
+// (which is also how the per-shard ledgers sum to the single-chip value
+// at shards = 1).
+//
+// Determinism. Shard assignment is a pure function of the lpn, each
+// shard services its sub-stream in global submission order against its
+// own timeline, and the per-shard completion records are merged into one
+// log by a stable sort keyed on (complete_time, submit order). Worker
+// threads only decide *where* a shard's (single-threaded) work runs, so
+// the merged log is byte-identical for any worker count. Because
+// per-shard completion times are not monotone in submission order, the
+// log position of a record is only final once no future command can
+// complete earlier; poll() therefore withholds records that complete
+// after the newest submit time seen (a later submission could still
+// complete before them — submit stamps are non-decreasing, so anything
+// at or before the watermark is safe), while drain() delivers
+// everything. Polling cadences that end in one drain all observe the
+// identical log (tests/test_sharded_device.cc pins this, together with
+// worker-count byte-identity).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "host/chip_servicer.h"
+#include "host/device.h"
+
+namespace rdsim::host {
+
+class ShardedDevice : public Device {
+ public:
+  /// `shard_geometry` is the geometry of EACH shard's chip (the device
+  /// exports shards * blocks * pages_per_block logical pages). `workers`
+  /// sizes the service pool; results never depend on it.
+  ShardedDevice(const nand::Geometry& shard_geometry,
+                const flash::FlashModelParams& params, std::uint64_t seed,
+                std::uint32_t shards, int workers = 1,
+                std::uint32_t queue_count = 1,
+                const LatencyParams& latency = LatencyParams{});
+
+  std::uint32_t shard_count() const {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  int worker_count() const { return pool_.thread_count(); }
+
+  std::uint64_t logical_pages() const override {
+    return shard_count() * shards_.front().servicer->logical_pages();
+  }
+
+  /// Which shard owns global page `lpn`, and its address there.
+  std::uint32_t shard_of(std::uint64_t lpn) const {
+    return static_cast<std::uint32_t>(lpn % shard_count());
+  }
+  std::uint64_t local_lpn(std::uint64_t lpn) const {
+    return lpn / shard_count();
+  }
+
+  /// The chip seed shard `shard` derives from the device seed — exposed
+  /// so tests can build the equivalent single-chip device: a one-shard
+  /// ShardedDevice is a McChipDevice with shard_seed(seed, 0).
+  static std::uint64_t shard_seed(std::uint64_t seed, std::uint32_t shard);
+
+  /// Shard `shard`'s chip, for characterization-level setup (pre-wear,
+  /// retention aging) between queued operations.
+  nand::Chip& shard_chip(std::uint32_t shard) {
+    return shards_[shard].servicer->chip();
+  }
+  const nand::Chip& shard_chip(std::uint32_t shard) const {
+    return shards_[shard].servicer->chip();
+  }
+
+  /// Per-shard attributed stall ledger: every stall second a completion
+  /// carries is booked to the shard that caused it, so background
+  /// interference can be localized to a chip. Sums to the single-chip
+  /// stall total at shards = 1, and is cleared together with the
+  /// aggregate statistics by reset_stats().
+  double shard_stall_seconds(std::uint32_t shard) const {
+    return shards_[shard].stall_seconds;
+  }
+
+  /// Clears the aggregate statistics and the per-shard stall ledgers in
+  /// the same stroke, preserving their sums-to-total invariant across a
+  /// measurement-window reset (e.g. after warm_fill).
+  void reset_stats() override;
+  std::uint64_t shard_pages_read(std::uint32_t shard) const {
+    return shards_[shard].servicer->pages_read();
+  }
+  std::uint64_t shard_read_bit_errors(std::uint32_t shard) const {
+    return shards_[shard].servicer->read_bit_errors();
+  }
+
+  /// Whole-device totals (sums over shards).
+  std::uint64_t read_bit_errors() const;
+  std::uint64_t pages_read() const;
+  std::uint64_t pages_written() const;
+  std::uint64_t block_rewrites() const;
+
+  double now_s() const override;
+
+ protected:
+  void pump() override;
+  void run_end_of_day() override;
+  void release_ready(bool drain_all) override;
+
+ private:
+  struct Shard {
+    std::unique_ptr<ChipServicer> servicer;
+    FlashTimeline timeline;
+    double stall_seconds = 0.0;
+  };
+
+  /// One command's landing on one shard.
+  struct SubResult {
+    double start_s = 0.0;
+    double complete_s = 0.0;
+    double stall_s = 0.0;
+    bool present = false;
+  };
+
+  /// Services pending[begin, end) — a flush-free run — across the shards
+  /// on the pool, then merges the per-shard slots into one Completion per
+  /// command (appended to `out` in submission order).
+  void service_segment(const std::vector<Submitted>& pending,
+                       std::size_t begin, std::size_t end,
+                       std::vector<Completion>* out);
+
+  /// Cross-shard barrier: completes when every shard finished all earlier
+  /// work; every shard's timeline advances to the barrier.
+  Completion service_flush(const Submitted& sub);
+
+  std::vector<Shard> shards_;
+  ThreadPool pool_;
+  /// Serviced completions not yet delivered, sorted by
+  /// (complete_time, id) — the deterministic merged-log order.
+  std::vector<Completion> held_;
+  /// Newest submit time seen by pump(); records completing at or before
+  /// it can no longer be displaced in the log by future submissions.
+  double watermark_s_ = 0.0;
+  /// Per-segment scratch: sub_results_[cmd * shards + shard].
+  std::vector<SubResult> sub_results_;
+};
+
+}  // namespace rdsim::host

@@ -13,12 +13,12 @@
 
 namespace rdsim::host {
 
-class SsdDevice : public Device {
+class SsdDevice : public SerialDevice {
  public:
   SsdDevice(const ssd::SsdConfig& config,
             const flash::FlashModelParams& params, std::uint64_t seed,
             std::uint32_t queue_count = 1)
-      : Device(queue_count), ssd_(config, params, seed) {}
+      : SerialDevice(queue_count), ssd_(config, params, seed) {}
 
   const ssd::Ssd& ssd() const { return ssd_; }
 

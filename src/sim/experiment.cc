@@ -38,6 +38,9 @@ const std::vector<ExperimentInfo>& experiments() {
       {"fig_qos",
        "Read latency percentiles vs mitigation policy and queue depth",
        run_fig_qos},
+      {"fig_qos_mc",
+       "Drive-scale read QoS on the sharded Monte Carlo backend",
+       run_fig_qos_mc},
   };
   return kExperiments;
 }

@@ -32,6 +32,7 @@ Table run_ext_mechanisms(ExperimentContext& ctx);
 // experiments_system.cc
 Table run_fig08(ExperimentContext& ctx);
 Table run_fig_qos(ExperimentContext& ctx);
+Table run_fig_qos_mc(ExperimentContext& ctx);
 Table run_fig11(ExperimentContext& ctx);
 Table run_fig12(ExperimentContext& ctx);
 

@@ -62,8 +62,15 @@ struct GoldenEntry {
 // re-goldening exactly the five chip-backed experiments — fig02, fig09,
 // fig10, ablation_rdr, ext_mechanisms — while every analytic hash and
 // fig_qos held byte-identical).
+// PR 5 added fig_qos_mc (the sharded Monte Carlo drive) and kept every
+// existing hash unchanged: the Device facade split, the FlashTimeline
+// extraction, and the ClosedLoopDriver buffering are all bit-transparent
+// for single-timeline backends (the driver's merge-before-pop slot
+// accounting only matters when shard completion times interleave, which
+// a single flash timeline cannot produce).
 constexpr GoldenEntry kGolden[] = {
     {"fig_qos", 0x21AD8CF4},
+    {"fig_qos_mc", 0xFDC18F1D},
     {"fig02", 0xB7A62718},
     {"fig03", 0x3774575E},
     {"fig04", 0xD9633849},

@@ -28,6 +28,15 @@
 //   drive_kcmds_per_s_wall   simulator speed: thousand commands serviced
 //                            per wall-clock second across both runs
 //
+// Sharded Monte-Carlo drive block (host::ShardedDevice, four pre-aged
+// chips, real per-cell senses, open-loop batched replay — the same
+// stream at three worker-pool widths, so the trajectory tracks both the
+// MC drive's simulator speed and its thread scaling; the simulated
+// results are byte-identical across the three, only the wall clock
+// moves):
+//   sharded_w1_kcmds_per_s_wall / _w4_ / _w8_
+//   sharded_p99_read_us   simulated p99 (worker-independent)
+//
 // With --compare BASELINE.json (CI passes bench/BENCH_baseline.json) each
 // metric is checked against the committed baseline and any regression
 // beyond 15% prints a PERF WARNING to stderr — warn-only, since absolute
@@ -45,6 +54,7 @@
 #include <vector>
 
 #include "host/driver.h"
+#include "host/sharded_device.h"
 #include "host/ssd_device.h"
 #include "nand/chip.h"
 #include "sim/experiment.h"
@@ -114,6 +124,54 @@ DriveMetrics drive_replay(int depth, std::uint64_t commands) {
   const auto wall_start = Clock::now();
   driver.run(batch);
   device.end_of_day();
+
+  DriveMetrics m;
+  const auto& stats = device.stats();
+  m.iops = stats.iops();
+  m.p99_read_us =
+      stats.latency_quantile_s(rdsim::host::CommandKind::kRead, 0.99) * 1e6;
+  m.wall_ms = ms_since(wall_start);
+  m.commands = commands;
+  return m;
+}
+
+/// Open-loop batched replay of `commands` mixed commands against a
+/// four-chip sharded Monte Carlo drive with a `workers`-wide service
+/// pool: submit the whole arrival-stamped stream, then drain once, so
+/// the device services flush-separated segments with all four chips in
+/// flight — the replay mode that exposes the pool's scaling (closed-loop
+/// driving pins the segment size to ~1 command, which measures sync
+/// overhead, not servicing speed). The simulated stats are byte-identical
+/// for any worker count; only wall_ms varies — that pair is exactly what
+/// the sharded BENCH block tracks.
+DriveMetrics sharded_replay(int workers, std::uint64_t commands) {
+  using namespace rdsim;
+  const auto params = flash::FlashModelParams::default_2ynm();
+  host::ShardedDevice device(nand::Geometry::tiny(), params, /*seed=*/42,
+                             /*shards=*/4, workers, /*queue_count=*/4);
+  for (std::uint32_t s = 0; s < device.shard_count(); ++s) {
+    nand::Chip& chip = device.shard_chip(s);
+    for (std::size_t b = 0; b < chip.block_count(); ++b) {
+      chip.block(b).erase();
+      chip.block(b).add_wear(8000);
+      chip.block(b).program_random();
+    }
+  }
+
+  workload::WorkloadProfile profile =
+      workload::profile_by_name("fiu-web-vm");
+  profile.daily_page_ios = static_cast<double>(commands) * 4.0;
+  workload::TraceGenerator gen(profile, device.logical_pages(), 42,
+                               device.queue_count());
+  std::vector<host::Command> batch;
+  batch.reserve(commands);
+  for (std::uint64_t i = 0; i < commands; ++i)
+    batch.push_back(gen.next_command());
+  std::vector<host::Completion> done;
+  done.reserve(commands);
+  const auto wall_start = Clock::now();
+  for (const auto& c : batch) device.submit(c);
+  device.drain(&done);
 
   DriveMetrics m;
   const auto& stats = device.stats();
@@ -285,6 +343,16 @@ int main(int argc, char** argv) {
       static_cast<double>(qd1.commands + qd32.commands) /
       ((qd1.wall_ms + qd32.wall_ms) * 1e-3) / 1e3;
 
+  // Sharded Monte-Carlo drive: the same open-loop replay at three
+  // worker-pool widths (simulated results identical; wall clock moves).
+  const std::uint64_t sharded_commands = 6000;
+  const DriveMetrics sharded_w1 = sharded_replay(1, sharded_commands);
+  const DriveMetrics sharded_w4 = sharded_replay(4, sharded_commands);
+  const DriveMetrics sharded_w8 = sharded_replay(8, sharded_commands);
+  const auto kcmds_wall = [](const DriveMetrics& m) {
+    return static_cast<double>(m.commands) / (m.wall_ms * 1e-3) / 1e3;
+  };
+
   const double cells = static_cast<double>(geom.bitlines);
   const std::vector<std::pair<std::string, double>> metrics = {
       {"page_sense_ns", page_sense_ns},
@@ -302,6 +370,10 @@ int main(int argc, char** argv) {
       {"drive_qd32_iops", qd32.iops},
       {"drive_qd32_p99_read_us", qd32.p99_read_us},
       {"drive_kcmds_per_s_wall", drive_kcmds_per_s_wall},
+      {"sharded_w1_kcmds_per_s_wall", kcmds_wall(sharded_w1)},
+      {"sharded_w4_kcmds_per_s_wall", kcmds_wall(sharded_w4)},
+      {"sharded_w8_kcmds_per_s_wall", kcmds_wall(sharded_w8)},
+      {"sharded_p99_read_us", sharded_w1.p99_read_us},
   };
 
   std::string json = "{\n";
