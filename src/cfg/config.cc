@@ -1,0 +1,182 @@
+#include "cfg/config.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace rdsim::cfg {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+std::string format_diagnostics(const std::vector<Diagnostic>& diags) {
+  std::ostringstream out;
+  for (const Diagnostic& d : diags) {
+    if (d.line > 0) out << "line " << d.line << ": ";
+    if (!d.key.empty()) out << "key '" << d.key << "': ";
+    out << d.message << "\n";
+  }
+  return out.str();
+}
+
+Config Config::parse(const std::string& text,
+                     std::vector<Diagnostic>* diags) {
+  Config config;
+  std::istringstream in(text);
+  std::string raw;
+  std::string section;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Comments run to end of line, whether the line starts with one or a
+    // key-value pair precedes it; no value in the schema contains # or ;.
+    const std::size_t comment = raw.find_first_of("#;");
+    if (comment != std::string::npos) raw.resize(comment);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        diags->push_back({line_no, "", "malformed section header"});
+        continue;
+      }
+      section = trim(line.substr(1, line.size() - 2));
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      diags->push_back(
+          {line_no, "", "expected 'key = value' or '[section]'"});
+      continue;
+    }
+    const std::string name = trim(line.substr(0, eq));
+    if (name.empty()) {
+      diags->push_back({line_no, "", "empty key before '='"});
+      continue;
+    }
+    Entry entry;
+    entry.key = section.empty() ? name : section + "." + name;
+    entry.value = trim(line.substr(eq + 1));
+    entry.line = line_no;
+    for (const Entry& prev : config.entries_) {
+      if (prev.key == entry.key) {
+        std::ostringstream msg;
+        msg << "duplicate key (previously set on line " << prev.line
+            << "; the later value wins)";
+        diags->push_back({line_no, entry.key, msg.str()});
+        break;
+      }
+    }
+    config.entries_.push_back(std::move(entry));
+  }
+  return config;
+}
+
+Config Config::parse_file(const std::string& path,
+                          std::vector<Diagnostic>* diags) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    diags->push_back({0, "", "cannot open config file '" + path + "'"});
+    return Config{};
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str(), diags);
+}
+
+Config::Entry* Config::find(const std::string& key) {
+  Entry* found = nullptr;
+  for (Entry& e : entries_) {
+    if (e.key == key) {
+      e.consumed = true;  // Shadowed duplicates are known keys too.
+      found = &e;
+    }
+  }
+  return found;
+}
+
+bool Config::has(const std::string& key) const {
+  for (const Entry& e : entries_)
+    if (e.key == key) return true;
+  return false;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback,
+                               std::vector<Diagnostic>* diags) {
+  (void)diags;  // Any text is a valid string.
+  const Entry* e = find(key);
+  return e != nullptr ? e->value : fallback;
+}
+
+std::uint64_t Config::get_u64(const std::string& key, std::uint64_t fallback,
+                              std::vector<Diagnostic>* diags) {
+  Entry* e = find(key);
+  if (e == nullptr) return fallback;
+  const char* s = e->value.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (e->value.empty() || *end != '\0' || errno == ERANGE ||
+      e->value.front() == '-') {
+    diags->push_back({e->line, key,
+                      "expected a non-negative integer, got '" + e->value +
+                          "'"});
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double Config::get_double(const std::string& key, double fallback,
+                          std::vector<Diagnostic>* diags) {
+  Entry* e = find(key);
+  if (e == nullptr) return fallback;
+  const char* s = e->value.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (e->value.empty() || *end != '\0' || errno == ERANGE) {
+    diags->push_back(
+        {e->line, key, "expected a number, got '" + e->value + "'"});
+    return fallback;
+  }
+  return v;
+}
+
+bool Config::get_bool(const std::string& key, bool fallback,
+                      std::vector<Diagnostic>* diags) {
+  Entry* e = find(key);
+  if (e == nullptr) return fallback;
+  const std::string& v = e->value;
+  if (v == "true" || v == "yes" || v == "on" || v == "1") return true;
+  if (v == "false" || v == "no" || v == "off" || v == "0") return false;
+  diags->push_back(
+      {e->line, key, "expected true/false, got '" + v + "'"});
+  return fallback;
+}
+
+void Config::report_unknown(std::vector<Diagnostic>* diags) const {
+  for (const Entry& e : entries_)
+    if (!e.consumed) diags->push_back({e.line, e.key, "unknown key"});
+}
+
+std::vector<std::pair<std::string, std::string>> Config::items() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.emplace_back(e.key, e.value);
+  return out;
+}
+
+}  // namespace rdsim::cfg

@@ -1,0 +1,86 @@
+// rdsim/cfg/config.h
+//
+// cfg::Config: a dependency-free INI-style key-value parser — the textual
+// front door of the config-driven scenario layer. Files are line-based:
+// `[section]` headers, `key = value` pairs (flattened to "section.key"),
+// `#`/`;` comments (full-line or trailing), and blank lines. The parser
+// never throws; every problem becomes a cfg::Diagnostic carrying the
+// line number and offending key, so `rdsim --config` can print the
+// complete list and exit non-zero instead of stopping at the first typo.
+//
+// Typed accessors (get_string / get_u64 / get_double / get_bool) mark
+// the key consumed and report bad values as diagnostics while returning
+// the caller's fallback. After a spec parse has consumed everything it
+// understands, report_unknown() turns each untouched entry into an
+// unknown-key diagnostic — so misspelled keys are always surfaced rather
+// than silently ignored (the classic config-file failure mode).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdsim::cfg {
+
+/// One problem found while parsing or validating a config. `line` is
+/// 1-based (0 = not tied to a source line, e.g. a missing required key);
+/// `key` is the flattened "section.key" when one is implicated.
+struct Diagnostic {
+  int line = 0;
+  std::string key;
+  std::string message;
+};
+
+/// Renders diagnostics one per line as "line N: key 'k': message" for
+/// CLI error output.
+std::string format_diagnostics(const std::vector<Diagnostic>& diags);
+
+class Config {
+ public:
+  /// Parses INI text. Malformed lines and duplicate keys are appended to
+  /// `diags` (never null); parsing continues past them (last duplicate
+  /// wins on lookup).
+  static Config parse(const std::string& text,
+                      std::vector<Diagnostic>* diags);
+
+  /// Reads and parses a file; an unreadable path is itself a diagnostic.
+  static Config parse_file(const std::string& path,
+                           std::vector<Diagnostic>* diags);
+
+  bool has(const std::string& key) const;
+
+  /// Typed lookups: mark the key consumed; on a malformed value append a
+  /// bad-value diagnostic and return `fallback`.
+  std::string get_string(const std::string& key, const std::string& fallback,
+                         std::vector<Diagnostic>* diags);
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback,
+                        std::vector<Diagnostic>* diags);
+  double get_double(const std::string& key, double fallback,
+                    std::vector<Diagnostic>* diags);
+  bool get_bool(const std::string& key, bool fallback,
+                std::vector<Diagnostic>* diags);
+
+  /// Appends an unknown-key diagnostic for every entry no accessor has
+  /// consumed — call after the spec parse has claimed all keys it knows.
+  void report_unknown(std::vector<Diagnostic>* diags) const;
+
+  /// All entries in file order as (flattened key, raw value) — the
+  /// round-trip surface the parser tests pin.
+  std::vector<std::pair<std::string, std::string>> items() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    int line = 0;
+    bool consumed = false;
+  };
+
+  /// Latest entry for `key` (duplicates: last wins), marking it and any
+  /// shadowed duplicates consumed; nullptr when absent.
+  Entry* find(const std::string& key);
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace rdsim::cfg

@@ -1,0 +1,105 @@
+#include "cfg/profiles.h"
+
+namespace rdsim::cfg {
+
+namespace {
+
+Profile make_paper_mlc() {
+  Profile p;
+  p.name = "paper-mlc";
+  p.description =
+      "Paper-faithful serial analytic MLC drive (2y-nm params, Vpass "
+      "tuning on) replaying the FIU web-vm trace stand-in";
+  p.spec.name = p.name;
+  p.spec.days = 3;
+  p.spec.drive.backend = Backend::kAnalytic;
+  p.spec.drive.blocks = 512;
+  p.spec.drive.pages_per_block = 128;
+  p.spec.drive.overprovision = 0.2;
+  p.spec.drive.gc_free_target = 4;
+  p.spec.drive.vpass_tuning = true;
+  p.spec.workload.profile = workload::profile_by_name("fiu-web-vm");
+  p.spec.workload.profile.trim_fraction = 0.10;
+  p.spec.workload.profile.flush_period_s = 400.0;
+  return p;
+}
+
+Profile make_dense_tlc() {
+  Profile p;
+  p.name = "dense-tlc";
+  p.description =
+      "Dense-TLC-like analytic drive (early-3D params, taller blocks, "
+      "thin overprovisioning, read reclaim armed) on the mail-server mix";
+  p.spec.name = p.name;
+  p.spec.days = 3;
+  p.spec.drive.backend = Backend::kAnalytic;
+  p.spec.drive.flash_model = FlashModel::kEarly3d;
+  p.spec.drive.blocks = 256;
+  p.spec.drive.pages_per_block = 384;
+  p.spec.drive.overprovision = 0.07;
+  p.spec.drive.gc_free_target = 4;
+  p.spec.drive.refresh_interval_days = 3.0;
+  p.spec.drive.read_reclaim_threshold = 2000;
+  p.spec.workload.profile = workload::profile_by_name("fiu-mail");
+  return p;
+}
+
+Profile make_server_8chip() {
+  Profile p;
+  p.name = "server-8chip";
+  p.description =
+      "8-chip server drive on the per-cell Monte Carlo backend, "
+      "pre-aged 8k P/E, striped RAID-0 with per-chip timelines";
+  p.spec.name = p.name;
+  p.spec.days = 2;
+  p.spec.queue_depth = 8;
+  p.spec.drive.backend = Backend::kShardedMc;
+  p.spec.drive.shards = 8;
+  p.spec.drive.blocks = 4;
+  p.spec.drive.wordlines_per_block = 64;
+  p.spec.drive.bitlines = 8192;
+  p.spec.drive.pre_wear_pe = 8000;
+  p.spec.workload.profile = workload::profile_by_name("postmark");
+  p.spec.workload.profile.daily_page_ios = 24000.0;
+  return p;
+}
+
+Profile make_sharded_analytic() {
+  Profile p;
+  p.name = "sharded-analytic";
+  p.description =
+      "4-way sharded analytic drive: four independent FTLs striped "
+      "RAID-0, each running its own GC/refresh/tuning maintenance";
+  p.spec.name = p.name;
+  p.spec.days = 3;
+  p.spec.drive.backend = Backend::kShardedAnalytic;
+  p.spec.drive.shards = 4;
+  p.spec.drive.blocks = 128;
+  p.spec.drive.pages_per_block = 128;
+  p.spec.drive.overprovision = 0.2;
+  p.spec.drive.gc_free_target = 4;
+  p.spec.workload.profile = workload::profile_by_name("fiu-web-vm");
+  p.spec.workload.profile.trim_fraction = 0.10;
+  p.spec.workload.profile.flush_period_s = 400.0;
+  return p;
+}
+
+}  // namespace
+
+const std::vector<Profile>& builtin_profiles() {
+  static const std::vector<Profile> profiles = {
+      make_paper_mlc(),
+      make_dense_tlc(),
+      make_server_8chip(),
+      make_sharded_analytic(),
+  };
+  return profiles;
+}
+
+const Profile* find_profile(const std::string& name) {
+  for (const Profile& p : builtin_profiles())
+    if (p.name == name) return &p;
+  return nullptr;
+}
+
+}  // namespace rdsim::cfg

@@ -1,0 +1,32 @@
+// rdsim/cfg/profiles.h
+//
+// Named built-in scenario profiles: canned ScenarioSpecs covering the
+// drive archetypes the paper's evaluation implies, runnable without a
+// config file via `rdsim --run scenario --profile <name>` and listed by
+// `rdsim --list-profiles`. A profile is exactly equivalent to a config
+// file on disk — the factory and the scenario experiment see only the
+// spec — so examples/configs/ mirrors the interesting ones in file form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cfg/spec.h"
+
+namespace rdsim::cfg {
+
+struct Profile {
+  std::string name;
+  std::string description;  ///< One line for --list-profiles.
+  ScenarioSpec spec;
+};
+
+/// All built-in profiles, in listing order. The first entry is the
+/// default scenario (what `--run scenario` does with no --config or
+/// --profile) and is pinned by the golden-experiment CRCs.
+const std::vector<Profile>& builtin_profiles();
+
+/// Looks up a profile by name; nullptr when unknown.
+const Profile* find_profile(const std::string& name);
+
+}  // namespace rdsim::cfg

@@ -1,0 +1,202 @@
+#include "cfg/spec.h"
+
+#include <limits>
+#include <sstream>
+
+namespace rdsim::cfg {
+
+namespace {
+
+struct BackendName {
+  const char* name;
+  Backend backend;
+};
+
+constexpr BackendName kBackends[] = {
+    {"analytic", Backend::kAnalytic},
+    {"mc_chip", Backend::kMcChip},
+    {"sharded_mc", Backend::kShardedMc},
+    {"sharded_analytic", Backend::kShardedAnalytic},
+};
+
+/// Consumes a u64 key and enforces a closed range, diagnosing violations
+/// against the key (range problems are value problems, so they point at
+/// the same key the typo would).
+std::uint64_t get_u64_in(Config& config, const std::string& key,
+                         std::uint64_t fallback, std::uint64_t lo,
+                         std::uint64_t hi, std::vector<Diagnostic>* diags) {
+  const std::uint64_t v = config.get_u64(key, fallback, diags);
+  if (v < lo || v > hi) {
+    std::ostringstream msg;
+    msg << "value " << v << " out of range [" << lo << ", " << hi << "]";
+    diags->push_back({0, key, msg.str()});
+    return fallback;
+  }
+  return v;
+}
+
+double get_double_in(Config& config, const std::string& key, double fallback,
+                     double lo, double hi, std::vector<Diagnostic>* diags) {
+  const double v = config.get_double(key, fallback, diags);
+  if (!(v >= lo && v <= hi)) {
+    std::ostringstream msg;
+    msg << "value " << v << " out of range [" << lo << ", " << hi << "]";
+    diags->push_back({0, key, msg.str()});
+    return fallback;
+  }
+  return v;
+}
+
+void parse_drive(Config& config, DriveSpec* drive,
+                 std::vector<Diagnostic>* diags) {
+  if (!config.has("drive.backend")) {
+    diags->push_back({0, "drive.backend",
+                      "missing required key (analytic, mc_chip, sharded_mc, "
+                      "or sharded_analytic)"});
+  } else {
+    const std::string name = config.get_string("drive.backend", "", diags);
+    if (!backend_from_name(name, &drive->backend))
+      diags->push_back({0, "drive.backend",
+                        "unknown backend '" + name +
+                            "' (expected analytic, mc_chip, sharded_mc, or "
+                            "sharded_analytic)"});
+  }
+
+  const std::string model =
+      config.get_string("drive.flash_model", "2ynm", diags);
+  if (model == "2ynm") {
+    drive->flash_model = FlashModel::k2ynm;
+  } else if (model == "3d") {
+    drive->flash_model = FlashModel::kEarly3d;
+  } else {
+    diags->push_back({0, "drive.flash_model",
+                      "unknown flash model '" + model +
+                          "' (expected 2ynm or 3d)"});
+  }
+
+  drive->shards = static_cast<std::uint32_t>(
+      get_u64_in(config, "drive.shards", drive->shards, 1, 1024, diags));
+  drive->queue_count = static_cast<std::uint32_t>(get_u64_in(
+      config, "drive.queue_count", drive->queue_count, 1, 65535, diags));
+  drive->blocks = static_cast<std::uint32_t>(
+      get_u64_in(config, "drive.blocks", drive->blocks, 1, 1u << 24, diags));
+
+  drive->pages_per_block = static_cast<std::uint32_t>(
+      get_u64_in(config, "drive.pages_per_block", drive->pages_per_block, 2,
+                 1u << 16, diags));
+  drive->overprovision = get_double_in(
+      config, "drive.overprovision", drive->overprovision, 0.0, 0.9, diags);
+  drive->gc_free_target = static_cast<std::uint32_t>(get_u64_in(
+      config, "drive.gc_free_target", drive->gc_free_target, 1, 1u << 16,
+      diags));
+  drive->refresh_interval_days =
+      get_double_in(config, "drive.refresh_interval_days",
+                    drive->refresh_interval_days, 0.25, 3650.0, diags);
+  drive->read_reclaim_threshold =
+      config.get_u64("drive.read_reclaim_threshold",
+                     drive->read_reclaim_threshold, diags);
+  drive->vpass_tuning =
+      config.get_bool("drive.vpass_tuning", drive->vpass_tuning, diags);
+
+  drive->wordlines_per_block = static_cast<std::uint32_t>(
+      get_u64_in(config, "drive.wordlines_per_block",
+                 drive->wordlines_per_block, 1, 1u << 16, diags));
+  drive->bitlines = static_cast<std::uint32_t>(get_u64_in(
+      config, "drive.bitlines", drive->bitlines, 1, 1u << 20, diags));
+  drive->pre_wear_pe =
+      config.get_u64("drive.pre_wear_pe", drive->pre_wear_pe, diags);
+
+  // Cross-field feasibility: GC can only ever reach gc_free_target free
+  // blocks if the overprovisioned slack exceeds it (with one block of
+  // headroom for the open block). A spec that violates this livelocks
+  // the FTL's garbage collector, so reject it here.
+  if (drive->is_analytic() &&
+      static_cast<double>(drive->blocks) * drive->overprovision <
+          static_cast<double>(drive->gc_free_target) + 2.0) {
+    std::ostringstream msg;
+    msg << "infeasible FTL: overprovisioned slack ("
+        << static_cast<double>(drive->blocks) * drive->overprovision
+        << " blocks) cannot sustain gc_free_target + 2 = "
+        << drive->gc_free_target + 2
+        << " free blocks; raise drive.overprovision or drive.blocks, or "
+           "lower drive.gc_free_target";
+    diags->push_back({0, "drive.gc_free_target", msg.str()});
+  }
+}
+
+void parse_workload(Config& config, WorkloadSpec* workload,
+                    std::vector<Diagnostic>* diags) {
+  workload::WorkloadProfile& p = workload->profile;
+  if (!config.has("workload.profile")) {
+    std::string names;
+    for (const auto& s : workload::standard_suite())
+      names += (names.empty() ? "" : ", ") + s.name;
+    diags->push_back({0, "workload.profile",
+                      "missing required key (one of: " + names + ")"});
+  } else {
+    const std::string name = config.get_string("workload.profile", "", diags);
+    bool found = false;
+    for (const auto& s : workload::standard_suite()) {
+      if (s.name == name) {
+        p = s;
+        found = true;
+        break;
+      }
+    }
+    if (!found)
+      diags->push_back(
+          {0, "workload.profile", "unknown workload profile '" + name + "'"});
+  }
+
+  // Overrides on top of the named profile; absent keys keep its values.
+  p.daily_page_ios = get_double_in(config, "workload.daily_page_ios",
+                                   p.daily_page_ios, 1.0, 1e12, diags);
+  p.read_fraction = get_double_in(config, "workload.read_fraction",
+                                  p.read_fraction, 0.0, 1.0, diags);
+  p.footprint_fraction =
+      get_double_in(config, "workload.footprint_fraction",
+                    p.footprint_fraction, 1e-6, 1.0, diags);
+  p.mean_request_pages = get_double_in(config, "workload.mean_request_pages",
+                                       p.mean_request_pages, 1.0, 4096.0,
+                                       diags);
+  p.trim_fraction = get_double_in(config, "workload.trim_fraction",
+                                  p.trim_fraction, 0.0, 1.0, diags);
+  p.flush_period_s = get_double_in(config, "workload.flush_period_s",
+                                   p.flush_period_s, 0.0, 86400.0, diags);
+}
+
+}  // namespace
+
+const char* backend_name(Backend backend) {
+  for (const BackendName& b : kBackends)
+    if (b.backend == backend) return b.name;
+  return "?";
+}
+
+bool backend_from_name(const std::string& name, Backend* out) {
+  for (const BackendName& b : kBackends) {
+    if (name == b.name) {
+      *out = b.backend;
+      return true;
+    }
+  }
+  return false;
+}
+
+ScenarioSpec parse_scenario(Config& config, std::vector<Diagnostic>* diags) {
+  ScenarioSpec spec;
+  spec.name = config.get_string("scenario.name", spec.name, diags);
+  spec.days = static_cast<int>(
+      get_u64_in(config, "scenario.days", static_cast<std::uint64_t>(spec.days),
+                 1, 36500, diags));
+  spec.queue_depth = static_cast<std::uint32_t>(get_u64_in(
+      config, "scenario.queue_depth", spec.queue_depth, 1, 65536, diags));
+  spec.warm_fill =
+      config.get_bool("scenario.warm_fill", spec.warm_fill, diags);
+  parse_drive(config, &spec.drive, diags);
+  parse_workload(config, &spec.workload, diags);
+  config.report_unknown(diags);
+  return spec;
+}
+
+}  // namespace rdsim::cfg

@@ -1,0 +1,98 @@
+// rdsim/cfg/spec.h
+//
+// The typed scenario schema over cfg::Config: DriveSpec (which backend,
+// its geometry and policy knobs), WorkloadSpec (a named trace profile
+// plus overrides), and ScenarioSpec (drive + workload + replay shape).
+// parse_scenario() maps a parsed Config onto the schema, validating as
+// it goes — enum values, ranges, required keys — and then flags every
+// key it did not consume as unknown. A spec that parses with zero
+// diagnostics is guaranteed constructible: host::make_device accepts any
+// valid DriveSpec and the scenario experiment any valid ScenarioSpec.
+//
+// The full key reference (every key, type, default, validation rule)
+// lives in docs/CONFIG.md; examples/configs/ holds runnable files.
+// Deliberately NOT in the schema: the seed (the CLI --seed governs all
+// randomness so one flag reruns a scenario on a fresh universe) and the
+// worker count (results never depend on it; --threads stays a pure
+// performance knob).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cfg/config.h"
+#include "workload/profiles.h"
+
+namespace rdsim::cfg {
+
+/// Which drive engine services the scenario's commands.
+enum class Backend {
+  kAnalytic,          ///< Serial ssd::Ssd (FTL + closed-form RBER).
+  kMcChip,            ///< Serial per-cell Monte Carlo chip.
+  kShardedMc,         ///< N Monte Carlo chips, RAID-0 striped.
+  kShardedAnalytic,   ///< N analytic drives, RAID-0 striped.
+};
+
+const char* backend_name(Backend backend);
+bool backend_from_name(const std::string& name, Backend* out);
+
+/// Flash reliability parameter set (flash::FlashModelParams preset).
+enum class FlashModel { k2ynm, kEarly3d };
+
+struct DriveSpec {
+  Backend backend = Backend::kAnalytic;
+  FlashModel flash_model = FlashModel::k2ynm;
+  std::uint32_t shards = 4;       ///< Sharded backends: stripe width.
+  std::uint32_t queue_count = 4;  ///< NVMe-style submission queues.
+
+  /// Shared geometry: blocks per drive (serial) or per shard (sharded).
+  std::uint32_t blocks = 2048;
+
+  // Analytic backends: FTL shape and mitigation policy.
+  std::uint32_t pages_per_block = 256;
+  double overprovision = 0.125;
+  std::uint32_t gc_free_target = 8;
+  double refresh_interval_days = 7.0;
+  std::uint64_t read_reclaim_threshold = 0;
+  bool vpass_tuning = true;
+
+  // Monte Carlo backends: chip geometry and characterization pre-aging.
+  std::uint32_t wordlines_per_block = 64;
+  std::uint32_t bitlines = 8192;
+  std::uint64_t pre_wear_pe = 0;  ///< P/E wear applied to every block
+                                  ///< before the replay starts.
+
+  bool is_sharded() const {
+    return backend == Backend::kShardedMc ||
+           backend == Backend::kShardedAnalytic;
+  }
+  bool is_analytic() const {
+    return backend == Backend::kAnalytic ||
+           backend == Backend::kShardedAnalytic;
+  }
+};
+
+struct WorkloadSpec {
+  /// The resolved profile: the named standard_suite() entry with any
+  /// config overrides (daily_page_ios, trim_fraction, ...) applied.
+  workload::WorkloadProfile profile;
+};
+
+struct ScenarioSpec {
+  std::string name = "scenario";
+  int days = 2;                   ///< Simulated days to replay.
+  std::uint32_t queue_depth = 4;  ///< Closed-loop outstanding commands.
+  bool warm_fill = true;          ///< Pre-fill the FTL before measuring
+                                  ///< (analytic backends only).
+  DriveSpec drive;
+  WorkloadSpec workload;
+};
+
+/// Parses and validates a scenario from `config`, consuming every key it
+/// understands and reporting the rest as unknown. Appends all problems
+/// to `diags`; the returned spec is only meaningful when no diagnostics
+/// were added (callers check diags->empty()).
+ScenarioSpec parse_scenario(Config& config, std::vector<Diagnostic>* diags);
+
+}  // namespace rdsim::cfg

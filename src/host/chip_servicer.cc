@@ -12,6 +12,18 @@ ChipServicer::ChipServicer(const nand::Geometry& geometry,
     chip_.block(b).program_random();
 }
 
+ServiceCost ChipServicer::service(const Command& command) {
+  ServiceCost cost;
+  const std::uint64_t logical = logical_pages();
+  for (std::uint32_t i = 0; i < command.pages; ++i) {
+    const ServiceCost page =
+        service_page(command.kind, (command.lpn + i) % logical);
+    cost.busy_s += page.busy_s;
+    cost.stall_s += page.stall_s;
+  }
+  return cost;
+}
+
 nand::PageAddress ChipServicer::page_address(std::uint64_t lpn,
                                              std::uint32_t* block) const {
   const std::uint32_t ppb = chip_.geometry().pages_per_block();

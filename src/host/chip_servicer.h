@@ -1,9 +1,10 @@
 // rdsim/host/chip_servicer.h
 //
-// ChipServicer: the Monte-Carlo data-movement engine behind one
-// nand::Chip, shared by the single-chip McChipDevice backend and by each
-// shard of ShardedDevice — so the physics a queued read or write performs
-// (and its cost accounting) exists exactly once, and a one-shard
+// ChipServicer: the Monte-Carlo implementation of the host::Servicer
+// shard slot — the data-movement engine behind one nand::Chip, shared by
+// the single-chip McChipDevice backend and by each shard of
+// ShardedDevice — so the physics a queued read or write performs (and
+// its cost accounting) exists exactly once, and a one-shard
 // ShardedDevice is the single-chip device by construction.
 //
 // Logical layout: lpn -> (block = lpn / pages_per_block, then LSB/MSB
@@ -26,11 +27,12 @@
 #include <vector>
 
 #include "host/command.h"
+#include "host/servicer.h"
 #include "nand/chip.h"
 
 namespace rdsim::host {
 
-class ChipServicer {
+class ChipServicer : public Servicer {
  public:
   ChipServicer(const nand::Geometry& geometry,
                const flash::FlashModelParams& params, std::uint64_t seed,
@@ -38,12 +40,18 @@ class ChipServicer {
 
   nand::Chip& chip() { return chip_; }
   const nand::Chip& chip() const { return chip_; }
+  nand::Chip* mc_chip() override { return &chip_; }
 
   /// Pages this chip exports (blocks * pages_per_block).
-  std::uint64_t logical_pages() const {
+  std::uint64_t logical_pages() const override {
     return static_cast<std::uint64_t>(chip_.geometry().blocks) *
            chip_.geometry().pages_per_block();
   }
+
+  /// Services one local command: each page of the range (wrapped modulo
+  /// logical_pages()) through service_page, costs accumulated in range
+  /// order — the Servicer contract.
+  ServiceCost service(const Command& command) override;
 
   /// Services one page of a command on this chip. `lpn` must be local to
   /// the chip (callers wrap / de-stripe first). Reads sense real cells
@@ -52,16 +60,20 @@ class ChipServicer {
   /// metadata-only on a raw chip. Returns the page's cost contribution.
   ServiceCost service_page(CommandKind kind, std::uint64_t lpn);
 
-  /// One simulated day on a raw chip is pure retention aging.
-  void advance_day() { chip_.advance_time(1.0); }
+  /// One simulated day on a raw chip is pure retention aging, which
+  /// costs no flash busy time.
+  double end_of_day() override {
+    chip_.advance_time(1.0);
+    return 0.0;
+  }
 
   /// Cumulative raw bit errors observed by queued reads (the host-visible
   /// symptom ECC has to absorb).
-  std::uint64_t read_bit_errors() const { return read_bit_errors_; }
+  std::uint64_t read_bit_errors() const override { return read_bit_errors_; }
   /// Queued page reads / writes serviced, and blocks turned over.
-  std::uint64_t pages_read() const { return pages_read_; }
-  std::uint64_t pages_written() const { return pages_written_; }
-  std::uint64_t block_rewrites() const { return block_rewrites_; }
+  std::uint64_t pages_read() const override { return pages_read_; }
+  std::uint64_t pages_written() const override { return pages_written_; }
+  std::uint64_t block_rewrites() const override { return block_rewrites_; }
 
  private:
   nand::PageAddress page_address(std::uint64_t lpn, std::uint32_t* block)

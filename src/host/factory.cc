@@ -1,0 +1,91 @@
+#include "host/factory.h"
+
+#include <utility>
+#include <vector>
+
+#include "flash/params.h"
+#include "host/mc_chip_device.h"
+#include "host/sharded_device.h"
+#include "host/ssd_device.h"
+#include "host/ssd_servicer.h"
+#include "nand/chip.h"
+
+namespace rdsim::host {
+
+namespace {
+
+flash::FlashModelParams flash_params(const cfg::DriveSpec& spec) {
+  return spec.flash_model == cfg::FlashModel::k2ynm
+             ? flash::FlashModelParams::default_2ynm()
+             : flash::FlashModelParams::early_3d_nand();
+}
+
+ssd::SsdConfig ssd_config(const cfg::DriveSpec& spec) {
+  ssd::SsdConfig config;
+  config.ftl.blocks = spec.blocks;
+  config.ftl.pages_per_block = spec.pages_per_block;
+  config.ftl.overprovision = spec.overprovision;
+  config.ftl.gc_free_target = spec.gc_free_target;
+  config.ftl.refresh_interval_days = spec.refresh_interval_days;
+  config.ftl.read_reclaim_threshold = spec.read_reclaim_threshold;
+  config.vpass_tuning = spec.vpass_tuning;
+  return config;
+}
+
+nand::Geometry chip_geometry(const cfg::DriveSpec& spec) {
+  nand::Geometry geometry;
+  geometry.wordlines_per_block = spec.wordlines_per_block;
+  geometry.bitlines = spec.bitlines;
+  geometry.blocks = spec.blocks;
+  return geometry;
+}
+
+/// Characterization pre-aging, in the order fig_qos_mc established:
+/// heavy P/E wear then fresh random data, block by block
+/// (O(bookkeeping) under lazy cell materialization).
+void pre_wear(nand::Chip& chip, std::uint64_t pe) {
+  for (std::size_t b = 0; b < chip.block_count(); ++b) {
+    chip.block(b).erase();
+    chip.block(b).add_wear(static_cast<std::uint32_t>(pe));
+    chip.block(b).program_random();
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<Device> make_device(const cfg::DriveSpec& spec,
+                                    std::uint64_t seed, int workers) {
+  const flash::FlashModelParams params = flash_params(spec);
+  switch (spec.backend) {
+    case cfg::Backend::kAnalytic:
+      return std::make_unique<SsdDevice>(ssd_config(spec), params, seed,
+                                         spec.queue_count);
+    case cfg::Backend::kMcChip: {
+      auto device = std::make_unique<McChipDevice>(
+          chip_geometry(spec), params, seed, spec.queue_count);
+      if (spec.pre_wear_pe > 0) pre_wear(device->chip(), spec.pre_wear_pe);
+      return device;
+    }
+    case cfg::Backend::kShardedMc: {
+      auto device = std::make_unique<ShardedDevice>(
+          chip_geometry(spec), params, seed, spec.shards, workers,
+          spec.queue_count);
+      if (spec.pre_wear_pe > 0)
+        for (std::uint32_t s = 0; s < device->shard_count(); ++s)
+          pre_wear(device->shard_chip(s), spec.pre_wear_pe);
+      return device;
+    }
+    case cfg::Backend::kShardedAnalytic: {
+      std::vector<std::unique_ptr<Servicer>> shards;
+      shards.reserve(spec.shards);
+      for (std::uint32_t s = 0; s < spec.shards; ++s)
+        shards.push_back(std::make_unique<SsdServicer>(
+            ssd_config(spec), params, ShardedDevice::shard_seed(seed, s)));
+      return std::make_unique<ShardedDevice>(std::move(shards), workers,
+                                             spec.queue_count);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace rdsim::host

@@ -1,0 +1,31 @@
+// rdsim/host/factory.h
+//
+// host::make_device: the one place a cfg::DriveSpec becomes a live
+// host::Device. All four backends come out of the same call — serial
+// analytic (SsdDevice), serial Monte Carlo (McChipDevice), sharded
+// Monte Carlo, and sharded analytic (ShardedDevice over ChipServicer /
+// SsdServicer shards) — so experiments, the generic scenario runner,
+// and tests share one bring-up path. fig_qos and fig_qos_mc build their
+// drives through this factory; the golden CRCs pin that the spec-built
+// devices are bit-identical to the historical hand-built ones.
+//
+// `seed` is the drive seed (sharded backends derive shard s's seed as
+// ShardedDevice::shard_seed(seed, s)); `workers` sizes the sharded
+// service pool and never affects results — serial backends ignore it.
+// Monte Carlo pre-aging (spec.pre_wear_pe) is applied here, in the
+// characterization order fig_qos_mc established: per shard, per block —
+// erase, add_wear, program_random.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cfg/spec.h"
+#include "host/device.h"
+
+namespace rdsim::host {
+
+std::unique_ptr<Device> make_device(const cfg::DriveSpec& spec,
+                                    std::uint64_t seed, int workers = 1);
+
+}  // namespace rdsim::host

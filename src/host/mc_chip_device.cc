@@ -10,20 +10,9 @@ McChipDevice::McChipDevice(const nand::Geometry& geometry,
       servicer_(geometry, params, seed, latency) {}
 
 ServiceCost McChipDevice::do_service(const Command& command) {
-  ServiceCost cost;
-  const std::uint64_t logical = logical_pages();
-  for (std::uint32_t i = 0; i < command.pages; ++i) {
-    const ServiceCost page =
-        servicer_.service_page(command.kind, (command.lpn + i) % logical);
-    cost.busy_s += page.busy_s;
-    cost.stall_s += page.stall_s;
-  }
-  return cost;
+  return servicer_.service(command);
 }
 
-double McChipDevice::do_end_of_day() {
-  servicer_.advance_day();
-  return 0.0;
-}
+double McChipDevice::do_end_of_day() { return servicer_.end_of_day(); }
 
 }  // namespace rdsim::host

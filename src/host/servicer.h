@@ -1,0 +1,73 @@
+// rdsim/host/servicer.h
+//
+// Servicer: the backend slot of host::ShardedDevice. One Servicer is one
+// shard's drive engine — it performs the data movement of commands whose
+// lpn ranges are local to the shard and reports each command's
+// ServiceCost; the device owns scheduling (one FlashTimeline per shard),
+// stall attribution, and the deterministic merge of the per-shard
+// completion records.
+//
+// Two implementations exist: ChipServicer (chip_servicer.h), the
+// Monte-Carlo per-cell engine over one nand::Chip, and SsdServicer
+// (ssd_servicer.h), the analytic whole-drive engine over one ssd::Ssd —
+// so the same RAID-0 N-way scaling serves both fidelities. The contract
+// either must honor:
+//
+//   * service() iterates the command's pages in ascending range order,
+//     wrapping each page modulo logical_pages() (the caller de-stripes a
+//     global command into one contiguous local range per shard, so a
+//     one-shard device receives the global command verbatim and is the
+//     serial single-backend device by construction).
+//   * service() is deterministic: simulated clocks and seeded RNG only,
+//     so the merged completion log stays a pure function of the
+//     submission stream for any worker count.
+//   * end_of_day() runs the backend's nightly maintenance and returns
+//     the flash busy seconds it consumed; the device reserves the
+//     shard's timeline for them (0.0 = maintenance costs no flash time,
+//     e.g. pure retention aging on a raw chip).
+#pragma once
+
+#include <cstdint>
+
+#include "host/command.h"
+
+namespace rdsim::nand {
+class Chip;
+}  // namespace rdsim::nand
+
+namespace rdsim::host {
+
+class Servicer {
+ public:
+  virtual ~Servicer() = default;
+
+  /// Logical pages this shard exports.
+  virtual std::uint64_t logical_pages() const = 0;
+
+  /// Performs the data movement of one command local to this shard (lpn
+  /// wrapped modulo logical_pages(), pages iterated in order) and returns
+  /// its flash cost. Flush never reaches a Servicer — barrier semantics
+  /// live in the device layer.
+  virtual ServiceCost service(const Command& command) = 0;
+
+  /// Nightly maintenance; returns the flash busy seconds it consumed so
+  /// the device can reserve the shard's timeline.
+  virtual double end_of_day() = 0;
+
+  // Observability counters for per-shard attribution rows. Semantics per
+  // backend: on the MC chip, read_bit_errors counts raw sensed bit errors
+  // and block_rewrites counts log-structured turnover erases; on the
+  // analytic drive, read_bit_errors is 0 (errors are closed-form rates,
+  // not sensed bits) and block_rewrites counts FTL erases (GC + refresh +
+  // reclaim).
+  virtual std::uint64_t pages_read() const = 0;
+  virtual std::uint64_t pages_written() const = 0;
+  virtual std::uint64_t read_bit_errors() const { return 0; }
+  virtual std::uint64_t block_rewrites() const { return 0; }
+
+  /// The underlying Monte Carlo chip for characterization-level setup
+  /// (pre-wear, retention aging) — nullptr on backends without one.
+  virtual nand::Chip* mc_chip() { return nullptr; }
+};
+
+}  // namespace rdsim::host

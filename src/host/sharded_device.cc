@@ -4,8 +4,17 @@
 #include <limits>
 
 #include "common/rng.h"
+#include "host/chip_servicer.h"
 
 namespace rdsim::host {
+
+ShardedDevice::ShardedDevice(std::vector<std::unique_ptr<Servicer>> shards,
+                             int workers, std::uint32_t queue_count)
+    : Device(queue_count), pool_(workers) {
+  shards_.resize(shards.size());
+  for (std::size_t s = 0; s < shards.size(); ++s)
+    shards_[s].servicer = std::move(shards[s]);
+}
 
 ShardedDevice::ShardedDevice(const nand::Geometry& shard_geometry,
                              const flash::FlashModelParams& params,
@@ -104,19 +113,24 @@ void ShardedDevice::service_segment(const std::vector<Submitted>& pending,
       const Command& cmd = pending[begin + k].command;
       ServiceCost cost;
       bool touched = false;
+      const std::uint64_t wrapped = cmd.lpn % logical;
       if (cmd.pages == 0) {
         // Degenerate range: schedule a zero-cost record on the owning
         // shard so the command still completes exactly once.
-        touched = shard_of(cmd.lpn % logical) == s;
+        touched = shard_of(wrapped) == s;
       } else {
-        for (std::uint32_t p = 0; p < cmd.pages; ++p) {
-          const std::uint64_t lpn = (cmd.lpn + p) % logical;
-          if (shard_of(lpn) != s) continue;
+        // De-stripe: this shard's pages of the range are global offsets
+        // k0, k0 + shard_n, ... — one contiguous run in local space
+        // (each step is one local page), so the whole landing is a
+        // single local sub-command the servicer wraps internally.
+        const std::uint64_t k0 = (s + shard_n - wrapped % shard_n) % shard_n;
+        if (k0 < cmd.pages) {
           touched = true;
-          const ServiceCost page =
-              shard.servicer->service_page(cmd.kind, local_lpn(lpn));
-          cost.busy_s += page.busy_s;
-          cost.stall_s += page.stall_s;
+          Command local = cmd;
+          local.lpn = local_lpn((wrapped + k0) % logical);
+          local.pages = static_cast<std::uint32_t>(
+              (cmd.pages - k0 + shard_n - 1) / shard_n);
+          cost = shard.servicer->service(local);
         }
       }
       if (!touched) continue;
@@ -199,7 +213,13 @@ void ShardedDevice::reset_stats() {
 }
 
 void ShardedDevice::run_end_of_day() {
-  for (Shard& shard : shards_) shard.servicer->advance_day();
+  // Same contract as SerialDevice::run_end_of_day, per shard: whatever
+  // flash busy time the nightly maintenance consumed occupies the next
+  // free window of that shard's timeline.
+  for (Shard& shard : shards_) {
+    const double busy = shard.servicer->end_of_day();
+    if (busy > 0.0) shard.timeline.reserve_next(busy);
+  }
 }
 
 }  // namespace rdsim::host

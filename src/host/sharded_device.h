@@ -1,17 +1,24 @@
 // rdsim/host/sharded_device.h
 //
 // host::ShardedDevice: a queued-device backend that stripes the logical
-// page space across N per-worker Monte Carlo chips (one nand::Chip +
-// one FlashTimeline per shard) and services the shards concurrently on a
+// page space across N backend shards (one host::Servicer + one
+// FlashTimeline per shard) and services the shards concurrently on a
 // common/thread_pool.h ThreadPool — the drive-scale counterpart of the
-// single-chip McChipDevice, and the host-layer instantiation of the same
-// determinism contract sim::ExperimentRunner gives the experiments.
+// serial single-backend devices, and the host-layer instantiation of the
+// same determinism contract sim::ExperimentRunner gives the experiments.
+// The shard slot is the Servicer interface (servicer.h): Monte Carlo
+// chips (ChipServicer) and analytic drives (SsdServicer) get the same
+// RAID-0 N-way scaling.
 //
 // Striping. Global lpn L (wrapped modulo logical_pages()) lives on shard
 // L % shards at shard-local lpn L / shards — RAID-0 page striping, so a
-// sequential multi-page command fans its pages out across chips and hot
-// ranges spread evenly. Within its shard a page maps exactly like the
-// single-chip device (block = local lpn / pages_per_block, LSB/MSB
+// sequential multi-page command fans its pages out across shards and hot
+// ranges spread evenly. The pages of one command landing on one shard
+// are a single contiguous run in that shard's local space (consecutive
+// matching global pages differ by `shards`, i.e. by one local page), so
+// the device hands each shard exactly one de-striped local sub-command;
+// within its shard a page maps exactly like the corresponding serial
+// device (for a chip: block = local lpn / pages_per_block, LSB/MSB
 // interleaved along the wordlines; see chip_servicer.h).
 //
 // Scheduling. Each shard owns an independent flash timeline: a command's
@@ -47,16 +54,25 @@
 #include <vector>
 
 #include "common/thread_pool.h"
-#include "host/chip_servicer.h"
+#include "flash/params.h"
 #include "host/device.h"
+#include "host/servicer.h"
+#include "nand/geometry.h"
 
 namespace rdsim::host {
 
 class ShardedDevice : public Device {
  public:
-  /// `shard_geometry` is the geometry of EACH shard's chip (the device
-  /// exports shards * blocks * pages_per_block logical pages). `workers`
-  /// sizes the service pool; results never depend on it.
+  /// Generic form: one Servicer per shard (all exporting the same local
+  /// page count), serviced on a `workers`-wide pool; results never
+  /// depend on the worker count.
+  ShardedDevice(std::vector<std::unique_ptr<Servicer>> shards,
+                int workers = 1, std::uint32_t queue_count = 1);
+
+  /// Monte-Carlo convenience form: `shard_geometry` is the geometry of
+  /// EACH shard's chip (the device exports shards * blocks *
+  /// pages_per_block logical pages), shard s's chip seeded with
+  /// shard_seed(seed, s).
   ShardedDevice(const nand::Geometry& shard_geometry,
                 const flash::FlashModelParams& params, std::uint64_t seed,
                 std::uint32_t shards, int workers = 1,
@@ -85,13 +101,21 @@ class ShardedDevice : public Device {
   /// ShardedDevice is a McChipDevice with shard_seed(seed, 0).
   static std::uint64_t shard_seed(std::uint64_t seed, std::uint32_t shard);
 
-  /// Shard `shard`'s chip, for characterization-level setup (pre-wear,
-  /// retention aging) between queued operations.
-  nand::Chip& shard_chip(std::uint32_t shard) {
-    return shards_[shard].servicer->chip();
+  /// Shard `shard`'s backend engine, for backend-specific setup and
+  /// statistics (tests and the device factory downcast to the concrete
+  /// Servicer they constructed).
+  Servicer& shard_servicer(std::uint32_t shard) {
+    return *shards_[shard].servicer;
   }
-  const nand::Chip& shard_chip(std::uint32_t shard) const {
-    return shards_[shard].servicer->chip();
+  const Servicer& shard_servicer(std::uint32_t shard) const {
+    return *shards_[shard].servicer;
+  }
+
+  /// Shard `shard`'s chip, for characterization-level setup (pre-wear,
+  /// retention aging) between queued operations. Monte-Carlo shards
+  /// only — analytic shards have no chip.
+  nand::Chip& shard_chip(std::uint32_t shard) {
+    return *shards_[shard].servicer->mc_chip();
   }
 
   /// Per-shard attributed stall ledger: every stall second a completion
@@ -129,7 +153,7 @@ class ShardedDevice : public Device {
 
  private:
   struct Shard {
-    std::unique_ptr<ChipServicer> servicer;
+    std::unique_ptr<Servicer> servicer;
     FlashTimeline timeline;
     double stall_seconds = 0.0;
   };

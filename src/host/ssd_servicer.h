@@ -1,0 +1,62 @@
+// rdsim/host/ssd_servicer.h
+//
+// SsdServicer: the analytic implementation of the host::Servicer shard
+// slot — one ssd::Ssd (FTL + closed-form RBER + the paper's maintenance
+// loop) behind the shard interface, so host::ShardedDevice stripes the
+// logical page space RAID-0 over N independent analytic drives exactly
+// as it stripes over N Monte Carlo chips. Each shard runs its own FTL,
+// garbage collection, refresh, and Vpass tuning over its slice of the
+// space; the nightly maintenance's flash busy seconds are returned so
+// the device reserves the shard's timeline for them, the same contract
+// SerialDevice applies to the single-drive SsdDevice.
+//
+// A one-shard sharded analytic drive is therefore the serial SsdDevice
+// by construction: the de-striped local command is the global command
+// verbatim and ssd::Ssd::service performs the identical page loop —
+// tests/test_sharded_analytic.cc pins the completion logs byte-for-byte.
+#pragma once
+
+#include <cstdint>
+
+#include "host/servicer.h"
+#include "ssd/ssd.h"
+
+namespace rdsim::host {
+
+class SsdServicer : public Servicer {
+ public:
+  SsdServicer(const ssd::SsdConfig& config,
+              const flash::FlashModelParams& params, std::uint64_t seed)
+      : ssd_(config, params, seed) {}
+
+  ssd::Ssd& ssd() { return ssd_; }
+  const ssd::Ssd& ssd() const { return ssd_; }
+
+  std::uint64_t logical_pages() const override {
+    return ssd_.ftl().config().logical_pages();
+  }
+
+  ServiceCost service(const Command& command) override {
+    return ssd_.service(command);
+  }
+
+  double end_of_day() override { return ssd_.end_of_day(); }
+
+  std::uint64_t pages_read() const override {
+    return ssd_.ftl().stats().host_reads;
+  }
+  std::uint64_t pages_written() const override {
+    return ssd_.ftl().stats().host_writes;
+  }
+  /// FTL erases (GC + refresh + reclaim) — the analytic counterpart of
+  /// the MC chip's log-structured turnover count.
+  std::uint64_t block_rewrites() const override {
+    const auto& fs = ssd_.ftl().stats();
+    return fs.gc_erases + fs.refreshes + fs.reclaims;
+  }
+
+ private:
+  ssd::Ssd ssd_;
+};
+
+}  // namespace rdsim::host

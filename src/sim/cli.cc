@@ -89,6 +89,12 @@ CliOptions parse_cli(int argc, char** argv, bool allow_experiment) {
       options.csv_requested = true;
       // Optional value: consume the next argument unless it is a flag.
       if (i + 1 < argc && argv[i + 1][0] != '-') options.csv_path = argv[++i];
+    } else if (take_value(argc, argv, i, "--config", value, options)) {
+      if (options.error.empty()) options.config.scenario_config = value;
+    } else if (take_value(argc, argv, i, "--profile", value, options)) {
+      if (options.error.empty()) options.config.scenario_profile = value;
+    } else if (arg == "--list-profiles") {
+      options.list_profiles = true;
     } else if (arg == "--no-file") {
       options.no_file = true;
     } else if (arg == "--quiet") {
@@ -120,6 +126,12 @@ const char* cli_flag_help() {
       "  --quiet         suppress the stdout table\n"
       "  --tiny          tiny chip geometry + 0.02 scale (fast smoke run)\n"
       "  --scale X       volume multiplier for SSD/DRAM experiments\n"
+      "  --config PATH   scenario config file for the `scenario`\n"
+      "                  experiment (see docs/CONFIG.md); a bad config\n"
+      "                  exits non-zero listing every problem by key\n"
+      "  --profile NAME  built-in scenario profile (see --list-profiles);\n"
+      "                  --config wins when both are given\n"
+      "  --list-profiles list the built-in scenario profiles\n"
       "  --help          this text\n";
 }
 

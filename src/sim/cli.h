@@ -24,6 +24,7 @@ struct CliOptions {
   bool no_file = false;        ///< --no-file: stdout only.
   bool quiet = false;          ///< --quiet: suppress the stdout table.
   bool list = false;           ///< --list: print the experiment registry.
+  bool list_profiles = false;  ///< --list-profiles: built-in scenarios.
   bool help = false;           ///< --help.
   bool scale_set = false;      ///< An explicit --scale overrides --tiny.
   std::string error;           ///< Non-empty on a parse failure.

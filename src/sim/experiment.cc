@@ -41,6 +41,9 @@ const std::vector<ExperimentInfo>& experiments() {
       {"fig_qos_mc",
        "Drive-scale read QoS on the sharded Monte Carlo backend",
        run_fig_qos_mc},
+      {"scenario",
+       "Config-driven drive replay (--config FILE or --profile NAME)",
+       run_scenario},
   };
   return kExperiments;
 }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -29,6 +30,11 @@ struct ExperimentConfig {
   /// geometry: SSD trace sizes, DRAM rows-per-module, day counts. 1.0
   /// reproduces the paper-scale experiment; tests run ~0.01.
   double scale = 1.0;
+  /// Inputs for the generic `scenario` experiment (CLI --config /
+  /// --profile). A config file wins over a profile name; both empty runs
+  /// the default built-in profile (cfg::builtin_profiles().front()).
+  std::string scenario_config;
+  std::string scenario_profile;
 };
 
 class ExperimentContext {
@@ -39,6 +45,12 @@ class ExperimentContext {
   std::uint64_t seed() const { return config_.seed; }
   const nand::Geometry& geometry() const { return config_.geometry; }
   double scale() const { return config_.scale; }
+  const std::string& scenario_config() const {
+    return config_.scenario_config;
+  }
+  const std::string& scenario_profile() const {
+    return config_.scenario_profile;
+  }
   ExperimentRunner& runner() { return *runner_; }
 
   /// `count` scaled by the volume knob, kept >= `floor`.

@@ -1,0 +1,156 @@
+// The generic `scenario` experiment: replay any cfg::ScenarioSpec —
+// a config file (--config), a built-in profile (--profile), or the
+// default profile — against the factory-built drive it describes, and
+// report the QoS summary fig_qos established plus per-shard attribution
+// when the drive is sharded. This is the config-driven front door: the
+// experiment itself contains no bring-up code, only spec resolution,
+// volume scaling, and the replay loop, so every backend the factory can
+// build is runnable from a text file without recompiling.
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cfg/config.h"
+#include "cfg/profiles.h"
+#include "cfg/spec.h"
+#include "host/driver.h"
+#include "host/factory.h"
+#include "host/sharded_device.h"
+#include "sim/experiments.h"
+#include "workload/generator.h"
+
+namespace rdsim::sim {
+
+namespace {
+
+/// Resolves the scenario the context asks for. Invalid configs throw —
+/// the driver prints the message and exits non-zero, so a typo'd key
+/// never produces a silently-default run.
+cfg::ScenarioSpec resolve_scenario(ExperimentContext& ctx) {
+  if (!ctx.scenario_config().empty()) {
+    std::vector<cfg::Diagnostic> diags;
+    cfg::Config config = cfg::Config::parse_file(ctx.scenario_config(), &diags);
+    cfg::ScenarioSpec spec;
+    if (diags.empty()) spec = cfg::parse_scenario(config, &diags);
+    if (!diags.empty())
+      throw std::runtime_error("invalid scenario config '" +
+                               ctx.scenario_config() + "':\n" +
+                               cfg::format_diagnostics(diags));
+    return spec;
+  }
+  const std::string name = ctx.scenario_profile().empty()
+                               ? cfg::builtin_profiles().front().name
+                               : ctx.scenario_profile();
+  const cfg::Profile* profile = cfg::find_profile(name);
+  if (profile == nullptr)
+    throw std::runtime_error("unknown scenario profile '" + name +
+                             "' (see rdsim --list-profiles)");
+  return profile->spec;
+}
+
+/// Shrinks the spec's volume knobs by the context scale the same way
+/// fig_qos/fig_qos_mc do, so `--tiny` smoke runs and the golden CRCs
+/// stay fast while `--scale 1` replays the spec verbatim.
+void apply_scale(ExperimentContext& ctx, cfg::ScenarioSpec* spec) {
+  if (ctx.scale() >= 1.0) return;
+  cfg::DriveSpec& drive = spec->drive;
+  // Analytic floor keeps the FTL feasible after shrinking: GC needs the
+  // overprovisioned slack to cover gc_free_target + 2 whole blocks or it
+  // livelocks (the same invariant parse_scenario validates unscaled).
+  const std::uint32_t floor =
+      drive.is_analytic()
+          ? static_cast<std::uint32_t>(
+                std::ceil((static_cast<double>(drive.gc_free_target) + 2.0) /
+                          std::max(drive.overprovision, 0.01)))
+          : 2;
+  const double scaled = static_cast<double>(drive.blocks) * ctx.scale();
+  drive.blocks =
+      scaled < floor ? floor : static_cast<std::uint32_t>(scaled);
+  workload::WorkloadProfile& w = spec->workload.profile;
+  w.daily_page_ios = ctx.scaled(w.daily_page_ios, 4000.0);
+}
+
+}  // namespace
+
+Table run_scenario(ExperimentContext& ctx) {
+  cfg::ScenarioSpec spec = resolve_scenario(ctx);
+  apply_scale(ctx, &spec);
+
+  // Same seed-derivation scheme as fig08/fig_qos: one drive seed and one
+  // trace seed, offset so seeds near the default move continuously.
+  const std::uint64_t drive_seed = 17 + (ctx.seed() - 42);
+  const std::uint64_t trace_seed = 7531 + (ctx.seed() - 42);
+  const int workers = ctx.runner().thread_count();
+
+  std::unique_ptr<host::Device> device =
+      host::make_device(spec.drive, drive_seed, workers);
+  if (spec.warm_fill && spec.drive.is_analytic()) host::warm_fill(*device);
+
+  workload::TraceGenerator gen(spec.workload.profile,
+                               device->logical_pages(), trace_seed,
+                               device->queue_count());
+  host::ClosedLoopDriver driver(*device, static_cast<int>(spec.queue_depth));
+  for (int day = 0; day < spec.days; ++day) {
+    driver.run(gen.day_commands());
+    device->end_of_day();
+  }
+
+  const host::CompletionStats& stats = device->stats();
+  const auto us = [](double seconds) { return seconds * 1e6; };
+  using host::CommandKind;
+  double latency_sum_s = 0.0;
+  for (const CommandKind k :
+       {CommandKind::kRead, CommandKind::kWrite, CommandKind::kTrim,
+        CommandKind::kFlush})
+    latency_sum_s +=
+        stats.mean_latency_s(k) * static_cast<double>(stats.commands(k));
+  const double stall_pct =
+      latency_sum_s <= 0.0 ? 0.0
+                           : stats.stall_seconds() / latency_sum_s * 100.0;
+
+  Table table;
+  table.comment("scenario '" + spec.name + "': " +
+                cfg::backend_name(spec.drive.backend) + " drive, workload " +
+                spec.workload.profile.name + ", " +
+                std::to_string(spec.days) + " day(s), queue depth " +
+                std::to_string(spec.queue_depth));
+  table.row(
+      "backend,shards,days,queue_depth,reads,writes,trims,flushes,iops,"
+      "read_mean_us,read_p50_us,read_p99_us,read_p999_us,stall_pct");
+  const bool sharded = spec.drive.is_sharded();
+  table.row(strf(
+      "%s,%u,%d,%u,%llu,%llu,%llu,%llu,%.0f,%.1f,%.1f,%.1f,%.1f,%.1f",
+      cfg::backend_name(spec.drive.backend),
+      sharded ? spec.drive.shards : 1, spec.days, spec.queue_depth,
+      static_cast<unsigned long long>(stats.commands(CommandKind::kRead)),
+      static_cast<unsigned long long>(stats.commands(CommandKind::kWrite)),
+      static_cast<unsigned long long>(stats.commands(CommandKind::kTrim)),
+      static_cast<unsigned long long>(stats.commands(CommandKind::kFlush)),
+      stats.iops(), us(stats.mean_latency_s(CommandKind::kRead)),
+      us(stats.latency_quantile_s(CommandKind::kRead, 0.50)),
+      us(stats.latency_quantile_s(CommandKind::kRead, 0.99)),
+      us(stats.latency_quantile_s(CommandKind::kRead, 0.999)), stall_pct));
+
+  if (sharded) {
+    const auto& dev = static_cast<const host::ShardedDevice&>(*device);
+    table.new_section();
+    table.comment(
+        "Per-shard attribution (pages serviced and stall seconds booked "
+        "to each shard's timeline; stall sums to the device total)");
+    table.row("shard,pages_read,pages_written,read_bit_errors,stall_s");
+    for (std::uint32_t s = 0; s < dev.shard_count(); ++s) {
+      const host::Servicer& servicer = dev.shard_servicer(s);
+      table.row(strf(
+          "%u,%llu,%llu,%llu,%.6g", s,
+          static_cast<unsigned long long>(servicer.pages_read()),
+          static_cast<unsigned long long>(servicer.pages_written()),
+          static_cast<unsigned long long>(servicer.read_bit_errors()),
+          dev.shard_stall_seconds(s)));
+    }
+  }
+  return table;
+}
+
+}  // namespace rdsim::sim

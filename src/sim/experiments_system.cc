@@ -9,13 +9,16 @@
 #include <string>
 #include <vector>
 
+#include "cfg/spec.h"
 #include "core/endurance.h"
 #include "dram/rowhammer.h"
 #include "ecc/ecc_model.h"
 #include "flash/rber_model.h"
 #include "host/driver.h"
+#include "host/factory.h"
 #include "host/sharded_device.h"
 #include "host/ssd_device.h"
+#include "nand/chip.h"
 #include "sim/experiments.h"
 #include "ssd/ssd.h"
 #include "workload/generator.h"
@@ -104,8 +107,8 @@ Table run_fig_qos(ExperimentContext& ctx) {
   // 4 submission queues; the same command stream — including trims and
   // flushes — is replayed against each policy, so differences come from
   // the background work each policy induces (reclaim churn, tuning
-  // probes), not from sampling.
-  const auto params = flash::FlashModelParams::default_2ynm();
+  // probes), not from sampling. The drive comes out of host::make_device
+  // (the flash model defaults to the paper's 2y-nm parameters there).
   const bool full_scale = ctx.scale() >= 1.0;
   const int days = full_scale ? 3 : 2;
 
@@ -147,15 +150,18 @@ Table run_fig_qos(ExperimentContext& ctx) {
         const Policy& policy = policies[combo / kDepths];
         const int depth = depths[combo % kDepths];
 
-        ssd::SsdConfig config;
-        config.ftl.blocks = full_scale ? 512 : 64;
-        config.ftl.pages_per_block = full_scale ? 128 : 32;
-        config.ftl.overprovision = 0.2;
-        config.ftl.gc_free_target = 4;
-        config.vpass_tuning = policy.tuning;
-        config.ftl.read_reclaim_threshold = policy.reclaim;
-        host::SsdDevice device(config, params, drive_seed,
-                               /*queue_count=*/4);
+        cfg::DriveSpec drive;
+        drive.backend = cfg::Backend::kAnalytic;
+        drive.blocks = full_scale ? 512 : 64;
+        drive.pages_per_block = full_scale ? 128 : 32;
+        drive.overprovision = 0.2;
+        drive.gc_free_target = 4;
+        drive.vpass_tuning = policy.tuning;
+        drive.read_reclaim_threshold = policy.reclaim;
+        drive.queue_count = 4;
+        const std::unique_ptr<host::Device> device_ptr =
+            host::make_device(drive, drive_seed);
+        host::Device& device = *device_ptr;
         host::warm_fill(device);
 
         workload::TraceGenerator gen(profile, device.logical_pages(),
@@ -222,7 +228,6 @@ Table run_fig_qos_mc(ExperimentContext& ctx) {
   // device services its shards on its own worker pool sized from the
   // experiment's --threads; the merged completion log (and therefore
   // this table) is byte-identical for any worker count.
-  const auto params = flash::FlashModelParams::default_2ynm();
   const bool full_scale = ctx.scale() >= 1.0;
   const int days = 2;
   const std::uint32_t kShards = 4;
@@ -249,18 +254,20 @@ Table run_fig_qos_mc(ExperimentContext& ctx) {
   const int depths[] = {1, 4, 16};
   std::vector<DepthResult> results;
   for (const int depth : depths) {
-    host::ShardedDevice device(shard_geometry, params, drive_seed, kShards,
-                               workers, /*queue_count=*/4);
-    // Pre-age every shard like a characterization drive: heavy P/E wear,
-    // then fresh random data (O(bookkeeping) under lazy materialization).
-    for (std::uint32_t s = 0; s < device.shard_count(); ++s) {
-      nand::Chip& chip = device.shard_chip(s);
-      for (std::size_t b = 0; b < chip.block_count(); ++b) {
-        chip.block(b).erase();
-        chip.block(b).add_wear(kPreWearPe);
-        chip.block(b).program_random();
-      }
-    }
+    cfg::DriveSpec drive;
+    drive.backend = cfg::Backend::kShardedMc;
+    drive.shards = kShards;
+    drive.wordlines_per_block = shard_geometry.wordlines_per_block;
+    drive.bitlines = shard_geometry.bitlines;
+    drive.blocks = shard_geometry.blocks;
+    // Pre-age every shard like a characterization drive: the factory
+    // applies heavy P/E wear then fresh random data per block
+    // (O(bookkeeping) under lazy materialization).
+    drive.pre_wear_pe = kPreWearPe;
+    drive.queue_count = 4;
+    const std::unique_ptr<host::Device> device_ptr =
+        host::make_device(drive, drive_seed, workers);
+    auto& device = static_cast<host::ShardedDevice&>(*device_ptr);
 
     workload::TraceGenerator gen(profile, device.logical_pages(),
                                  trace_seed, device.queue_count());

@@ -68,9 +68,16 @@ struct GoldenEntry {
 // for single-timeline backends (the driver's merge-before-pop slot
 // accounting only matters when shard completion times interleave, which
 // a single flash timeline cannot produce).
+// PR 6 added scenario (the config-driven replay, pinned on its default
+// paper-mlc profile) and kept every existing hash unchanged: the
+// Servicer generalization of ShardedDevice and the make_device port of
+// fig_qos/fig_qos_mc bring-up are both bit-transparent (one de-striped
+// sub-command per shard reproduces the old per-page accumulation chains
+// exactly).
 constexpr GoldenEntry kGolden[] = {
     {"fig_qos", 0x21AD8CF4},
     {"fig_qos_mc", 0xFDC18F1D},
+    {"scenario", 0x835C0A43},
     {"fig02", 0xB7A62718},
     {"fig03", 0x3774575E},
     {"fig04", 0xD9633849},

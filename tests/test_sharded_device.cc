@@ -17,6 +17,7 @@
 
 #include "host/driver.h"
 #include "host/mc_chip_device.h"
+#include "nand/chip.h"
 #include "workload/generator.h"
 #include "workload/profiles.h"
 

@@ -50,6 +50,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -225,6 +226,9 @@ int compare_to_baseline(
   }
   int warnings = 0;
   for (const auto& [name, value] : metrics) {
+    // "cpus" is provenance (which machine captured the baseline), not a
+    // performance number — never compare it.
+    if (name == "cpus") continue;
     for (const auto& [base_name, base] : baseline) {
       if (base_name != name || base <= 0.0 || value <= 0.0) continue;
       const bool regressed = higher_is_better(name)
@@ -355,6 +359,11 @@ int main(int argc, char** argv) {
 
   const double cells = static_cast<double>(geom.bitlines);
   const std::vector<std::pair<std::string, double>> metrics = {
+      // Capture-host provenance, not a perf number: lets a reader judge
+      // whether the sharded_w4/_w8 wall-clock scaling in a baseline is
+      // meaningful (a 1-CPU host cannot show pool speedup) and makes a
+      // cross-machine re-baseline self-documenting.
+      {"cpus", static_cast<double>(std::thread::hardware_concurrency())},
       {"page_sense_ns", page_sense_ns},
       {"pages_per_s", 1e9 / page_sense_ns},
       {"cells_per_s", cells * 1e9 / page_sense_ns},

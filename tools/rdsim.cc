@@ -14,6 +14,7 @@
 #include <exception>
 #include <iostream>
 
+#include "cfg/profiles.h"
 #include "sim/cli.h"
 #include "sim/experiment.h"
 
@@ -50,6 +51,12 @@ int main(int argc, char** argv) {
     std::printf("%-20s %s\n", "name", "description");
     for (const auto& e : experiments())
       std::printf("%-20s %s\n", e.name, e.title);
+    return 0;
+  }
+  if (options.list_profiles) {
+    std::printf("%-20s %s\n", "profile", "description");
+    for (const auto& p : rdsim::cfg::builtin_profiles())
+      std::printf("%-20s %s\n", p.name.c_str(), p.description.c_str());
     return 0;
   }
   if (options.experiment.empty()) {
