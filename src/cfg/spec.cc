@@ -97,6 +97,9 @@ void parse_drive(Config& config, DriveSpec* drive,
                      drive->read_reclaim_threshold, diags);
   drive->vpass_tuning =
       config.get_bool("drive.vpass_tuning", drive->vpass_tuning, diags);
+  drive->spare_blocks = static_cast<std::uint32_t>(
+      get_u64_in(config, "drive.spare_blocks", drive->spare_blocks, 0,
+                 1u << 16, diags));
 
   drive->wordlines_per_block = static_cast<std::uint32_t>(
       get_u64_in(config, "drive.wordlines_per_block",
@@ -121,6 +124,53 @@ void parse_drive(Config& config, DriveSpec* drive,
         << " free blocks; raise drive.overprovision or drive.blocks, or "
            "lower drive.gc_free_target";
     diags->push_back({0, "drive.gc_free_target", msg.str()});
+  }
+}
+
+void parse_faults(Config& config, DriveSpec* drive,
+                  std::vector<Diagnostic>* diags) {
+  FaultSpec& f = drive->faults;
+  f.program_fail_prob = get_double_in(config, "faults.program_fail_prob",
+                                      f.program_fail_prob, 0.0, 1.0, diags);
+  f.erase_fail_prob = get_double_in(config, "faults.erase_fail_prob",
+                                    f.erase_fail_prob, 0.0, 1.0, diags);
+  f.latent_page_prob = get_double_in(config, "faults.latent_page_prob",
+                                     f.latent_page_prob, 0.0, 1.0, diags);
+  const bool has_kill_day = config.has("faults.die_kill_day");
+  if (has_kill_day) {
+    f.die_kill_day = get_double_in(config, "faults.die_kill_day",
+                                   f.die_kill_day, 0.0, 36500.0, diags);
+  }
+  if (config.has("faults.die_kill_shard")) {
+    f.die_kill_shard = static_cast<std::uint32_t>(
+        get_u64_in(config, "faults.die_kill_shard", f.die_kill_shard, 0,
+                   drive->shards > 0 ? drive->shards - 1 : 0, diags));
+    if (!has_kill_day)
+      diags->push_back({0, "faults.die_kill_shard",
+                        "faults.die_kill_shard requires faults.die_kill_day"});
+  }
+
+  // Cross-backend validation: each fault targets the layer that models
+  // it. P/E failures live in the FTL (analytic backends); latent pages
+  // and die kills live in the Monte Carlo chips.
+  if (!drive->is_analytic() &&
+      (f.program_fail_prob > 0.0 || f.erase_fail_prob > 0.0)) {
+    diags->push_back(
+        {0,
+         f.program_fail_prob > 0.0 ? "faults.program_fail_prob"
+                                   : "faults.erase_fail_prob",
+         "P/E failure injection needs an FTL: use an analytic backend "
+         "(analytic or sharded_analytic)"});
+  }
+  if (drive->is_analytic() && f.latent_page_prob > 0.0) {
+    diags->push_back({0, "faults.latent_page_prob",
+                      "latent-page injection senses real cells: use a Monte "
+                      "Carlo backend (mc_chip or sharded_mc)"});
+  }
+  if (drive->is_analytic() && f.die_kill_day >= 0.0) {
+    diags->push_back({0, "faults.die_kill_day",
+                      "die-kill injection targets a Monte Carlo chip: use "
+                      "mc_chip or sharded_mc"});
   }
 }
 
@@ -194,6 +244,7 @@ ScenarioSpec parse_scenario(Config& config, std::vector<Diagnostic>* diags) {
   spec.warm_fill =
       config.get_bool("scenario.warm_fill", spec.warm_fill, diags);
   parse_drive(config, &spec.drive, diags);
+  parse_faults(config, &spec.drive, diags);
   parse_workload(config, &spec.workload, diags);
   config.report_unknown(diags);
   return spec;

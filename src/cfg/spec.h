@@ -40,6 +40,32 @@ bool backend_from_name(const std::string& name, Backend* out);
 /// Flash reliability parameter set (flash::FlashModelParams preset).
 enum class FlashModel { k2ynm, kEarly3d };
 
+/// Deterministic fault injection ([faults] section). All knobs default to
+/// "inject nothing"; with every knob at its default the simulation is
+/// bit-identical to a build without the fault layer (the fault RNG
+/// streams are never drawn from).
+struct FaultSpec {
+  /// Per-host-page-write program failure probability (analytic backends:
+  /// the failing block retires to the grown-defect table).
+  double program_fail_prob = 0.0;
+  /// Per-erase failure probability (analytic backends).
+  double erase_fail_prob = 0.0;
+  /// Probability a (block, page, program) is latently uncorrectable on
+  /// the Monte Carlo backends (no recovery step can decode it).
+  double latent_page_prob = 0.0;
+  /// Monte Carlo die-kill: at the end of day `die_kill_day`, the chip of
+  /// shard `die_kill_shard` dies wholesale (reads uncorrectable, writes
+  /// failed). die_kill_day < 0 (default) never kills.
+  std::uint32_t die_kill_shard = 0;
+  double die_kill_day = -1.0;
+
+  /// True when any knob would actually inject something.
+  bool any() const {
+    return program_fail_prob > 0.0 || erase_fail_prob > 0.0 ||
+           latent_page_prob > 0.0 || die_kill_day >= 0.0;
+  }
+};
+
 struct DriveSpec {
   Backend backend = Backend::kAnalytic;
   FlashModel flash_model = FlashModel::k2ynm;
@@ -56,12 +82,16 @@ struct DriveSpec {
   double refresh_interval_days = 7.0;
   std::uint64_t read_reclaim_threshold = 0;
   bool vpass_tuning = true;
+  std::uint32_t spare_blocks = 4;  ///< Grown-defect budget before the
+                                   ///< drive goes read-only.
 
   // Monte Carlo backends: chip geometry and characterization pre-aging.
   std::uint32_t wordlines_per_block = 64;
   std::uint32_t bitlines = 8192;
   std::uint64_t pre_wear_pe = 0;  ///< P/E wear applied to every block
                                   ///< before the replay starts.
+
+  FaultSpec faults;  ///< [faults] section; defaults inject nothing.
 
   bool is_sharded() const {
     return backend == Backend::kShardedMc ||

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
-#include <stdexcept>
 #include <type_traits>
 
 #include "ecc/crc32.h"
@@ -32,8 +31,7 @@ std::uint32_t Ftl::allocate_block() {
       best = b;
     }
   }
-  if (best == kUnmappedBlock)
-    throw std::runtime_error("FTL out of free blocks");
+  if (best == kUnmappedBlock) return kUnmappedBlock;
   auto& info = blocks_[best];
   info.state = BlockInfo::State::kOpen;
   info.write_ptr = 0;
@@ -44,14 +42,13 @@ std::uint32_t Ftl::allocate_block() {
   return best;
 }
 
-std::pair<std::uint32_t, std::uint32_t> Ftl::append_page(std::uint64_t lpn,
-                                                         bool counts_as_host) {
-  (void)counts_as_host;
+bool Ftl::append_page(std::uint64_t lpn, std::uint32_t* block_out) {
   if (open_block_ == kUnmappedBlock ||
       blocks_[open_block_].write_ptr >= config_.pages_per_block) {
     if (open_block_ != kUnmappedBlock)
       blocks_[open_block_].state = BlockInfo::State::kFull;
     open_block_ = allocate_block();
+    if (open_block_ == kUnmappedBlock) return false;
   }
   auto& info = blocks_[open_block_];
   const std::uint32_t page = info.write_ptr++;
@@ -68,21 +65,54 @@ std::pair<std::uint32_t, std::uint32_t> Ftl::append_page(std::uint64_t lpn,
   }
   l2p_[lpn] = packed;
   p2l_[packed] = lpn;
-  const std::uint32_t written_block = open_block_;
+  if (block_out) *block_out = open_block_;
   if (info.write_ptr == config_.pages_per_block) {
     info.state = BlockInfo::State::kFull;
     open_block_ = kUnmappedBlock;  // Full blocks are eligible for refresh
                                    // and GC immediately.
   }
-  return {written_block, page};
+  return true;
+}
+
+WriteResult Ftl::write_page(std::uint64_t lpn, std::uint32_t* block_out) {
+  assert(lpn < l2p_.size());
+  if (block_out) *block_out = kUnmappedBlock;
+  if (read_only_) return WriteResult::kReadOnly;
+  std::uint32_t block = kUnmappedBlock;
+  if (!append_page(lpn, &block)) {
+    // No allocatable block at all — the drive can no longer accept data.
+    read_only_ = true;
+    return WriteResult::kReadOnly;
+  }
+  ++stats_.host_writes;
+  WriteResult result = WriteResult::kOk;
+  // Injected program failure: the just-programmed page reported a fail.
+  // The controller still holds the data in RAM, so it retires the block
+  // and relocates everything (real drives rewrite-from-buffer the same
+  // way); the host write is lost only when no relocation destination
+  // exists. Guarded so a zero probability never touches the RNG stream.
+  if (config_.program_fail_prob > 0.0 &&
+      rng_.uniform() < config_.program_fail_prob) {
+    ++stats_.program_failures;
+    retire_block(block);
+    const std::uint64_t packed = l2p_[lpn];
+    if (packed != kUnmapped &&
+        packed / config_.pages_per_block != block) {
+      block = static_cast<std::uint32_t>(packed / config_.pages_per_block);
+    } else {
+      block = kUnmappedBlock;
+      result = WriteResult::kFailed;
+    }
+  }
+  if (block_out) *block_out = block;
+  if (!read_only_ && free_count_ <= config_.gc_free_target)
+    collect_garbage();
+  return result;
 }
 
 std::uint32_t Ftl::write(std::uint64_t lpn) {
-  assert(lpn < l2p_.size());
-  const auto [block, page] = append_page(lpn, true);
-  (void)page;
-  ++stats_.host_writes;
-  if (free_count_ <= config_.gc_free_target) collect_garbage();
+  std::uint32_t block = kUnmappedBlock;
+  write_page(lpn, &block);
   return block;
 }
 
@@ -126,25 +156,72 @@ std::uint32_t Ftl::pick_gc_victim() const {
   return best;
 }
 
-void Ftl::evacuate(std::uint32_t b, std::uint64_t* counter) {
+bool Ftl::evacuate(std::uint32_t b, std::uint64_t* counter) {
   const std::uint64_t base =
       static_cast<std::uint64_t>(b) * config_.pages_per_block;
   for (std::uint32_t p = 0; p < config_.pages_per_block; ++p) {
     const std::uint64_t lpn = p2l_[base + p];
     if (lpn == kUnmapped) continue;
-    append_page(lpn, false);
+    if (!append_page(lpn, nullptr)) return false;  // Out of destinations;
+                                                   // remainder stranded.
     ++*counter;
   }
   assert(blocks_[b].valid_pages == 0);
+  return true;
+}
+
+void Ftl::note_retired() {
+  ++retired_count_;
+  // Read-only triggers: the grown-defect count exceeded the provisioned
+  // spare budget, or (backstop, for tiny spare budgets against tiny
+  // drives) the surviving blocks cannot host the logical space plus the
+  // GC working set any more.
+  const std::uint64_t min_usable =
+      (config_.logical_pages() + config_.pages_per_block - 1) /
+          config_.pages_per_block +
+      config_.gc_free_target + 2;
+  if (retired_count_ > config_.spare_blocks ||
+      blocks_.size() - retired_count_ < min_usable) {
+    read_only_ = true;
+  }
+}
+
+bool Ftl::retire_block(std::uint32_t b) {
+  auto& info = blocks_[b];
+  assert(info.state != BlockInfo::State::kRetired);
+  if (b == open_block_) {
+    info.state = BlockInfo::State::kFull;
+    open_block_ = kUnmappedBlock;
+  }
+  if (info.state == BlockInfo::State::kFree) --free_count_;
+  if (info.valid_pages > 0 && !evacuate(b, &stats_.defect_writes)) {
+    // Relocation ran out of destinations: the remainder stays readable on
+    // the defective block, and the drive freezes rather than lose it.
+    read_only_ = true;
+    return false;
+  }
+  info.state = BlockInfo::State::kRetired;
+  note_retired();
+  return true;
 }
 
 void Ftl::erase_block(std::uint32_t b) {
   auto& info = blocks_[b];
   assert(info.valid_pages == 0);
-  info.state = BlockInfo::State::kFree;
   info.write_ptr = 0;
   info.reads_since_program = 0;
   ++info.pe_cycles;
+  // Injected erase failure: the block fails to erase and retires in
+  // place (it holds no valid data, so nothing relocates). Guarded so a
+  // zero probability never touches the RNG stream.
+  if (config_.erase_fail_prob > 0.0 &&
+      rng_.uniform() < config_.erase_fail_prob) {
+    ++stats_.erase_failures;
+    info.state = BlockInfo::State::kRetired;
+    note_retired();
+    return;
+  }
+  info.state = BlockInfo::State::kFree;
   ++free_count_;
 }
 
@@ -152,7 +229,10 @@ void Ftl::collect_garbage() {
   while (free_count_ <= config_.gc_free_target) {
     const std::uint32_t victim = pick_gc_victim();
     if (victim == kUnmappedBlock) return;  // Nothing reclaimable.
-    evacuate(victim, &stats_.gc_writes);
+    if (!evacuate(victim, &stats_.gc_writes)) {
+      read_only_ = true;  // Stranded data on the victim; stop collecting.
+      return;
+    }
     erase_block(victim);
     ++stats_.gc_erases;
   }
@@ -173,8 +253,13 @@ std::vector<std::uint32_t> Ftl::blocks_due_refresh() const {
 
 void Ftl::refresh_block(std::uint32_t block) {
   auto& info = blocks_[block];
-  if (info.state == BlockInfo::State::kFree || block == open_block_) return;
-  evacuate(block, &stats_.refresh_writes);
+  if (info.state == BlockInfo::State::kFree ||
+      info.state == BlockInfo::State::kRetired || block == open_block_)
+    return;
+  if (!evacuate(block, &stats_.refresh_writes)) {
+    read_only_ = true;
+    return;
+  }
   erase_block(block);
   ++stats_.refreshes;
 }
@@ -187,7 +272,10 @@ int Ftl::apply_read_reclaim() {
     if (info.state != BlockInfo::State::kFull || info.valid_pages == 0)
       continue;
     if (info.reads_since_program >= config_.read_reclaim_threshold) {
-      evacuate(b, &stats_.reclaim_writes);
+      if (!evacuate(b, &stats_.reclaim_writes)) {
+        read_only_ = true;
+        return reclaimed;
+      }
       erase_block(b);
       ++stats_.reclaims;
       ++reclaimed;
@@ -235,6 +323,8 @@ std::vector<std::uint8_t> Ftl::snapshot() const {
   append_pod(&out, now_days_);
   append_pod(&out, open_block_);
   append_pod(&out, free_count_);
+  append_pod(&out, retired_count_);
+  append_pod(&out, static_cast<std::uint8_t>(read_only_ ? 1 : 0));
   append_pod(&out, stats_);
   for (const auto& b : blocks_) append_pod(&out, b);
   for (const auto packed : l2p_) append_pod(&out, packed);
@@ -262,11 +352,15 @@ bool Ftl::restore(const std::vector<std::uint8_t>& snapshot) {
     return false;
 
   Ftl staged(config_);
+  std::uint8_t read_only_byte = 0;
   if (!read_pod(snapshot, &offset, &staged.now_days_) ||
       !read_pod(snapshot, &offset, &staged.open_block_) ||
       !read_pod(snapshot, &offset, &staged.free_count_) ||
+      !read_pod(snapshot, &offset, &staged.retired_count_) ||
+      !read_pod(snapshot, &offset, &read_only_byte) ||
       !read_pod(snapshot, &offset, &staged.stats_))
     return false;
+  staged.read_only_ = read_only_byte != 0;
   for (auto& b : staged.blocks_)
     if (!read_pod(snapshot, &offset, &b)) return false;
   for (auto& packed : staged.l2p_)
@@ -294,14 +388,21 @@ bool Ftl::check_invariants() const {
     if (lpn >= l2p_.size() || l2p_[lpn] != phys) return false;
   }
   std::uint32_t free_seen = 0;
+  std::uint32_t retired_seen = 0;
   for (std::uint32_t b = 0; b < blocks_.size(); ++b) {
     if (blocks_[b].valid_pages != valid_count[b]) return false;
     if (blocks_[b].state == BlockInfo::State::kFree) {
       if (valid_count[b] != 0) return false;
       ++free_seen;
     }
+    if (blocks_[b].state == BlockInfo::State::kRetired) {
+      // A retired block holds no valid data (retire evacuates first; a
+      // failed evacuation leaves the block kFull, not kRetired).
+      if (valid_count[b] != 0) return false;
+      ++retired_seen;
+    }
   }
-  return free_seen == free_count_;
+  return free_seen == free_count_ && retired_seen == retired_count_;
 }
 
 }  // namespace rdsim::ftl

@@ -35,6 +35,17 @@ struct FtlConfig {
   /// Read-reclaim threshold (reads to a block before its data is moved).
   /// 0 disables read reclaim. The Yaffs-style default for MLC is 50K.
   std::uint64_t read_reclaim_threshold = 0;
+  /// Grown-defect budget: how many blocks may retire before the drive
+  /// goes read-only. (Factory-style provisioning: the spares come out of
+  /// the overprovisioned space, not on top of `blocks`.)
+  std::uint32_t spare_blocks = 4;
+  /// Fault injection: per-page program failure probability (drawn per
+  /// host page write from the FTL's seeded RNG) and per-operation erase
+  /// failure probability. A failed program or erase retires the block to
+  /// the grown-defect table. 0 injects nothing and draws nothing, so the
+  /// RNG stream — and every downstream result — is untouched.
+  double program_fail_prob = 0.0;
+  double erase_fail_prob = 0.0;
 
   std::uint64_t physical_pages() const {
     return static_cast<std::uint64_t>(blocks) * pages_per_block;
@@ -45,9 +56,10 @@ struct FtlConfig {
   }
 };
 
-/// Per-block reliability and allocation state.
+/// Per-block reliability and allocation state. kRetired blocks are grown
+/// defects: permanently out of rotation, never allocated, never erased.
 struct BlockInfo {
-  enum class State : std::uint8_t { kFree, kOpen, kFull };
+  enum class State : std::uint8_t { kFree, kOpen, kFull, kRetired };
   State state = State::kFree;
   std::uint32_t pe_cycles = 0;
   std::uint32_t write_ptr = 0;    ///< Next page to program.
@@ -69,14 +81,24 @@ struct FtlStats {
   std::uint64_t gc_erases = 0;
   std::uint64_t refreshes = 0;
   std::uint64_t reclaims = 0;
+  std::uint64_t program_failures = 0;  // injected program faults
+  std::uint64_t erase_failures = 0;    // injected erase faults
+  std::uint64_t defect_writes = 0;     // pages relocated off retiring blocks
 
   double waf() const {
     const double host = static_cast<double>(host_writes);
     if (host == 0.0) return 1.0;
     return (host + static_cast<double>(gc_writes + refresh_writes +
-                                       reclaim_writes)) /
+                                       reclaim_writes + defect_writes)) /
            host;
   }
+};
+
+/// Outcome of one host page write.
+enum class WriteResult : std::uint8_t {
+  kOk = 0,        ///< Data persisted (possibly relocated past a defect).
+  kFailed = 1,    ///< Program failed and relocation was impossible: lost.
+  kReadOnly = 2,  ///< Drive is read-only (spares exhausted); not attempted.
 };
 
 class Ftl {
@@ -111,8 +133,17 @@ class Ftl {
   /// Advances the FTL clock.
   void advance_time(double days) { now_days_ += days; }
 
+  /// Host write of one logical page with full outcome reporting: draws
+  /// the injected program-fault (when configured), retires failing blocks
+  /// and relocates their data, and rejects writes once the drive is
+  /// read-only. `*block_out` (optional) receives the block holding the
+  /// data on kOk, kUnmappedBlock otherwise.
+  WriteResult write_page(std::uint64_t lpn, std::uint32_t* block_out);
+
   /// Host write of one logical page. Returns the physical block that
-  /// received the data.
+  /// received the data, or kUnmappedBlock when the write did not persist
+  /// (failed program with no relocation, or drive read-only) — callers
+  /// that care which distinguish via write_page().
   std::uint32_t write(std::uint64_t lpn);
 
   /// Host read of one logical page. Returns the physical block read, or
@@ -146,6 +177,14 @@ class Ftl {
   /// Number of free blocks.
   std::uint32_t free_blocks() const { return free_count_; }
 
+  /// Grown defects retired so far.
+  std::uint32_t retired_blocks() const { return retired_count_; }
+
+  /// True once the drive froze into read-only mode: the grown-defect
+  /// count exceeded the spare budget, or a relocation/allocation could
+  /// not complete. Reads keep working; writes are rejected.
+  bool read_only() const { return read_only_; }
+
   /// Highest P/E count across blocks (drive wear indicator).
   std::uint32_t max_pe() const;
 
@@ -164,14 +203,25 @@ class Ftl {
   bool restore(const std::vector<std::uint8_t>& snapshot);
 
  private:
+  /// Least-worn free block, opened; kUnmappedBlock when none exist.
   std::uint32_t allocate_block();
-  /// Appends a page into the current open block; returns (block, page).
-  std::pair<std::uint32_t, std::uint32_t> append_page(std::uint64_t lpn,
-                                                      bool counts_as_host);
+  /// Appends a page into the current open block; `*block_out` receives
+  /// the block written. False (no mutation) when no block was available.
+  bool append_page(std::uint64_t lpn, std::uint32_t* block_out);
   void erase_block(std::uint32_t b);
   std::uint32_t pick_gc_victim() const;
-  /// Copies valid pages out of `b` (GC/refresh path), charging `counter`.
-  void evacuate(std::uint32_t b, std::uint64_t* counter);
+  /// Copies valid pages out of `b` (GC/refresh/retire path), charging
+  /// `counter`. False when the drive ran out of destination blocks
+  /// mid-move — `b` then still holds the stranded remainder.
+  bool evacuate(std::uint32_t b, std::uint64_t* counter);
+  /// Moves `b` to the grown-defect table (evacuating any valid data
+  /// first) and re-evaluates the read-only triggers. False when the
+  /// evacuation stranded data (drive freezes read-only, `b` keeps its
+  /// still-readable pages).
+  bool retire_block(std::uint32_t b);
+  /// Books one retirement and flips read_only_ once the spare budget is
+  /// exhausted or the remaining blocks cannot host the logical space.
+  void note_retired();
 
   FtlConfig config_;
   Rng rng_;
@@ -180,6 +230,8 @@ class Ftl {
   std::vector<std::uint64_t> p2l_;  ///< packed phys -> lpn or kUnmapped.
   std::uint32_t open_block_ = kUnmappedBlock;
   std::uint32_t free_count_ = 0;
+  std::uint32_t retired_count_ = 0;
+  bool read_only_ = false;
   double now_days_ = 0.0;
   FtlStats stats_;
 };

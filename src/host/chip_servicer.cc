@@ -1,15 +1,57 @@
 #include "host/chip_servicer.h"
 
+#include <cmath>
+
+#include "common/rng.h"
+#include "flash/types.h"
+
 namespace rdsim::host {
+
+namespace {
+
+/// Stream id carved out of the servicer's seed for fault draws — a fixed
+/// constant so fault randomness is decorrelated from the chip's own
+/// streams but still a pure function of the shard seed.
+constexpr std::uint64_t kFaultStream = 0xFA017;
+
+/// The data bit of `state` selected by the page kind.
+int bit_of(flash::CellState state, nand::PageKind kind) {
+  return kind == nand::PageKind::kLsb ? flash::lsb_of(state)
+                                      : flash::msb_of(state);
+}
+
+}  // namespace
 
 ChipServicer::ChipServicer(const nand::Geometry& geometry,
                            const flash::FlashModelParams& params,
-                           std::uint64_t seed, const LatencyParams& latency)
+                           std::uint64_t seed, const LatencyParams& latency,
+                           const ChipErrorPath& error_path,
+                           const ChipFaults& faults)
     : chip_(geometry, params, seed),
       latency_(latency),
-      writes_into_block_(geometry.blocks, 0) {
+      ecc_(error_path.ecc),
+      vref_(error_path.vref),
+      rdr_(error_path.rdr),
+      faults_(faults),
+      fault_seed_(Rng::stream(seed, kFaultStream).next()),
+      writes_into_block_(geometry.blocks, 0),
+      program_epoch_(geometry.blocks, 0) {
   for (std::size_t b = 0; b < chip_.block_count(); ++b)
     chip_.block(b).program_random();
+  // Pre-compute the flash time each escalation step charges. A retry
+  // attempt is the optimizer's learning sweep (one read per retry level)
+  // plus the corrected re-read; an RDR attempt is the §4 procedure's two
+  // fine-grained measurement sweeps plus the induced disturb dose.
+  const double vpass = chip_.block(0).model().params().vpass_nominal;
+  const double retry_levels =
+      std::floor((vpass + 8.0) / error_path.vref.scan_step) + 1.0;
+  retry_charge_s_ = (retry_levels + 1.0) * latency.read_s;
+  const double rdr_levels =
+      std::floor((error_path.rdr.retry_hi - error_path.rdr.retry_lo) /
+                 error_path.rdr.retry_step) +
+      1.0;
+  rdr_charge_s_ =
+      (2.0 * rdr_levels + error_path.rdr.extra_reads) * latency.read_s;
 }
 
 ServiceCost ChipServicer::service(const Command& command) {
@@ -20,6 +62,8 @@ ServiceCost ChipServicer::service(const Command& command) {
         service_page(command.kind, (command.lpn + i) % logical);
     cost.busy_s += page.busy_s;
     cost.stall_s += page.stall_s;
+    cost.status = worst_status(cost.status, page.status);
+    cost.error_pages += page.error_pages;
   }
   return cost;
 }
@@ -33,28 +77,145 @@ nand::PageAddress ChipServicer::page_address(std::uint64_t lpn,
           (page & 1) != 0 ? nand::PageKind::kMsb : nand::PageKind::kLsb};
 }
 
+bool ChipServicer::page_decodes(int errors) const {
+  const int codewords = ecc_.config().codewords_per_page > 0
+                            ? ecc_.config().codewords_per_page
+                            : 1;
+  const int per_codeword = (errors + codewords - 1) / codewords;
+  return ecc_.correctable(per_codeword);
+}
+
+int ChipServicer::page_errors_with_refs(std::uint32_t block,
+                                        const nand::PageAddress& address,
+                                        const core::ReadRefs& refs) const {
+  const nand::Block& blk = chip_.block(block);
+  const std::vector<double> vth = blk.present_vth_page(address.wordline);
+  int errors = 0;
+  for (std::uint32_t bl = 0; bl < chip_.geometry().bitlines; ++bl) {
+    const double v = vth[bl];
+    flash::CellState sensed;
+    if (v < refs.va)
+      sensed = flash::CellState::kEr;
+    else if (v < refs.vb)
+      sensed = flash::CellState::kP1;
+    else if (v < refs.vc)
+      sensed = flash::CellState::kP2;
+    else
+      sensed = flash::CellState::kP3;
+    const flash::CellState truth = blk.cell_state(address.wordline, bl);
+    errors += bit_of(sensed, address.kind) != bit_of(truth, address.kind);
+  }
+  return errors;
+}
+
+int ChipServicer::page_errors_after_rdr(
+    std::uint32_t block, const nand::PageAddress& address,
+    const core::RdrResult& recovered) const {
+  const nand::Block& blk = chip_.block(block);
+  int errors = 0;
+  for (std::uint32_t bl = 0; bl < chip_.geometry().bitlines; ++bl) {
+    const flash::CellState truth = blk.cell_state(address.wordline, bl);
+    errors += bit_of(recovered.corrected_states[bl], address.kind) !=
+              bit_of(truth, address.kind);
+  }
+  return errors;
+}
+
+bool ChipServicer::latent_bad(std::uint64_t lpn, std::uint32_t block) const {
+  if (faults_.latent_page_prob <= 0.0) return false;
+  return Rng::at(fault_seed_, lpn, program_epoch_[block]).uniform() <
+         faults_.latent_page_prob;
+}
+
 ServiceCost ChipServicer::service_page(CommandKind kind, std::uint64_t lpn) {
   ServiceCost cost;
   std::uint32_t b = 0;
   const nand::PageAddress address = page_address(lpn, &b);
   switch (kind) {
     case CommandKind::kRead: {
-      const nand::ReadResult result = chip_.block(b).read_page(address);
-      read_bit_errors_ += static_cast<std::uint64_t>(result.raw_bit_errors);
       ++pages_read_;
       cost.busy_s += latency_.read_s;
+      if (dead_) {
+        // The die is gone: the sense returns nothing usable and there is
+        // no point escalating — every ladder step needs the same die.
+        cost.status = Status::kUncorrectable;
+        cost.error_pages = 1;
+        ++error_stats_.reads_uncorrectable;
+        break;
+      }
+      const nand::ReadResult result = chip_.block(b).read_page(address);
+      read_bit_errors_ += static_cast<std::uint64_t>(result.raw_bit_errors);
+      const bool latent = latent_bad(lpn, b);
+      if (!latent && result.raw_bit_errors == 0) {
+        ++error_stats_.reads_ok;
+        break;
+      }
+      if (!latent && page_decodes(result.raw_bit_errors)) {
+        cost.status = Status::kCorrected;
+        ++error_stats_.reads_corrected;
+        break;
+      }
+      // Step 2: read-retry. Learn the present valleys and re-read with
+      // the learned references; charge the learning sweep's reads. A
+      // latently bad page is physically damaged — the controller still
+      // pays for the attempt, but no reference placement can decode it.
+      ++error_stats_.retry_attempts;
+      error_stats_.retry_seconds += retry_charge_s_;
+      cost.busy_s += retry_charge_s_;
+      if (!latent) {
+        const core::ReadRefs refs = vref_.learn(chip_.block(b),
+                                                address.wordline);
+        // A degenerate learn (non-monotone refs from a collapsed valley
+        // search) cannot be sensed with; treat the step as failed.
+        if (refs.va < refs.vb && refs.vb < refs.vc) {
+          const int errors = page_errors_with_refs(b, address, refs);
+          if (page_decodes(errors)) {
+            cost.status = Status::kRecovered;
+            ++error_stats_.reads_retry_recovered;
+            break;
+          }
+        }
+      }
+      // Step 3: the paper's §4 read-disturb recovery. The induced extra
+      // reads are real disturbs (the block mutates) and the two
+      // fine-grained measurement sweeps are real senses — all charged.
+      ++error_stats_.rdr_attempts;
+      error_stats_.rdr_seconds += rdr_charge_s_;
+      cost.busy_s += rdr_charge_s_;
+      if (!latent) {
+        const core::RdrResult recovered =
+            rdr_.recover(chip_.block(b), address.wordline);
+        const int errors = page_errors_after_rdr(b, address, recovered);
+        if (page_decodes(errors)) {
+          cost.status = Status::kRecovered;
+          ++error_stats_.reads_rdr_recovered;
+          break;
+        }
+      }
+      cost.status = Status::kUncorrectable;
+      cost.error_pages = 1;
+      ++error_stats_.reads_uncorrectable;
       break;
     }
     case CommandKind::kWrite: {
+      ++pages_written_;
+      cost.busy_s += latency_.program_s;
+      if (dead_) {
+        cost.status = Status::kFailedWrite;
+        cost.error_pages = 1;
+        ++error_stats_.writes_failed;
+        break;
+      }
       // Log-structured turnover: the block's resident (random) data
       // stands in for the host's; after a block's worth of writes it is
       // erased and reprogrammed, clearing disturb and costing one P/E.
-      ++pages_written_;
-      cost.busy_s += latency_.program_s;
+      // The turnover is a fresh program event, so latent-defect draws
+      // re-roll (grown defects appear per program, not per read).
       if (++writes_into_block_[b] >= chip_.geometry().pages_per_block()) {
         writes_into_block_[b] = 0;
         chip_.block(b).erase();
         chip_.block(b).program_random();
+        ++program_epoch_[b];
         ++block_rewrites_;
         cost.stall_s += latency_.erase_s;
       }
@@ -65,6 +226,14 @@ ServiceCost ChipServicer::service_page(CommandKind kind, std::uint64_t lpn) {
       break;  // Metadata-only on the raw chip.
   }
   return cost;
+}
+
+double ChipServicer::end_of_day() {
+  chip_.advance_time(1.0);
+  day_ += 1.0;
+  if (faults_.die_kill_day >= 0.0 && day_ >= faults_.die_kill_day)
+    dead_ = true;
+  return 0.0;
 }
 
 }  // namespace rdsim::host

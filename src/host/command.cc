@@ -14,16 +14,28 @@ const char* command_kind_name(CommandKind kind) {
   return "?";
 }
 
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kCorrected: return "corrected";
+    case Status::kRecovered: return "recovered";
+    case Status::kUncorrectable: return "uncorrectable";
+    case Status::kFailedWrite: return "failed_write";
+    case Status::kReadOnly: return "read_only";
+  }
+  return "?";
+}
+
 std::string to_string(const Completion& c) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "id=%llu %s q=%u lpn=%llu pages=%u submit=%.9f start=%.9f "
-                "complete=%.9f stall=%.9f",
+                "complete=%.9f stall=%.9f status=%s err=%u",
                 static_cast<unsigned long long>(c.id),
                 command_kind_name(c.kind), c.queue,
                 static_cast<unsigned long long>(c.lpn), c.pages,
                 c.submit_time_s, c.service_start_s, c.complete_time_s,
-                c.stall_s);
+                c.stall_s, status_name(c.status), c.error_pages);
   return buf;
 }
 

@@ -10,6 +10,7 @@
 // without pulling in the drive model.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -23,6 +24,36 @@ enum class CommandKind : std::uint8_t { kRead, kWrite, kTrim, kFlush };
 
 /// Short lowercase name ("read", "write", "trim", "flush").
 const char* command_kind_name(CommandKind kind);
+
+/// Outcome of a command, ordered by severity so a multi-page (or
+/// multi-shard) command's status is the numeric max over its parts:
+///   kOk            — clean; reads sensed zero raw bit errors.
+///   kCorrected     — ECC corrected raw errors within the normal sense.
+///   kRecovered     — data came back only after escalation (read-retry
+///                    re-read or the paper's §4 read-disturb recovery).
+///   kUncorrectable — every recovery step failed; the host got garbage.
+///   kFailedWrite   — a program failed and the data could not be
+///                    relocated (grown defect with no healthy destination).
+///   kReadOnly      — the drive is in read-only mode (spare blocks
+///                    exhausted); the write was rejected, not attempted.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kCorrected = 1,
+  kRecovered = 2,
+  kUncorrectable = 3,
+  kFailedWrite = 4,
+  kReadOnly = 5,
+};
+
+inline constexpr std::size_t kStatusCount = 6;
+
+/// Short lowercase name ("ok", "corrected", "recovered", "uncorrectable",
+/// "failed_write", "read_only").
+const char* status_name(Status status);
+
+/// Severity merge: the worse of two statuses (the enum is
+/// severity-ordered, so this is the numeric max).
+inline Status worst_status(Status a, Status b) { return a < b ? b : a; }
 
 /// One host command, page-granular.
 struct Command {
@@ -42,10 +73,14 @@ struct LatencyParams {
 
 /// What servicing one command cost the backend: flash busy time for the
 /// command's own data movement, plus any stall it induced or absorbed
-/// (inline garbage collection triggered by a write, block turnover).
+/// (inline garbage collection triggered by a write, block turnover), plus
+/// the command's outcome (worst page status and how many pages were lost).
 struct ServiceCost {
   double busy_s = 0.0;
   double stall_s = 0.0;
+  Status status = Status::kOk;     ///< Worst per-page outcome.
+  std::uint32_t error_pages = 0;   ///< Pages that came back uncorrectable
+                                   ///< or failed to persist.
 };
 
 /// Per-command completion record, posted to the completion queue.
@@ -61,6 +96,8 @@ struct Completion {
   double stall_s = 0.0;  ///< Share of the latency attributed to background
                          ///< work (GC, maintenance) rather than the
                          ///< command's own transfer.
+  Status status = Status::kOk;    ///< Worst per-page outcome.
+  std::uint32_t error_pages = 0;  ///< Uncorrectable / lost pages.
 
   double latency_s() const { return complete_time_s - submit_time_s; }
   double queue_wait_s() const { return service_start_s - submit_time_s; }

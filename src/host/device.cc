@@ -104,6 +104,8 @@ void SerialDevice::service_one(const Submitted& sub) {
   // reservation counts as stall, on top of any stall the backend charged
   // to the command itself (e.g. inline GC on a write).
   rec.stall_s = cost.stall_s + slot.bg_overlap_s;
+  rec.status = cost.status;
+  rec.error_pages = cost.error_pages;
 
   record(rec);
   deliver(rec);

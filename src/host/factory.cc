@@ -28,8 +28,22 @@ ssd::SsdConfig ssd_config(const cfg::DriveSpec& spec) {
   config.ftl.gc_free_target = spec.gc_free_target;
   config.ftl.refresh_interval_days = spec.refresh_interval_days;
   config.ftl.read_reclaim_threshold = spec.read_reclaim_threshold;
+  config.ftl.spare_blocks = spec.spare_blocks;
+  config.ftl.program_fail_prob = spec.faults.program_fail_prob;
+  config.ftl.erase_fail_prob = spec.faults.erase_fail_prob;
   config.vpass_tuning = spec.vpass_tuning;
   return config;
+}
+
+/// The MC fault slice for one shard: latent pages everywhere, the die
+/// kill only on the targeted shard (a serial chip is shard 0).
+ChipFaults chip_faults(const cfg::DriveSpec& spec, std::uint32_t shard) {
+  ChipFaults faults;
+  faults.latent_page_prob = spec.faults.latent_page_prob;
+  if (spec.faults.die_kill_day >= 0.0 &&
+      spec.faults.die_kill_shard == shard)
+    faults.die_kill_day = spec.faults.die_kill_day;
+  return faults;
 }
 
 nand::Geometry chip_geometry(const cfg::DriveSpec& spec) {
@@ -62,14 +76,24 @@ std::unique_ptr<Device> make_device(const cfg::DriveSpec& spec,
                                          spec.queue_count);
     case cfg::Backend::kMcChip: {
       auto device = std::make_unique<McChipDevice>(
-          chip_geometry(spec), params, seed, spec.queue_count);
+          chip_geometry(spec), params, seed, spec.queue_count,
+          LatencyParams{}, ChipErrorPath{}, chip_faults(spec, 0));
       if (spec.pre_wear_pe > 0) pre_wear(device->chip(), spec.pre_wear_pe);
       return device;
     }
     case cfg::Backend::kShardedMc: {
-      auto device = std::make_unique<ShardedDevice>(
-          chip_geometry(spec), params, seed, spec.shards, workers,
-          spec.queue_count);
+      // Explicit per-shard construction (same seeds and arguments as the
+      // MC convenience ctor, so it stays bit-identical to it) to route
+      // each shard its own fault slice — the die kill targets one shard.
+      std::vector<std::unique_ptr<Servicer>> shards;
+      shards.reserve(spec.shards);
+      for (std::uint32_t s = 0; s < spec.shards; ++s)
+        shards.push_back(std::make_unique<ChipServicer>(
+            chip_geometry(spec), params, ShardedDevice::shard_seed(seed, s),
+            LatencyParams{}, ChipErrorPath{}, chip_faults(spec, s)));
+      auto device = std::make_unique<ShardedDevice>(std::move(shards),
+                                                    workers,
+                                                    spec.queue_count);
       if (spec.pre_wear_pe > 0)
         for (std::uint32_t s = 0; s < device->shard_count(); ++s)
           pre_wear(device->shard_chip(s), spec.pre_wear_pe);

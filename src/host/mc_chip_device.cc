@@ -5,9 +5,11 @@ namespace rdsim::host {
 McChipDevice::McChipDevice(const nand::Geometry& geometry,
                            const flash::FlashModelParams& params,
                            std::uint64_t seed, std::uint32_t queue_count,
-                           const LatencyParams& latency)
+                           const LatencyParams& latency,
+                           const ChipErrorPath& error_path,
+                           const ChipFaults& faults)
     : SerialDevice(queue_count),
-      servicer_(geometry, params, seed, latency) {}
+      servicer_(geometry, params, seed, latency, error_path, faults) {}
 
 ServiceCost McChipDevice::do_service(const Command& command) {
   return servicer_.service(command);

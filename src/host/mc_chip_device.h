@@ -26,7 +26,9 @@ class McChipDevice : public SerialDevice {
   McChipDevice(const nand::Geometry& geometry,
                const flash::FlashModelParams& params, std::uint64_t seed,
                std::uint32_t queue_count = 1,
-               const LatencyParams& latency = LatencyParams{});
+               const LatencyParams& latency = LatencyParams{},
+               const ChipErrorPath& error_path = {},
+               const ChipFaults& faults = {});
 
   /// The underlying chip, for characterization-level setup (pre-wear,
   /// retention aging, bulk disturb) between queued operations.
@@ -44,6 +46,9 @@ class McChipDevice : public SerialDevice {
   std::uint64_t pages_read() const { return servicer_.pages_read(); }
   std::uint64_t pages_written() const { return servicer_.pages_written(); }
   std::uint64_t block_rewrites() const { return servicer_.block_rewrites(); }
+
+  /// Ladder attribution (see Servicer::error_stats).
+  ErrorStats error_stats() const { return servicer_.error_stats(); }
 
  protected:
   ServiceCost do_service(const Command& command) override;

@@ -37,6 +37,41 @@ class Chip;
 
 namespace rdsim::host {
 
+/// Per-step attribution of the read error path and the write failure
+/// path, kept by each backend and mirrored per shard by ShardedDevice.
+/// Read counters partition the serviced page reads by how far down the
+/// escalation ladder each one had to go; the seconds fields are the flash
+/// busy time the recovery steps charged to the timeline (so recovery cost
+/// is visible both in the tail latencies and here, attributed).
+struct ErrorStats {
+  std::uint64_t reads_ok = 0;               ///< Zero raw bit errors.
+  std::uint64_t reads_corrected = 0;        ///< ECC decoded the sense.
+  std::uint64_t reads_retry_recovered = 0;  ///< Read-retry re-read decoded.
+  std::uint64_t reads_rdr_recovered = 0;    ///< §4 RDR decoded.
+  std::uint64_t reads_uncorrectable = 0;    ///< Whole ladder failed.
+  std::uint64_t retry_attempts = 0;         ///< Retry scans performed.
+  std::uint64_t rdr_attempts = 0;           ///< RDR invocations.
+  std::uint64_t writes_failed = 0;          ///< Programs that lost data.
+  std::uint64_t writes_rejected_read_only = 0;  ///< Rejected: read-only.
+  double retry_seconds = 0.0;  ///< Flash busy time charged to retry scans.
+  double rdr_seconds = 0.0;    ///< Flash busy time charged to RDR.
+
+  ErrorStats& operator+=(const ErrorStats& o) {
+    reads_ok += o.reads_ok;
+    reads_corrected += o.reads_corrected;
+    reads_retry_recovered += o.reads_retry_recovered;
+    reads_rdr_recovered += o.reads_rdr_recovered;
+    reads_uncorrectable += o.reads_uncorrectable;
+    retry_attempts += o.retry_attempts;
+    rdr_attempts += o.rdr_attempts;
+    writes_failed += o.writes_failed;
+    writes_rejected_read_only += o.writes_rejected_read_only;
+    retry_seconds += o.retry_seconds;
+    rdr_seconds += o.rdr_seconds;
+    return *this;
+  }
+};
+
 class Servicer {
  public:
   virtual ~Servicer() = default;
@@ -64,6 +99,10 @@ class Servicer {
   virtual std::uint64_t pages_written() const = 0;
   virtual std::uint64_t read_bit_errors() const { return 0; }
   virtual std::uint64_t block_rewrites() const { return 0; }
+
+  /// Error-path attribution (ladder step counts, recovery seconds, write
+  /// failures). Backends without an error path report all-zero.
+  virtual ErrorStats error_stats() const { return {}; }
 
   /// The underlying Monte Carlo chip for characterization-level setup
   /// (pre-wear, retention aging) — nullptr on backends without one.

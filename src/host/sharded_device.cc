@@ -62,6 +62,12 @@ std::uint64_t ShardedDevice::block_rewrites() const {
   return n;
 }
 
+ErrorStats ShardedDevice::error_stats() const {
+  ErrorStats total;
+  for (const Shard& s : shards_) total += s.servicer->error_stats();
+  return total;
+}
+
 double ShardedDevice::now_s() const {
   double t = 0.0;
   for (const Shard& s : shards_) t = std::max(t, s.timeline.free_s());
@@ -141,6 +147,8 @@ void ShardedDevice::service_segment(const std::vector<Submitted>& pending,
       r.start_s = slot.start_s;
       r.complete_s = slot.complete_s;
       r.stall_s = cost.stall_s + slot.bg_overlap_s;
+      r.status = cost.status;
+      r.error_pages = cost.error_pages;
       shard.stall_seconds += r.stall_s;
     }
   });
@@ -163,6 +171,8 @@ void ShardedDevice::service_segment(const std::vector<Submitted>& pending,
       start = std::min(start, r.start_s);
       complete = std::max(complete, r.complete_s);
       stall += r.stall_s;
+      rec.status = worst_status(rec.status, r.status);
+      rec.error_pages += r.error_pages;
     }
     rec.service_start_s = start;
     rec.complete_time_s = complete;

@@ -137,6 +137,13 @@ class ShardedDevice : public Device {
   std::uint64_t shard_read_bit_errors(std::uint32_t shard) const {
     return shards_[shard].servicer->read_bit_errors();
   }
+  /// Shard `shard`'s error-path attribution (ladder step counts,
+  /// recovery seconds, write failures).
+  ErrorStats shard_error_stats(std::uint32_t shard) const {
+    return shards_[shard].servicer->error_stats();
+  }
+  /// Whole-device error-path attribution (sum over shards).
+  ErrorStats error_stats() const;
 
   /// Whole-device totals (sums over shards).
   std::uint64_t read_bit_errors() const;
@@ -163,6 +170,8 @@ class ShardedDevice : public Device {
     double start_s = 0.0;
     double complete_s = 0.0;
     double stall_s = 0.0;
+    Status status = Status::kOk;
+    std::uint32_t error_pages = 0;
     bool present = false;
   };
 

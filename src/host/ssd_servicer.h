@@ -55,6 +55,20 @@ class SsdServicer : public Servicer {
     return fs.gc_erases + fs.refreshes + fs.reclaims;
   }
 
+  /// Error-path attribution mapped from the SSD/FTL counters: the
+  /// analytic drive has no escalation ladder (closed-form ECC decodes or
+  /// fails outright), so the retry/RDR fields stay zero.
+  ErrorStats error_stats() const override {
+    const auto& fs = ssd_.ftl().stats();
+    const auto& ss = ssd_.stats();
+    ErrorStats e;
+    e.reads_ok = fs.host_reads - ss.host_uncorrectable_pages;
+    e.reads_uncorrectable = ss.host_uncorrectable_pages;
+    e.writes_failed = ss.host_failed_writes;
+    e.writes_rejected_read_only = ss.host_readonly_writes;
+    return e;
+  }
+
  private:
   ssd::Ssd ssd_;
 };

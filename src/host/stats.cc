@@ -23,6 +23,18 @@ void CompletionStats::add(const Completion& c) {
   ++commands_;
   total_pages_ += c.kind == CommandKind::kFlush ? 0 : c.pages;
   stall_seconds_ += c.stall_s;
+  ++status_counts_[static_cast<std::size_t>(c.status)];
+  error_pages_ += c.error_pages;
+  if (c.kind == CommandKind::kRead) read_error_pages_ += c.error_pages;
+}
+
+double CompletionStats::uber(double bits_per_page) const {
+  const double bits_read =
+      static_cast<double>(pages(CommandKind::kRead)) * bits_per_page;
+  return bits_read <= 0.0
+             ? 0.0
+             : static_cast<double>(read_error_pages_) * bits_per_page /
+                   bits_read;
 }
 
 double CompletionStats::mean_latency_s(CommandKind kind) const {

@@ -29,6 +29,18 @@ class CompletionStats {
   std::uint64_t commands(CommandKind kind) const { return at(kind).count; }
   std::uint64_t pages(CommandKind kind) const { return at(kind).pages; }
 
+  /// Commands that completed with `status` (worst per-page outcome).
+  std::uint64_t commands(Status status) const {
+    return status_counts_[static_cast<std::size_t>(status)];
+  }
+  /// Total pages reported uncorrectable or lost across all completions.
+  std::uint64_t error_pages() const { return error_pages_; }
+
+  /// Host-observed uncorrectable bit error rate: uncorrectable read pages
+  /// (each counted as `bits_per_page` suspect bits) over all bits read.
+  /// 0 when nothing was read.
+  double uber(double bits_per_page) const;
+
   /// Mean latency of `kind` commands (exact, not binned). 0 when none.
   double mean_latency_s(CommandKind kind) const;
   /// Largest observed latency of `kind` commands (exact).
@@ -64,8 +76,11 @@ class CompletionStats {
   }
 
   std::array<KindAgg, 4> kinds_;
+  std::array<std::uint64_t, kStatusCount> status_counts_{};
   std::uint64_t commands_ = 0;
   std::uint64_t total_pages_ = 0;
+  std::uint64_t error_pages_ = 0;
+  std::uint64_t read_error_pages_ = 0;
   double stall_seconds_ = 0.0;
   double first_submit_s_ = 0.0;
   double last_complete_s_ = 0.0;

@@ -41,6 +41,10 @@ const std::vector<ExperimentInfo>& experiments() {
       {"fig_qos_mc",
        "Drive-scale read QoS on the sharded Monte Carlo backend",
        run_fig_qos_mc},
+      {"fig_reliability",
+       "Fault injection vs the error path: UBER, recovery attribution, "
+       "time-to-read-only",
+       run_fig_reliability},
       {"scenario",
        "Config-driven drive replay (--config FILE or --profile NAME)",
        run_scenario},

@@ -29,6 +29,9 @@ Table run_fig10(ExperimentContext& ctx);
 Table run_ablation_rdr(ExperimentContext& ctx);
 Table run_ext_mechanisms(ExperimentContext& ctx);
 
+// experiments_reliability.cc
+Table run_fig_reliability(ExperimentContext& ctx);
+
 // experiments_scenario.cc
 Table run_scenario(ExperimentContext& ctx);
 

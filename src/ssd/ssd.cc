@@ -69,14 +69,45 @@ host::ServiceCost Ssd::service(const host::Command& command) {
   switch (command.kind) {
     case host::CommandKind::kRead:
       for (std::uint32_t i = 0; i < command.pages; ++i) {
-        ftl_.read((command.lpn + i) % logical);
+        const std::uint32_t blk = ftl_.read((command.lpn + i) % logical);
         cost.busy_s += config_.latency.read_s;
+        // Analytic error path: a mapped page reads uncorrectable when its
+        // block's worst-page RBER exceeds the full ECC capability (the
+        // same criterion as the nightly reliability scan). Below that the
+        // closed-form model has ECC absorb the errors silently — kOk here
+        // means "decoded"; the per-sense kCorrected distinction exists
+        // only on the Monte Carlo backends. Never-written pages are
+        // served from the mapping and are trivially kOk.
+        if (blk != ftl::Ftl::kUnmappedBlock &&
+            block_worst_rber(blk) > ecc_.rber_capability()) {
+          cost.status = host::worst_status(cost.status,
+                                           host::Status::kUncorrectable);
+          ++cost.error_pages;
+          ++stats_.host_uncorrectable_pages;
+        }
       }
       break;
     case host::CommandKind::kWrite:
       for (std::uint32_t i = 0; i < command.pages; ++i) {
-        ftl_.write((command.lpn + i) % logical);
+        std::uint32_t blk = ftl::Ftl::kUnmappedBlock;
+        const ftl::WriteResult r =
+            ftl_.write_page((command.lpn + i) % logical, &blk);
+        if (r == ftl::WriteResult::kReadOnly) {
+          // Rejected without touching flash: no busy time, the page (and
+          // every remaining page — the freeze is permanent) is refused.
+          cost.status = host::worst_status(cost.status,
+                                           host::Status::kReadOnly);
+          cost.error_pages += command.pages - i;
+          stats_.host_readonly_writes += command.pages - i;
+          break;
+        }
         cost.busy_s += config_.latency.program_s;
+        if (r == ftl::WriteResult::kFailed) {
+          cost.status = host::worst_status(cost.status,
+                                           host::Status::kFailedWrite);
+          ++cost.error_pages;
+          ++stats_.host_failed_writes;
+        }
       }
       // GC the writes triggered inline runs before the command completes:
       // charge it to the command as a stall, not as generic background.
@@ -97,7 +128,8 @@ host::ServiceCost Ssd::service(const host::Command& command) {
 double Ssd::accrue_background() {
   const auto& fs = ftl_.stats();
   const std::uint64_t bg_writes_total =
-      fs.gc_writes + fs.refresh_writes + fs.reclaim_writes;
+      fs.gc_writes + fs.refresh_writes + fs.reclaim_writes +
+      fs.defect_writes;
   const std::uint64_t erases_total =
       fs.gc_erases + fs.refreshes + fs.reclaims;
   const double seconds =

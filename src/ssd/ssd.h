@@ -46,6 +46,11 @@ struct SsdStats {
   std::uint64_t uncorrectable_page_events = 0;  ///< Block-days where the
                                                 ///< worst page exceeded the
                                                 ///< full ECC capability.
+  // Host-visible error-path outcomes (per page).
+  std::uint64_t host_uncorrectable_pages = 0;  ///< Reads of blocks past
+                                               ///< the ECC capability.
+  std::uint64_t host_failed_writes = 0;        ///< Lost to program fails.
+  std::uint64_t host_readonly_writes = 0;      ///< Rejected: read-only.
   std::uint64_t tuning_fallbacks = 0;
   double sum_vpass_reduction_pct = 0.0;  ///< Sum over tuned block-days.
   std::uint64_t tuned_block_days = 0;

@@ -43,6 +43,40 @@ TEST(EccModel, FailureProbEdges) {
   EXPECT_DOUBLE_EQ(ecc.codeword_failure_prob(1.0), 1.0);
 }
 
+TEST(EccModel, PageFailureProbEdges) {
+  // The page-level edges must be exact too (no accumulated rounding from
+  // the per-codeword union): a clean page never fails, a saturated one
+  // always does — for both provisioning presets.
+  for (const EccConfig& cfg :
+       {EccConfig::paper_provisioning(), EccConfig::mc_provisioning()}) {
+    const EccModel ecc{cfg};
+    EXPECT_DOUBLE_EQ(ecc.page_failure_prob(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(ecc.page_failure_prob(1.0), 1.0);
+    // Out-of-range inputs clamp to the exact edges rather than leak
+    // through the binomial tail arithmetic.
+    EXPECT_DOUBLE_EQ(ecc.codeword_failure_prob(-0.5), 0.0);
+    EXPECT_DOUBLE_EQ(ecc.codeword_failure_prob(1.5), 1.0);
+  }
+}
+
+TEST(EccModel, ZeroCapabilityCode) {
+  // t = 0 is a degenerate but legal provisioning: detection-only. Any
+  // raw error fails the codeword; a clean sense still decodes.
+  EccConfig cfg = EccConfig::paper_provisioning();
+  cfg.correctable_bits = 0;
+  const EccModel ecc{cfg};
+  EXPECT_EQ(ecc.capability(), 0);
+  EXPECT_EQ(ecc.usable_capability(), 0);
+  EXPECT_DOUBLE_EQ(ecc.rber_capability(), 0.0);
+  EXPECT_TRUE(ecc.correctable(0));
+  EXPECT_FALSE(ecc.correctable(1));
+  EXPECT_DOUBLE_EQ(ecc.codeword_failure_prob(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ecc.page_failure_prob(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ecc.codeword_failure_prob(1.0), 1.0);
+  // Any nonzero rber makes failure strictly positive at t = 0.
+  EXPECT_GT(ecc.codeword_failure_prob(1e-6), 0.0);
+}
+
 TEST(EccModel, FailureProbMonotoneInRber) {
   const EccModel ecc{EccConfig::paper_provisioning()};
   double prev = 0.0;

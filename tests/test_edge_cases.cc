@@ -4,6 +4,7 @@
 
 #include <sstream>
 
+#include "cfg/spec.h"
 #include "common/csv.h"
 #include "common/histogram.h"
 #include "common/rng.h"
@@ -12,6 +13,7 @@
 #include "ecc/ecc_model.h"
 #include "flash/rber_model.h"
 #include "flash/vth_model.h"
+#include "host/factory.h"
 #include "host/ssd_device.h"
 #include "nand/randomizer.h"
 #include "ssd/ssd.h"
@@ -195,6 +197,59 @@ TEST(EdgeSsd, MultiPageCommandWrapsLogicalSpace) {
   EXPECT_EQ(done[0].pages, 5u);
   EXPECT_EQ(drive.ssd().ftl().stats().host_writes, 5u);
   EXPECT_TRUE(drive.ssd().ftl().check_invariants());
+}
+
+/// A small valid DriveSpec for each backend, sized so the Monte Carlo
+/// chips stay cheap to construct.
+cfg::DriveSpec tiny_drive(cfg::Backend backend) {
+  cfg::DriveSpec drive;
+  drive.backend = backend;
+  drive.shards = 2;
+  drive.blocks = drive.is_analytic() ? 32 : 2;
+  drive.pages_per_block = 16;
+  drive.overprovision = 0.25;
+  drive.gc_free_target = 2;
+  drive.wordlines_per_block = 4;
+  drive.bitlines = 128;
+  return drive;
+}
+
+TEST(EdgeDevice, NeverWrittenReadAndUnmappedTrimAreCleanOnAllBackends) {
+  // A read of a never-written range and a trim of an unmapped range are
+  // both legal no-op-ish commands: they must complete with kOk, zero
+  // error pages, and a sane timeline on every backend. (The analytic FTL
+  // serves unmapped reads from the mapping; the MC chips sense erased
+  // cells, which carry no raw bit errors.)
+  for (const cfg::Backend backend :
+       {cfg::Backend::kAnalytic, cfg::Backend::kMcChip,
+        cfg::Backend::kShardedMc, cfg::Backend::kShardedAnalytic}) {
+    SCOPED_TRACE(cfg::backend_name(backend));
+    const auto device = host::make_device(tiny_drive(backend), 7, 2);
+    ASSERT_NE(device, nullptr);
+    const std::uint64_t logical = device->logical_pages();
+
+    host::Command read;
+    read.kind = host::CommandKind::kRead;
+    read.lpn = logical - 2;
+    read.pages = 5;  // Wraps the logical space; still never written.
+    device->submit(read);
+    host::Command trim;
+    trim.kind = host::CommandKind::kTrim;
+    trim.lpn = logical / 2;
+    trim.pages = 7;  // Nothing mapped there either.
+    device->submit(trim);
+
+    std::vector<host::Completion> done;
+    ASSERT_EQ(device->drain(&done), 2u);
+    for (const host::Completion& c : done) {
+      EXPECT_EQ(c.status, host::Status::kOk) << host::to_string(c);
+      EXPECT_EQ(c.error_pages, 0u);
+      EXPECT_GE(c.complete_time_s, c.submit_time_s);
+    }
+    EXPECT_EQ(device->stats().error_pages(), 0u);
+    EXPECT_EQ(device->stats().commands(host::Status::kOk), 2u);
+    EXPECT_DOUBLE_EQ(device->stats().uber(8.0 * 4096), 0.0);
+  }
 }
 
 TEST(EdgeRng, LargeBoundUniform) {
