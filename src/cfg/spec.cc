@@ -174,15 +174,65 @@ void parse_faults(Config& config, DriveSpec* drive,
   }
 }
 
-void parse_workload(Config& config, WorkloadSpec* workload,
+void parse_trace(Config& config, TraceSpec* trace,
+                 std::vector<Diagnostic>* diags) {
+  // Any [trace] key without trace.path is a broken section: the replayer
+  // has nothing to read, so the stray knobs would silently do nothing.
+  const bool any_key =
+      config.has("trace.path") || config.has("trace.format") ||
+      config.has("trace.remap") || config.has("trace.mode") ||
+      config.has("trace.queue_depth") || config.has("trace.speedup") ||
+      config.has("trace.page_bytes");
+  if (!any_key) return;
+  trace->path = config.get_string("trace.path", trace->path, diags);
+  if (trace->path.empty())
+    diags->push_back({0, "trace.path",
+                      "missing required key (the trace file to replay; other "
+                      "trace.* keys have no effect without it)"});
+
+  const std::string format =
+      config.get_string("trace.format", std::string(name(trace->format)),
+                        diags);
+  if (!replay::trace_format_from_name(format, &trace->format))
+    diags->push_back({0, "trace.format",
+                      "unknown trace format '" + format +
+                          "' (expected auto, msr, or csv)"});
+
+  const std::string remap =
+      config.get_string("trace.remap", std::string(name(trace->remap)), diags);
+  if (!replay::remap_policy_from_name(remap, &trace->remap))
+    diags->push_back({0, "trace.remap",
+                      "unknown remap policy '" + remap +
+                          "' (expected modulo or hash)"});
+
+  const std::string mode =
+      config.get_string("trace.mode", std::string(name(trace->mode)), diags);
+  if (!replay::replay_mode_from_name(mode, &trace->mode))
+    diags->push_back({0, "trace.mode",
+                      "unknown replay mode '" + mode +
+                          "' (expected open or closed)"});
+
+  trace->queue_depth = static_cast<std::uint32_t>(get_u64_in(
+      config, "trace.queue_depth", trace->queue_depth, 1, 65536, diags));
+  trace->speedup = get_double_in(config, "trace.speedup", trace->speedup,
+                                 1e-6, 1e9, diags);
+  trace->page_bytes = static_cast<std::uint32_t>(get_u64_in(
+      config, "trace.page_bytes", trace->page_bytes, 512, 1u << 20, diags));
+}
+
+void parse_workload(Config& config, WorkloadSpec* workload, bool required,
                     std::vector<Diagnostic>* diags) {
   workload::WorkloadProfile& p = workload->profile;
   if (!config.has("workload.profile")) {
-    std::string names;
-    for (const auto& s : workload::standard_suite())
-      names += (names.empty() ? "" : ", ") + s.name;
-    diags->push_back({0, "workload.profile",
-                      "missing required key (one of: " + names + ")"});
+    // With a [trace] section the workload generator is bypassed, so the
+    // profile becomes optional (overrides below still parse, harmlessly).
+    if (required) {
+      std::string names;
+      for (const auto& s : workload::standard_suite())
+        names += (names.empty() ? "" : ", ") + s.name;
+      diags->push_back({0, "workload.profile",
+                        "missing required key (one of: " + names + ")"});
+    }
   } else {
     const std::string name = config.get_string("workload.profile", "", diags);
     bool found = false;
@@ -245,7 +295,8 @@ ScenarioSpec parse_scenario(Config& config, std::vector<Diagnostic>* diags) {
       config.get_bool("scenario.warm_fill", spec.warm_fill, diags);
   parse_drive(config, &spec.drive, diags);
   parse_faults(config, &spec.drive, diags);
-  parse_workload(config, &spec.workload, diags);
+  parse_trace(config, &spec.trace, diags);
+  parse_workload(config, &spec.workload, !spec.trace.enabled(), diags);
   config.report_unknown(diags);
   return spec;
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cfg/config.h"
+#include "replay/options.h"
 #include "workload/profiles.h"
 
 namespace rdsim::cfg {
@@ -109,6 +110,22 @@ struct WorkloadSpec {
   workload::WorkloadProfile profile;
 };
 
+/// Real-trace replay ([trace] section). When `path` is set the scenario
+/// replays that trace file through src/replay instead of generating
+/// synthetic traffic from the workload profile (which then becomes
+/// optional). Defaults mirror replay::ReplayOptions.
+struct TraceSpec {
+  std::string path;  ///< Trace file; empty = no trace replay.
+  replay::TraceFormat format = replay::TraceFormat::kAuto;
+  replay::RemapPolicy remap = replay::RemapPolicy::kModulo;
+  replay::ReplayMode mode = replay::ReplayMode::kOpen;
+  std::uint32_t queue_depth = 16;  ///< Closed-loop outstanding commands.
+  double speedup = 1.0;            ///< Open-loop time compression factor.
+  std::uint32_t page_bytes = 8192; ///< MSR byte-offset -> page conversion.
+
+  bool enabled() const { return !path.empty(); }
+};
+
 struct ScenarioSpec {
   std::string name = "scenario";
   int days = 2;                   ///< Simulated days to replay.
@@ -117,6 +134,7 @@ struct ScenarioSpec {
                                   ///< (analytic backends only).
   DriveSpec drive;
   WorkloadSpec workload;
+  TraceSpec trace;  ///< Optional [trace] replay; see TraceSpec.enabled().
 };
 
 /// Parses and validates a scenario from `config`, consuming every key it

@@ -1,0 +1,36 @@
+#include "common/datafile.h"
+
+#include <cstdlib>
+#include <fstream>
+
+namespace rdsim {
+namespace {
+
+bool file_exists(const std::string& path) {
+  std::ifstream f(path);
+  return f.good();
+}
+
+}  // namespace
+
+std::string find_test_data(const std::string& name) {
+  if (const char* dir = std::getenv("RDSIM_DATA_DIR")) {
+    const std::string p = std::string(dir) + "/" + name;
+    if (file_exists(p)) return p;
+  }
+  for (const char* prefix :
+       {"tests/data/", "../tests/data/", "../../tests/data/",
+        "../../../tests/data/"}) {
+    const std::string p = std::string(prefix) + name;
+    if (file_exists(p)) return p;
+  }
+#ifdef RDSIM_SOURCE_DIR
+  {
+    const std::string p = std::string(RDSIM_SOURCE_DIR) + "/tests/data/" + name;
+    if (file_exists(p)) return p;
+  }
+#endif
+  return {};
+}
+
+}  // namespace rdsim

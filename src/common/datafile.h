@@ -1,0 +1,20 @@
+// rdsim/common/datafile.h
+//
+// Locates checked-in data files (tests/data/*) at runtime. Tests and the
+// fig_trace_replay experiment run from the build tree, CI runs them from
+// the repo root, and a packaged binary may run from anywhere — so the
+// lookup tries, in order: $RDSIM_DATA_DIR, ./tests/data/, a few parent
+// levels of the same, and finally the build-time source directory baked
+// in by CMake (RDSIM_SOURCE_DIR).
+#pragma once
+
+#include <string>
+
+namespace rdsim {
+
+/// Returns a path to tests/data/<name> that exists, or an empty string if
+/// the file cannot be found anywhere (callers decide whether that is an
+/// error or a skip).
+std::string find_test_data(const std::string& name);
+
+}  // namespace rdsim

@@ -57,6 +57,21 @@ double Histogram::quantile(double q) const {
   return hi_;
 }
 
+std::vector<Histogram::CdfPoint> Histogram::cdf_points() const {
+  std::vector<CdfPoint> out;
+  if (total_ == 0) return out;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    cum += counts_[i];
+    out.push_back({lo_ + static_cast<double>(i + 1) * width_,
+                   static_cast<double>(cum) / static_cast<double>(total_)});
+  }
+  // Guard the tail against floating-point shortfall: all mass is counted.
+  out.back().fraction = 1.0;
+  return out;
+}
+
 void Histogram::clear() {
   std::fill(counts_.begin(), counts_.end(), 0);
   total_ = 0;

@@ -49,6 +49,20 @@ class Histogram {
   /// Returns lo() when the histogram is empty.
   double quantile(double q) const;
 
+  /// One point of an empirical CDF: cumulative `fraction` of the mass is
+  /// at or below `value`.
+  struct CdfPoint {
+    double value;
+    double fraction;
+  };
+
+  /// Empirical CDF as (value, cumulative-fraction) pairs, one per
+  /// non-empty bin, with `value` the bin's upper edge (matching the
+  /// conservative quantile() convention: the fraction at or below that
+  /// edge is never under-reported). The last point's fraction is exactly
+  /// 1.0. Empty histogram yields an empty vector.
+  std::vector<CdfPoint> cdf_points() const;
+
   /// Resets all counts to zero.
   void clear();
 

@@ -59,6 +59,14 @@ class ClosedLoopDriver {
         release_s_(device.now_s()),
         last_submit_s_(release_s_) {}
 
+  /// Optional completion sink: every record the driver drains from the
+  /// device is appended to *sink (in delivery order, each exactly once),
+  /// so callers that need the completion log — the trace replayer's
+  /// latency CDFs — can drive closed-loop without re-polling. nullptr
+  /// (the default) disables it; the replay schedule is unaffected either
+  /// way.
+  void set_completion_sink(std::vector<Completion>* sink) { sink_ = sink; }
+
   /// Replays one batch of commands (submit-time stamps are overwritten)
   /// and absorbs every completion at the end of the batch.
   void run(const std::vector<Command>& commands) {
@@ -77,6 +85,8 @@ class ClosedLoopDriver {
       release_s_ = std::max(release_s_, buffer_.back().complete_time_s);
     buffer_.clear();
     device_->drain(&buffer_);
+    if (sink_ != nullptr)
+      sink_->insert(sink_->end(), buffer_.begin(), buffer_.end());
     if (!buffer_.empty())
       release_s_ = std::max(release_s_, buffer_.back().complete_time_s);
     buffer_.clear();
@@ -97,6 +107,8 @@ class ClosedLoopDriver {
   double next_completion_s() {
     fresh_.clear();
     device_->drain(&fresh_);
+    if (sink_ != nullptr)
+      sink_->insert(sink_->end(), fresh_.begin(), fresh_.end());
     if (!fresh_.empty()) {
       if (next_ > 0) {
         buffer_.erase(buffer_.begin(),
@@ -127,6 +139,7 @@ class ClosedLoopDriver {
   std::vector<Completion> buffer_;
   std::vector<Completion> fresh_;
   std::size_t next_ = 0;
+  std::vector<Completion>* sink_ = nullptr;
 };
 
 }  // namespace rdsim::host

@@ -1,0 +1,59 @@
+#include "replay/latency.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rdsim::replay {
+
+LatencyTracker::LatencyTracker(double window_s, double max_latency_us,
+                               std::size_t bins)
+    : window_s_(window_s), max_latency_us_(max_latency_us), bins_(bins) {
+  assert(window_s > 0.0 && max_latency_us > 0.0 && bins >= 1);
+  by_kind_.reserve(4);
+  for (int i = 0; i < 4; ++i)
+    by_kind_.emplace_back(0.0, max_latency_us_, bins_);
+}
+
+void LatencyTracker::observe(const host::Completion& c) {
+  ++observed_;
+  const double latency_us = c.latency_s() * 1e6;
+  by_kind_[static_cast<std::size_t>(c.kind)].add(latency_us);
+  if (c.kind != host::CommandKind::kRead) return;
+  // Window index from the completion timestamp, clamped at 0 so a record
+  // completing exactly at (or fractionally before) the origin still lands
+  // in the first window instead of indexing negatively.
+  const double rel = c.complete_time_s - origin_s_;
+  const auto idx_signed = static_cast<std::int64_t>(std::floor(rel / window_s_));
+  const auto idx =
+      static_cast<std::size_t>(idx_signed < 0 ? 0 : idx_signed);
+  while (windows_.size() <= idx)
+    windows_.emplace_back(0.0, max_latency_us_, bins_);
+  windows_[idx].add(latency_us);
+}
+
+const Histogram& LatencyTracker::histogram(host::CommandKind kind) const {
+  return by_kind_[static_cast<std::size_t>(kind)];
+}
+
+double LatencyTracker::read_quantile_us(double q) const {
+  return histogram(host::CommandKind::kRead).quantile(q);
+}
+
+std::vector<WindowRow> LatencyTracker::window_rows() const {
+  std::vector<WindowRow> out;
+  out.reserve(windows_.size());
+  for (std::size_t i = 0; i < windows_.size(); ++i) {
+    WindowRow row;
+    row.window_start_s = static_cast<double>(i) * window_s_;
+    row.reads = windows_[i].total();
+    if (row.reads > 0) {
+      row.p50_us = windows_[i].quantile(0.50);
+      row.p99_us = windows_[i].quantile(0.99);
+      row.p999_us = windows_[i].quantile(0.999);
+    }
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace rdsim::replay

@@ -1,0 +1,80 @@
+// rdsim/replay/options.h
+//
+// Enums shared between the trace-replay subsystem and the config layer.
+// Deliberately dependency-free (no host/, no cfg/ includes) so
+// cfg::TraceSpec can carry them without creating a cfg <-> replay cycle:
+// cfg describes *what* to replay; replay (which pulls in the host layer)
+// does the replaying.
+#pragma once
+
+#include <string_view>
+
+namespace rdsim::replay {
+
+/// On-disk trace format. kAuto sniffs the first record: 4 comma-separated
+/// fields => rdsim CSV ("time_s,op,lpn,pages"), 6+ => MSR-Cambridge SNIA
+/// ("Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime").
+enum class TraceFormat { kAuto, kMsr, kCsv };
+
+/// How trace LBAs (which typically address a much larger device than the
+/// simulated one) are folded onto the simulated capacity. Both are pure
+/// functions of the original LPN, so replay is deterministic.
+enum class RemapPolicy {
+  kModulo,  ///< lpn % capacity: preserves sequential runs and locality.
+  kHash,    ///< splitmix64(lpn) % capacity: scatters hot ranges uniformly.
+};
+
+/// Replay discipline.
+enum class ReplayMode {
+  kOpen,    ///< Arrival-timestamp-faithful: submit at trace time (/speedup).
+  kClosed,  ///< QD-bounded via ClosedLoopDriver: timestamps are ordering only.
+};
+
+inline constexpr std::string_view name(TraceFormat f) {
+  switch (f) {
+    case TraceFormat::kAuto: return "auto";
+    case TraceFormat::kMsr: return "msr";
+    case TraceFormat::kCsv: return "csv";
+  }
+  return "?";
+}
+
+inline constexpr std::string_view name(RemapPolicy p) {
+  switch (p) {
+    case RemapPolicy::kModulo: return "modulo";
+    case RemapPolicy::kHash: return "hash";
+  }
+  return "?";
+}
+
+inline constexpr std::string_view name(ReplayMode m) {
+  switch (m) {
+    case ReplayMode::kOpen: return "open";
+    case ReplayMode::kClosed: return "closed";
+  }
+  return "?";
+}
+
+inline bool trace_format_from_name(std::string_view s, TraceFormat* out) {
+  if (s == "auto") *out = TraceFormat::kAuto;
+  else if (s == "msr") *out = TraceFormat::kMsr;
+  else if (s == "csv") *out = TraceFormat::kCsv;
+  else return false;
+  return true;
+}
+
+inline bool remap_policy_from_name(std::string_view s, RemapPolicy* out) {
+  if (s == "modulo") *out = RemapPolicy::kModulo;
+  else if (s == "hash") *out = RemapPolicy::kHash;
+  else return false;
+  return true;
+}
+
+inline bool replay_mode_from_name(std::string_view s, ReplayMode* out) {
+  if (s == "open") *out = ReplayMode::kOpen;
+  else if (s == "closed") *out = ReplayMode::kClosed;
+  else return false;
+  return true;
+}
+
+}  // namespace rdsim::replay

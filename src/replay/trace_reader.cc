@@ -1,0 +1,91 @@
+#include "replay/trace_reader.h"
+
+#include <stdexcept>
+
+#include "workload/trace_io.h"
+
+namespace rdsim::replay {
+namespace {
+
+/// Field count of a comma-separated line (commas + 1). Quoting in the
+/// supported formats never embeds commas, so this is exact.
+std::size_t field_count(const std::string& line) {
+  std::size_t n = 1;
+  for (char c : line)
+    if (c == ',') ++n;
+  return n;
+}
+
+/// Blank (possibly just "\r") or #-comment — same rule the line parsers
+/// apply, duplicated here so sniffing skips what parsing would skip.
+bool is_skippable(const std::string& line) {
+  for (char c : line) {
+    if (c == ' ' || c == '\t' || c == '\r') continue;
+    return c == '#';
+  }
+  return true;
+}
+
+}  // namespace
+
+StreamingTraceReader::StreamingTraceReader(std::istream& in,
+                                           TraceFormat format,
+                                           std::uint32_t page_bytes)
+    : in_(in), format_(format), page_bytes_(page_bytes) {}
+
+bool StreamingTraceReader::next_data_line(std::string* line) {
+  while (std::getline(in_, *line)) {
+    ++line_no_;
+    if (!is_skippable(*line)) return true;
+  }
+  return false;
+}
+
+bool StreamingTraceReader::next(workload::IoRequest* out) {
+  std::string line;
+  while (next_data_line(&line)) {
+    if (format_ == TraceFormat::kAuto) {
+      const std::size_t n = field_count(line);
+      if (n == 4) {
+        format_ = TraceFormat::kCsv;
+      } else if (n >= 6) {
+        format_ = TraceFormat::kMsr;
+      } else {
+        throw std::runtime_error("line " + std::to_string(line_no_) +
+                                 ": unrecognized trace format (" +
+                                 std::to_string(n) +
+                                 " fields; expected 4 for rdsim CSV or >=6 "
+                                 "for MSR): '" +
+                                 line + "'");
+      }
+    }
+    if (format_ == TraceFormat::kMsr) {
+      if (!have_first_tick_) {
+        first_tick_ = workload::msr_timestamp_ticks(line, line_no_);
+        have_first_tick_ = true;
+      }
+      if (workload::parse_msr_line(line, page_bytes_, first_tick_, out,
+                                   line_no_)) {
+        ++records_;
+        return true;
+      }
+    } else {
+      if (workload::parse_csv_trace_line(line, out, line_no_)) {
+        ++records_;
+        return true;
+      }
+    }
+    // Parser skipped the line (e.g. a CSV header): keep going.
+  }
+  return false;
+}
+
+std::size_t StreamingTraceReader::read_chunk(
+    std::size_t window, std::vector<workload::IoRequest>* out) {
+  out->clear();
+  workload::IoRequest r;
+  while (out->size() < window && next(&r)) out->push_back(r);
+  return out->size();
+}
+
+}  // namespace rdsim::replay

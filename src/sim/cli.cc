@@ -93,6 +93,8 @@ CliOptions parse_cli(int argc, char** argv, bool allow_experiment) {
       if (options.error.empty()) options.config.scenario_config = value;
     } else if (take_value(argc, argv, i, "--profile", value, options)) {
       if (options.error.empty()) options.config.scenario_profile = value;
+    } else if (take_value(argc, argv, i, "--trace", value, options)) {
+      if (options.error.empty()) options.config.scenario_trace = value;
     } else if (arg == "--list-profiles") {
       options.list_profiles = true;
     } else if (arg == "--no-file") {
@@ -131,6 +133,10 @@ const char* cli_flag_help() {
       "                  exits non-zero listing every problem by key\n"
       "  --profile NAME  built-in scenario profile (see --list-profiles);\n"
       "                  --config wins when both are given\n"
+      "  --trace PATH    trace file (MSR-Cambridge or rdsim CSV) the\n"
+      "                  `scenario` experiment replays instead of its\n"
+      "                  generated workload; overrides any [trace] path in\n"
+      "                  the config (see docs/CONFIG.md [trace])\n"
       "  --list-profiles list the built-in scenario profiles\n"
       "  --help          this text\n";
 }

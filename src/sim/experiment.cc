@@ -45,6 +45,10 @@ const std::vector<ExperimentInfo>& experiments() {
        "Fault injection vs the error path: UBER, recovery attribution, "
        "time-to-read-only",
        run_fig_reliability},
+      {"fig_trace_replay",
+       "Real-trace replay: MSR sample through analytic and sharded-MC "
+       "drives, open and closed loop, latency CDF + moving percentiles",
+       run_fig_trace_replay},
       {"scenario",
        "Config-driven drive replay (--config FILE or --profile NAME)",
        run_scenario},

@@ -35,6 +35,10 @@ struct ExperimentConfig {
   /// the default built-in profile (cfg::builtin_profiles().front()).
   std::string scenario_config;
   std::string scenario_profile;
+  /// CLI --trace: a trace file the scenario experiment replays instead of
+  /// the spec's generated workload (overrides any [trace] path in the
+  /// config file; format and remap policy keep their spec values).
+  std::string scenario_trace;
 };
 
 class ExperimentContext {
@@ -51,6 +55,7 @@ class ExperimentContext {
   const std::string& scenario_profile() const {
     return config_.scenario_profile;
   }
+  const std::string& scenario_trace() const { return config_.scenario_trace; }
   ExperimentRunner& runner() { return *runner_; }
 
   /// `count` scaled by the volume knob, kept >= `floor`.

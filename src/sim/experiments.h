@@ -32,6 +32,9 @@ Table run_ext_mechanisms(ExperimentContext& ctx);
 // experiments_reliability.cc
 Table run_fig_reliability(ExperimentContext& ctx);
 
+// experiments_replay.cc
+Table run_fig_trace_replay(ExperimentContext& ctx);
+
 // experiments_scenario.cc
 Table run_scenario(ExperimentContext& ctx);
 

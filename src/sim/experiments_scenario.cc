@@ -8,6 +8,7 @@
 // build is runnable from a text file without recompiling.
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -18,6 +19,8 @@
 #include "host/driver.h"
 #include "host/factory.h"
 #include "host/sharded_device.h"
+#include "replay/latency.h"
+#include "replay/replayer.h"
 #include "sim/experiments.h"
 #include "workload/generator.h"
 
@@ -77,6 +80,9 @@ void apply_scale(ExperimentContext& ctx, cfg::ScenarioSpec* spec) {
 Table run_scenario(ExperimentContext& ctx) {
   cfg::ScenarioSpec spec = resolve_scenario(ctx);
   apply_scale(ctx, &spec);
+  // CLI --trace overrides (or supplies) the spec's trace path; the other
+  // [trace] knobs keep their config/default values.
+  if (!ctx.scenario_trace().empty()) spec.trace.path = ctx.scenario_trace();
 
   // Same seed-derivation scheme as fig08/fig_qos: one drive seed and one
   // trace seed, offset so seeds near the default move continuously.
@@ -88,13 +94,32 @@ Table run_scenario(ExperimentContext& ctx) {
       host::make_device(spec.drive, drive_seed, workers);
   if (spec.warm_fill && spec.drive.is_analytic()) host::warm_fill(*device);
 
-  workload::TraceGenerator gen(spec.workload.profile,
-                               device->logical_pages(), trace_seed,
-                               device->queue_count());
-  host::ClosedLoopDriver driver(*device, static_cast<int>(spec.queue_depth));
-  for (int day = 0; day < spec.days; ++day) {
-    driver.run(gen.day_commands());
+  replay::ReplaySummary trace_summary;
+  if (spec.trace.enabled()) {
+    // Real-trace replay through src/replay instead of the generator.
+    std::ifstream file(spec.trace.path);
+    if (!file)
+      throw std::runtime_error("cannot open trace file '" + spec.trace.path +
+                               "'");
+    replay::ReplayOptions opts;
+    opts.format = spec.trace.format;
+    opts.remap = spec.trace.remap;
+    opts.mode = spec.trace.mode;
+    opts.queue_depth = spec.trace.queue_depth;
+    opts.speedup = spec.trace.speedup;
+    opts.page_bytes = spec.trace.page_bytes;
+    trace_summary = replay::replay_trace(file, *device, opts, nullptr);
     device->end_of_day();
+  } else {
+    workload::TraceGenerator gen(spec.workload.profile,
+                                 device->logical_pages(), trace_seed,
+                                 device->queue_count());
+    host::ClosedLoopDriver driver(*device,
+                                  static_cast<int>(spec.queue_depth));
+    for (int day = 0; day < spec.days; ++day) {
+      driver.run(gen.day_commands());
+      device->end_of_day();
+    }
   }
 
   const host::CompletionStats& stats = device->stats();
@@ -111,11 +136,16 @@ Table run_scenario(ExperimentContext& ctx) {
                            : stats.stall_seconds() / latency_sum_s * 100.0;
 
   Table table;
-  table.comment("scenario '" + spec.name + "': " +
-                cfg::backend_name(spec.drive.backend) + " drive, workload " +
-                spec.workload.profile.name + ", " +
+  const std::string source =
+      spec.trace.enabled()
+          ? "trace " + spec.trace.path + " (" +
+                std::string(name(spec.trace.mode)) + "-loop, " +
+                std::string(name(spec.trace.remap)) + " remap)"
+          : "workload " + spec.workload.profile.name + ", " +
                 std::to_string(spec.days) + " day(s), queue depth " +
-                std::to_string(spec.queue_depth));
+                std::to_string(spec.queue_depth);
+  table.comment("scenario '" + spec.name + "': " +
+                cfg::backend_name(spec.drive.backend) + " drive, " + source);
   table.row(
       "backend,shards,days,queue_depth,reads,writes,trims,flushes,iops,"
       "read_mean_us,read_p50_us,read_p99_us,read_p999_us,stall_pct");
@@ -132,6 +162,28 @@ Table run_scenario(ExperimentContext& ctx) {
       us(stats.latency_quantile_s(CommandKind::kRead, 0.50)),
       us(stats.latency_quantile_s(CommandKind::kRead, 0.99)),
       us(stats.latency_quantile_s(CommandKind::kRead, 0.999)), stall_pct));
+
+  if (spec.trace.enabled()) {
+    table.new_section();
+    table.comment(
+        "Trace replay outcome (per-status completion counts; see "
+        "host::Status for the severity ladder)");
+    table.row(
+        "trace_commands,reads,writes,ok,corrected,recovered,uncorrectable,"
+        "failed_write,read_only,span_s");
+    table.row(strf(
+        "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%.6f",
+        static_cast<unsigned long long>(trace_summary.commands),
+        static_cast<unsigned long long>(trace_summary.reads),
+        static_cast<unsigned long long>(trace_summary.writes),
+        static_cast<unsigned long long>(trace_summary.status_counts[0]),
+        static_cast<unsigned long long>(trace_summary.status_counts[1]),
+        static_cast<unsigned long long>(trace_summary.status_counts[2]),
+        static_cast<unsigned long long>(trace_summary.status_counts[3]),
+        static_cast<unsigned long long>(trace_summary.status_counts[4]),
+        static_cast<unsigned long long>(trace_summary.status_counts[5]),
+        trace_summary.last_complete_s - trace_summary.first_submit_s));
+  }
 
   if (sharded) {
     const auto& dev = static_cast<const host::ShardedDevice&>(*device);

@@ -8,40 +8,78 @@
 namespace rdsim::workload {
 namespace {
 
+/// Strips surrounding whitespace (spaces, tabs, CR — so CRLF line endings
+/// just work) and then one pair of surrounding double quotes, if present.
+/// MSR exports from spreadsheet tooling quote fields; embedded commas are
+/// out of scope (the format has none), so a simple strip suffices.
+std::string clean_field(const std::string& raw) {
+  std::size_t b = 0;
+  std::size_t e = raw.size();
+  while (b < e && (raw[b] == ' ' || raw[b] == '\t' || raw[b] == '\r')) ++b;
+  while (e > b &&
+         (raw[e - 1] == ' ' || raw[e - 1] == '\t' || raw[e - 1] == '\r'))
+    --e;
+  if (e - b >= 2 && raw[b] == '"' && raw[e - 1] == '"') {
+    ++b;
+    --e;
+  }
+  return raw.substr(b, e - b);
+}
+
 std::vector<std::string> split(const std::string& line, char sep) {
   std::vector<std::string> out;
   std::size_t start = 0;
   while (true) {
     const auto pos = line.find(sep, start);
     if (pos == std::string::npos) {
-      out.push_back(line.substr(start));
+      out.push_back(clean_field(line.substr(start)));
       break;
     }
-    out.push_back(line.substr(start, pos - start));
+    out.push_back(clean_field(line.substr(start, pos - start)));
     start = pos + 1;
   }
   return out;
 }
 
-std::uint64_t parse_u64(const std::string& s, const char* what) {
+/// "line N: " prefix for parse errors, empty when the caller did not
+/// supply a line number (line_no == 0).
+std::string at_line(std::uint64_t line_no) {
+  if (line_no == 0) return {};
+  return "line " + std::to_string(line_no) + ": ";
+}
+
+std::uint64_t parse_u64(const std::string& s, const char* what,
+                        std::uint64_t line_no) {
   std::uint64_t v = 0;
   const auto* begin = s.data();
   const auto* end = s.data() + s.size();
   const auto result = std::from_chars(begin, end, v);
   if (result.ec != std::errc{} || result.ptr != end)
-    throw std::runtime_error(std::string("bad ") + what + ": '" + s + "'");
+    throw std::runtime_error(at_line(line_no) + "bad " + what + ": '" + s +
+                             "'");
   return v;
 }
 
-double parse_double(const std::string& s, const char* what) {
+double parse_double(const std::string& s, const char* what,
+                    std::uint64_t line_no) {
   try {
     std::size_t used = 0;
     const double v = std::stod(s, &used);
     if (used != s.size()) throw std::invalid_argument(s);
     return v;
   } catch (const std::exception&) {
-    throw std::runtime_error(std::string("bad ") + what + ": '" + s + "'");
+    throw std::runtime_error(at_line(line_no) + "bad " + what + ": '" + s +
+                             "'");
   }
+}
+
+/// Blank (including a lone "\r" from a CRLF blank line) or #-comment.
+bool is_skippable(const std::string& line) {
+  for (char c : line) {
+    if (c == ' ' || c == '\t' || c == '\r') continue;
+    return c == '#';
+  }
+  return true;
 }
 
 }  // namespace
@@ -57,68 +95,86 @@ void write_trace_csv(std::ostream& out, const std::vector<IoRequest>& trace) {
   }
 }
 
+bool parse_csv_trace_line(const std::string& line, IoRequest* out,
+                          std::uint64_t line_no) {
+  if (is_skippable(line)) return false;
+  const auto fields = split(line, ',');
+  if (!fields.empty() && fields[0] == "time_s") return false;  // header
+  if (fields.size() != 4)
+    throw std::runtime_error(at_line(line_no) + "bad trace row: '" + line +
+                             "'");
+  out->time_s = parse_double(fields[0], "time", line_no);
+  if (fields[1] != "R" && fields[1] != "W")
+    throw std::runtime_error(at_line(line_no) + "bad op: '" + fields[1] + "'");
+  out->is_write = fields[1] == "W";
+  out->lpn = parse_u64(fields[2], "lpn", line_no);
+  out->pages =
+      static_cast<std::uint32_t>(parse_u64(fields[3], "pages", line_no));
+  if (out->pages == 0)
+    throw std::runtime_error(at_line(line_no) +
+                             "zero-size request: '" + line + "'");
+  return true;
+}
+
 std::vector<IoRequest> read_trace_csv(std::istream& in) {
   std::vector<IoRequest> trace;
   std::string line;
-  bool first = true;
+  std::uint64_t line_no = 0;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    if (first && line.rfind("time_s", 0) == 0) {
-      first = false;
-      continue;
-    }
-    first = false;
-    const auto fields = split(line, ',');
-    if (fields.size() != 4)
-      throw std::runtime_error("bad trace row: '" + line + "'");
+    ++line_no;
     IoRequest r;
-    r.time_s = parse_double(fields[0], "time");
-    if (fields[1] != "R" && fields[1] != "W")
-      throw std::runtime_error("bad op: '" + fields[1] + "'");
-    r.is_write = fields[1] == "W";
-    r.lpn = parse_u64(fields[2], "lpn");
-    r.pages = static_cast<std::uint32_t>(parse_u64(fields[3], "pages"));
-    trace.push_back(r);
+    if (parse_csv_trace_line(line, &r, line_no)) trace.push_back(r);
   }
   return trace;
 }
 
 bool parse_msr_line(const std::string& line, std::uint32_t page_bytes,
-                    std::uint64_t first_tick, IoRequest* out) {
-  if (line.empty() || line[0] == '#') return false;
+                    std::uint64_t first_tick, IoRequest* out,
+                    std::uint64_t line_no) {
+  if (is_skippable(line)) return false;
   const auto fields = split(line, ',');
   if (fields.size() < 6)
-    throw std::runtime_error("bad MSR row: '" + line + "'");
-  const std::uint64_t ticks = parse_u64(fields[0], "timestamp");
+    throw std::runtime_error(at_line(line_no) + "bad MSR row: '" + line + "'");
+  const std::uint64_t ticks = parse_u64(fields[0], "timestamp", line_no);
   const std::string& type = fields[3];
-  const std::uint64_t offset = parse_u64(fields[4], "offset");
-  const std::uint64_t size = parse_u64(fields[5], "size");
+  const std::uint64_t offset = parse_u64(fields[4], "offset", line_no);
+  const std::uint64_t size = parse_u64(fields[5], "size", line_no);
+  if (size == 0)
+    throw std::runtime_error(at_line(line_no) +
+                             "zero-size request: '" + line + "'");
   out->time_s = static_cast<double>(ticks - first_tick) * 1e-7;
   out->is_write = type == "Write" || type == "write" || type == "W";
   out->lpn = offset / page_bytes;
-  const std::uint64_t last = (offset + (size == 0 ? 1 : size) - 1) / page_bytes;
+  const std::uint64_t last = (offset + size - 1) / page_bytes;
   out->pages = static_cast<std::uint32_t>(last - out->lpn + 1);
   return true;
+}
+
+std::uint64_t msr_timestamp_ticks(const std::string& line,
+                                  std::uint64_t line_no) {
+  const auto fields = split(line, ',');
+  if (fields.empty() || fields[0].empty())
+    throw std::runtime_error(at_line(line_no) + "bad MSR row: '" + line + "'");
+  return parse_u64(fields[0], "timestamp", line_no);
 }
 
 std::vector<IoRequest> read_msr_trace(std::istream& in,
                                       std::uint32_t page_bytes) {
   std::vector<IoRequest> trace;
   std::string line;
+  std::uint64_t line_no = 0;
   std::uint64_t first_tick = 0;
   bool have_first = false;
   while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
+    ++line_no;
+    if (is_skippable(line)) continue;
     if (!have_first) {
-      // Peek the timestamp to rebase.
-      const auto fields = split(line, ',');
-      if (fields.empty())
-        throw std::runtime_error("bad MSR row: '" + line + "'");
-      first_tick = parse_u64(fields[0], "timestamp");
+      first_tick = msr_timestamp_ticks(line, line_no);
       have_first = true;
     }
     IoRequest r;
-    if (parse_msr_line(line, page_bytes, first_tick, &r)) trace.push_back(r);
+    if (parse_msr_line(line, page_bytes, first_tick, &r, line_no))
+      trace.push_back(r);
   }
   return trace;
 }

@@ -7,6 +7,13 @@
 //   * MSR-Cambridge SNIA format: "Timestamp,Hostname,DiskNumber,Type,
 //     Offset,Size,ResponseTime" with byte offsets/sizes, converted to
 //     page granularity on load (the trace family the paper evaluates on).
+//
+// The line parsers tolerate real-world file noise: CRLF line endings,
+// whitespace around fields, and quoted (embedded-comma-free) fields.
+// Malformed rows throw std::runtime_error; when the caller supplies a
+// nonzero line number the message is prefixed "line N: " so a bad row
+// deep in a multi-gigabyte trace is findable. Streaming ingestion with
+// bounded memory lives above this in replay::StreamingTraceReader.
 #pragma once
 
 #include <cstdint>
@@ -26,12 +33,27 @@ void write_trace_csv(std::ostream& out, const std::vector<IoRequest>& trace);
 /// malformed rows.
 std::vector<IoRequest> read_trace_csv(std::istream& in);
 
+/// Parses one rdsim-CSV record. Returns false for blank/comment lines
+/// and the "time_s,..." header; throws std::runtime_error (line-numbered
+/// when `line_no` > 0) on malformed rows.
+bool parse_csv_trace_line(const std::string& line, IoRequest* out,
+                          std::uint64_t line_no = 0);
+
 /// Parses one MSR-Cambridge record into page granularity. Returns false
-/// for blank/comment lines. Throws std::runtime_error on malformed rows.
+/// for blank/comment lines. Throws std::runtime_error (line-numbered
+/// when `line_no` > 0) on malformed rows and on zero-size requests.
 /// MSR timestamps are Windows ticks (100 ns); they are rebased by the
 /// caller-supplied `first_tick` (pass 0 to keep absolute seconds).
 bool parse_msr_line(const std::string& line, std::uint32_t page_bytes,
-                    std::uint64_t first_tick, IoRequest* out);
+                    std::uint64_t first_tick, IoRequest* out,
+                    std::uint64_t line_no = 0);
+
+/// Raw timestamp ticks of one MSR record (same field cleaning as
+/// parse_msr_line) — what a streaming reader needs to rebase a trace
+/// without holding it: the tick does not survive a round-trip through
+/// IoRequest::time_s (doubles lose integer precision above 2^53).
+std::uint64_t msr_timestamp_ticks(const std::string& line,
+                                  std::uint64_t line_no = 0);
 
 /// Reads a full MSR-Cambridge trace; timestamps are rebased so the first
 /// record is t = 0.

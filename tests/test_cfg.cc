@@ -231,6 +231,62 @@ TEST(Spec, UnknownKeysAreDiagnosed) {
   EXPECT_TRUE(has_diag(diags, "exotic.knob", "unknown key"));
 }
 
+TEST(Spec, TraceSectionParsesAndValidates) {
+  std::vector<Diagnostic> diags;
+  const ScenarioSpec spec = parse_text(
+      "[drive]\nbackend = analytic\n"
+      "[trace]\npath = /tmp/some.trace\nformat = msr\nremap = hash\n"
+      "mode = closed\nqueue_depth = 32\nspeedup = 100\npage_bytes = 4096\n",
+      &diags);
+  EXPECT_TRUE(diags.empty()) << format_diagnostics(diags);
+  EXPECT_TRUE(spec.trace.enabled());
+  EXPECT_EQ(spec.trace.path, "/tmp/some.trace");
+  EXPECT_EQ(spec.trace.format, replay::TraceFormat::kMsr);
+  EXPECT_EQ(spec.trace.remap, replay::RemapPolicy::kHash);
+  EXPECT_EQ(spec.trace.mode, replay::ReplayMode::kClosed);
+  EXPECT_EQ(spec.trace.queue_depth, 32u);
+  EXPECT_DOUBLE_EQ(spec.trace.speedup, 100.0);
+  EXPECT_EQ(spec.trace.page_bytes, 4096u);
+}
+
+TEST(Spec, TraceMakesWorkloadProfileOptional) {
+  // With a [trace] section the generator is bypassed, so the otherwise
+  // required workload.profile must not be demanded...
+  std::vector<Diagnostic> diags;
+  const ScenarioSpec spec = parse_text(
+      "[drive]\nbackend = analytic\n[trace]\npath = t.csv\n", &diags);
+  EXPECT_TRUE(diags.empty()) << format_diagnostics(diags);
+  EXPECT_TRUE(spec.trace.enabled());
+  // ...but without one it still is.
+  std::vector<Diagnostic> no_trace;
+  parse_text("[drive]\nbackend = analytic\n", &no_trace);
+  EXPECT_TRUE(has_diag(no_trace, "workload.profile", "missing required"));
+}
+
+TEST(Spec, BadTraceSectionIsDiagnosedByKey) {
+  // Stray trace knobs without a path are a broken section.
+  std::vector<Diagnostic> diags;
+  parse_text(
+      "[drive]\nbackend = analytic\n[workload]\nprofile = postmark\n"
+      "[trace]\nmode = open\n",
+      &diags);
+  EXPECT_TRUE(has_diag(diags, "trace.path", "missing required"));
+
+  // Unknown enum values and out-of-range numbers point at their keys.
+  std::vector<Diagnostic> bad;
+  parse_text(
+      "[drive]\nbackend = analytic\n"
+      "[trace]\npath = t.csv\nformat = pcap\nremap = fold\nmode = sideways\n"
+      "queue_depth = 0\nspeedup = 0\npage_bytes = 100\n",
+      &bad);
+  EXPECT_TRUE(has_diag(bad, "trace.format", "unknown trace format 'pcap'"));
+  EXPECT_TRUE(has_diag(bad, "trace.remap", "unknown remap policy 'fold'"));
+  EXPECT_TRUE(has_diag(bad, "trace.mode", "unknown replay mode 'sideways'"));
+  EXPECT_TRUE(has_diag(bad, "trace.queue_depth", "out of range"));
+  EXPECT_TRUE(has_diag(bad, "trace.speedup", "out of range"));
+  EXPECT_TRUE(has_diag(bad, "trace.page_bytes", "out of range"));
+}
+
 TEST(Spec, InfeasibleFtlIsDiagnosed) {
   // 16 blocks at 20% overprovision is ~3 blocks of slack; GC can never
   // reach gc_free_target=4 free blocks and would livelock — the spec

@@ -79,8 +79,14 @@ struct GoldenEntry {
 // only diverges from the old sense path when a page exceeds the ECC
 // capability or a fault knob is nonzero, and no golden run does either
 // (all fault RNG streams are draw-free at their zero defaults).
+// PR 8 added fig_trace_replay (the MSR sample trace through the replay
+// subsystem, both backends and disciplines, pinned to the checked-in
+// tests/data file) and kept every existing hash unchanged: trace replay
+// is off by default in scenario, and the ClosedLoopDriver completion
+// sink is bit-transparent when unset.
 constexpr GoldenEntry kGolden[] = {
     {"fig_qos", 0x21AD8CF4},
+    {"fig_trace_replay", 0x9885A439},
     {"fig_qos_mc", 0xFDC18F1D},
     {"fig_reliability", 0x7D2B1260},
     {"scenario", 0x835C0A43},

@@ -91,6 +91,44 @@ TEST(Histogram, EmptyBehaviour) {
   EXPECT_DOUBLE_EQ(h.mean(), 0.0);
 }
 
+TEST(Histogram, CdfPointsWalkTheMass) {
+  Histogram h(0.0, 10.0, 10);  // Bin width 1.
+  for (int i = 0; i < 90; ++i) h.add(0.5);  // Bin 0.
+  for (int i = 0; i < 10; ++i) h.add(8.5);  // Bin 8.
+  const auto points = h.cdf_points();
+  // One point per non-empty bin, at the bin's upper edge.
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_DOUBLE_EQ(points[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(points[0].fraction, 0.90);
+  EXPECT_DOUBLE_EQ(points[1].value, 9.0);
+  EXPECT_DOUBLE_EQ(points[1].fraction, 1.0);
+}
+
+TEST(Histogram, CdfPointsMatchQuantileConvention) {
+  // quantile(f) for a fraction f on a CDF point must return exactly that
+  // point's value (both use the bin-upper-edge convention). Dyadic
+  // fractions keep ceil(q * total) exact in floating point.
+  Histogram h(0.0, 100.0, 50);
+  h.add(0.5, 16);
+  h.add(20.5, 16);
+  h.add(40.5, 16);
+  h.add(80.5, 16);
+  const auto points = h.cdf_points();
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_DOUBLE_EQ(points.back().fraction, 1.0);
+  double prev = 0.0;
+  for (const auto& p : points) {
+    EXPECT_GT(p.fraction, prev);  // Strictly increasing (non-empty bins).
+    EXPECT_DOUBLE_EQ(h.quantile(p.fraction), p.value);
+    prev = p.fraction;
+  }
+}
+
+TEST(Histogram, CdfPointsOfEmptyIsEmpty) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_TRUE(h.cdf_points().empty());
+}
+
 TEST(Histogram, ClearResets) {
   Histogram h(0.0, 1.0, 2);
   h.add(0.1);

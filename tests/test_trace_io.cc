@@ -107,6 +107,86 @@ TEST(TraceIo, MsrSubPageWriteTouchesOnePage) {
   EXPECT_EQ(r.pages, 1u);
 }
 
+// --- Robustness hardening: CRLF, whitespace, quoting, zero-size ------------
+
+TEST(TraceIo, MsrToleratesCrlfAndWhitespace) {
+  IoRequest r;
+  ASSERT_TRUE(workload::parse_msr_line(
+      "  128166372003061419 , usr ,0,\tRead , 81920 ,131072, 1029\r", 8192, 0,
+      &r));
+  EXPECT_FALSE(r.is_write);
+  EXPECT_EQ(r.lpn, 10u);
+  EXPECT_EQ(r.pages, 16u);
+}
+
+TEST(TraceIo, MsrToleratesQuotedFields) {
+  IoRequest r;
+  ASSERT_TRUE(workload::parse_msr_line(
+      "\"128166372003061419\",\"usr\",\"0\",\"Write\",\"8192\",\"8192\","
+      "\"100\"",
+      8192, 0, &r));
+  EXPECT_TRUE(r.is_write);
+  EXPECT_EQ(r.lpn, 1u);
+  EXPECT_EQ(r.pages, 1u);
+}
+
+TEST(TraceIo, MsrRejectsZeroSizeWithLineNumber) {
+  IoRequest r;
+  try {
+    workload::parse_msr_line("5,h,0,Read,8192,0,1", 8192, 0, &r, 17);
+    FAIL() << "zero-size request accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 17"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("zero-size"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIo, MsrMalformedErrorCarriesLineNumber) {
+  IoRequest r;
+  try {
+    workload::parse_msr_line("not-a-tick,h,0,Read,0,4096,1", 8192, 0, &r, 99);
+    FAIL() << "malformed timestamp accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 99"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TraceIo, MsrBlankCrlfLineSkipped) {
+  IoRequest r;
+  EXPECT_FALSE(workload::parse_msr_line("\r", 8192, 0, &r));
+  EXPECT_FALSE(workload::parse_msr_line("  \t # comment\r", 8192, 0, &r));
+}
+
+TEST(TraceIo, MsrTimestampTicksExact) {
+  // The raw tick survives exactly (doubles above 2^53 would not).
+  EXPECT_EQ(workload::msr_timestamp_ticks(
+                "128166372003061419,usr,0,Read,0,4096,1"),
+            128166372003061419ULL);
+  EXPECT_THROW(workload::msr_timestamp_ticks("garbage,x", 3),
+               std::runtime_error);
+}
+
+TEST(TraceIo, CsvToleratesCrlfAndRejectsZeroPages) {
+  std::stringstream crlf("time_s,op,lpn,pages\r\n0.100000,R,7,2\r\n");
+  const auto trace = workload::read_trace_csv(crlf);
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].lpn, 7u);
+
+  std::stringstream zero("0.1,W,7,0\n");
+  try {
+    workload::read_trace_csv(zero);
+    FAIL() << "zero-page CSV row accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("zero-size"), std::string::npos)
+        << e.what();
+  }
+}
+
 // --- FTL snapshots -----------------------------------------------------------
 
 ftl::FtlConfig snap_config() {
