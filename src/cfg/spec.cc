@@ -220,6 +220,66 @@ void parse_trace(Config& config, TraceSpec* trace,
       config, "trace.page_bytes", trace->page_bytes, 512, 1u << 20, diags));
 }
 
+void parse_fleet(Config& config, ScenarioSpec* spec,
+                 std::vector<Diagnostic>* diags) {
+  FleetSpec& f = spec->fleet;
+  // Any [fleet] key without fleet.drives is a broken section: there is
+  // no fleet to run, so the stray knobs would silently do nothing.
+  const bool any_key =
+      config.has("fleet.drives") || config.has("fleet.years") ||
+      config.has("fleet.report_interval_days") ||
+      config.has("fleet.checkpoint_every") ||
+      config.has("fleet.teardown_every") ||
+      config.has("fleet.pe_fail_prob_median") ||
+      config.has("fleet.fault_rate_sigma") ||
+      config.has("fleet.replace_failed") || config.has("fleet.rebuild_days");
+  if (!any_key) return;
+  if (!config.has("fleet.drives")) {
+    diags->push_back({0, "fleet.drives",
+                      "missing required key (the fleet size; other fleet.* "
+                      "keys have no effect without it)"});
+    return;
+  }
+  f.drives = static_cast<std::uint32_t>(
+      get_u64_in(config, "fleet.drives", 64, 1, 1u << 20, diags));
+  f.years = get_double_in(config, "fleet.years", f.years, 0.01, 100.0, diags);
+  f.report_interval_days = static_cast<std::uint32_t>(
+      get_u64_in(config, "fleet.report_interval_days", f.report_interval_days,
+                 1, 3650, diags));
+  f.checkpoint_every = static_cast<std::uint32_t>(get_u64_in(
+      config, "fleet.checkpoint_every", f.checkpoint_every, 0, 100000, diags));
+  f.teardown_every = static_cast<std::uint32_t>(get_u64_in(
+      config, "fleet.teardown_every", f.teardown_every, 0, 1u << 20, diags));
+  f.pe_fail_prob_median =
+      get_double_in(config, "fleet.pe_fail_prob_median", f.pe_fail_prob_median,
+                    0.0, 1.0, diags);
+  f.fault_rate_sigma = get_double_in(config, "fleet.fault_rate_sigma",
+                                     f.fault_rate_sigma, 0.0, 8.0, diags);
+  f.replace_failed =
+      config.get_bool("fleet.replace_failed", f.replace_failed, diags);
+  f.rebuild_days = get_double_in(config, "fleet.rebuild_days", f.rebuild_days,
+                                 0.0, 365.0, diags);
+
+  // Cross-section validation: the fleet runner drives serial analytic
+  // drives directly (checkpointable state lives in Ftl/Ssd snapshots),
+  // and generates its traffic synthetically per drive.
+  if (spec->drive.backend != Backend::kAnalytic) {
+    diags->push_back({0, "fleet.drives",
+                      "fleet runs require drive.backend = analytic (the "
+                      "per-drive state machine checkpoints ssd::Ssd)"});
+  }
+  if (spec->trace.enabled()) {
+    diags->push_back({0, "fleet.drives",
+                      "fleet runs generate per-drive synthetic traffic and "
+                      "cannot replay a [trace] section; remove one"});
+  }
+  if (f.fault_rate_sigma > 0.0 && f.pe_fail_prob_median <= 0.0) {
+    diags->push_back({0, "fleet.fault_rate_sigma",
+                      "fleet.fault_rate_sigma requires a positive "
+                      "fleet.pe_fail_prob_median to spread"});
+  }
+}
+
 void parse_workload(Config& config, WorkloadSpec* workload, bool required,
                     std::vector<Diagnostic>* diags) {
   workload::WorkloadProfile& p = workload->profile;
@@ -296,6 +356,7 @@ ScenarioSpec parse_scenario(Config& config, std::vector<Diagnostic>* diags) {
   parse_drive(config, &spec.drive, diags);
   parse_faults(config, &spec.drive, diags);
   parse_trace(config, &spec.trace, diags);
+  parse_fleet(config, &spec, diags);
   parse_workload(config, &spec.workload, !spec.trace.enabled(), diags);
   config.report_unknown(diags);
   return spec;

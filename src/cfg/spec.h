@@ -126,6 +126,36 @@ struct TraceSpec {
   bool enabled() const { return !path.empty(); }
 };
 
+/// Fleet-scale lifetime simulation ([fleet] section). When `drives` is
+/// set the scenario becomes a fleet run: N analytic drives simulated
+/// over a multi-year horizon with lifecycle tracking (degraded /
+/// read-only / replaced), per-drive fault rates drawn from fleet-level
+/// distributions, and periodic whole-fleet checkpoints.
+struct FleetSpec {
+  std::uint32_t drives = 0;  ///< Fleet size; 0 = no [fleet] section.
+  double years = 2.0;        ///< Simulated horizon.
+  /// Reporting epoch: the fleet table gains one row set per interval.
+  std::uint32_t report_interval_days = 30;
+  /// Checkpoint cadence in reporting epochs (a checkpoint is written
+  /// after every k-th epoch). 0 = checkpoint only on interruption.
+  std::uint32_t checkpoint_every = 0;
+  /// Every k-th drive is a "teardown" drive: its analytic state is
+  /// cross-checked against a sampled Monte Carlo chip each epoch for
+  /// ground-truth RBER. 0 = no teardown sampling.
+  std::uint32_t teardown_every = 0;
+  /// Median per-drive program/erase fault probability; each drive draws
+  /// its own rate from a lognormal around this median (sigma below) via
+  /// a counter-based stream, so drive i's rate never depends on fleet
+  /// size or thread count. 0 injects nothing.
+  double pe_fail_prob_median = 0.0;
+  double fault_rate_sigma = 0.0;  ///< Lognormal sigma of the rate draw.
+  bool replace_failed = true;     ///< Swap in a fresh drive after
+                                  ///< read-only failure + rebuild.
+  double rebuild_days = 1.0;      ///< Downtime + rebuild traffic window.
+
+  bool enabled() const { return drives > 0; }
+};
+
 struct ScenarioSpec {
   std::string name = "scenario";
   int days = 2;                   ///< Simulated days to replay.
@@ -135,6 +165,7 @@ struct ScenarioSpec {
   DriveSpec drive;
   WorkloadSpec workload;
   TraceSpec trace;  ///< Optional [trace] replay; see TraceSpec.enabled().
+  FleetSpec fleet;  ///< Optional [fleet] run; see FleetSpec.enabled().
 };
 
 /// Parses and validates a scenario from `config`, consuming every key it

@@ -25,6 +25,36 @@ class Rng {
  public:
   using result_type = std::uint64_t;
 
+  /// The complete generator state as a trivially-copyable POD, so stateful
+  /// subsystems (the FTL's fault stream, workload generators) can be
+  /// serialized into checkpoints and resumed bit-exactly. The Marsaglia
+  /// pair cache is part of the state: dropping it would shift every
+  /// subsequent normal() draw. Padding is explicit and zeroed so the raw
+  /// bytes of a State are fully defined (checkpoints CRC them).
+  struct State {
+    std::array<std::uint64_t, 4> s{};
+    double cached_normal = 0.0;
+    std::uint8_t has_cached_normal = 0;
+    std::uint8_t pad[7] = {};
+  };
+
+  /// Captures the full generator state (resume via set_state).
+  State state() const {
+    State st;
+    st.s = s_;
+    st.cached_normal = cached_normal_;
+    st.has_cached_normal = has_cached_normal_ ? 1 : 0;
+    return st;
+  }
+
+  /// Restores a state captured by state(); the draw sequence continues
+  /// exactly where the captured generator left off.
+  void set_state(const State& st) {
+    s_ = st.s;
+    cached_normal_ = st.cached_normal;
+    has_cached_normal_ = st.has_cached_normal != 0;
+  }
+
   /// Seeds the state via SplitMix64 so that nearby seeds produce
   /// uncorrelated streams.
   explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }

@@ -1,0 +1,81 @@
+// rdsim/common/serialize.h
+//
+// Tiny POD-oriented serialization helpers shared by every checkpointable
+// subsystem (FTL snapshots, SSD snapshots, workload-generator state, the
+// fleet checkpoint container). The format is deliberately primitive —
+// raw little-endian memcpy of trivially-copyable values, with framing,
+// versioning, and CRC protection supplied by each caller — because
+// checkpoints are same-build, same-host artifacts, not an interchange
+// format.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace rdsim::serialize {
+
+/// Appends the raw bytes of a trivially-copyable value.
+template <typename T>
+void append_pod(std::vector<std::uint8_t>* out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  // resize + memcpy rather than insert(ptr, ptr): GCC 12's -O3 flags the
+  // pointer-range insert with a spurious stringop-overflow warning.
+  const std::size_t old_size = out->size();
+  out->resize(old_size + sizeof(T));
+  std::memcpy(out->data() + old_size, &value, sizeof(T));
+}
+
+/// Reads a trivially-copyable value at *offset, advancing it. Returns
+/// false (leaving *value untouched) when the buffer is too short.
+template <typename T>
+bool read_pod(const std::vector<std::uint8_t>& in, std::size_t* offset,
+              T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (*offset > in.size() || sizeof(T) > in.size() - *offset) return false;
+  std::memcpy(value, in.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+/// Appends a u64 length prefix followed by the bytes.
+inline void append_bytes(std::vector<std::uint8_t>* out,
+                         const std::vector<std::uint8_t>& bytes) {
+  append_pod(out, static_cast<std::uint64_t>(bytes.size()));
+  out->insert(out->end(), bytes.begin(), bytes.end());
+}
+
+/// Reads a u64-length-prefixed byte string written by append_bytes.
+inline bool read_bytes(const std::vector<std::uint8_t>& in,
+                       std::size_t* offset, std::vector<std::uint8_t>* bytes) {
+  std::uint64_t n = 0;
+  if (!read_pod(in, offset, &n)) return false;
+  if (n > in.size() - *offset) return false;
+  bytes->assign(in.begin() + static_cast<std::ptrdiff_t>(*offset),
+                in.begin() + static_cast<std::ptrdiff_t>(*offset + n));
+  *offset += n;
+  return true;
+}
+
+/// Appends a u64 length prefix followed by the string's bytes.
+inline void append_string(std::vector<std::uint8_t>* out,
+                          const std::string& s) {
+  append_pod(out, static_cast<std::uint64_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+/// Reads a u64-length-prefixed string written by append_string.
+inline bool read_string(const std::vector<std::uint8_t>& in,
+                        std::size_t* offset, std::string* s) {
+  std::uint64_t n = 0;
+  if (!read_pod(in, offset, &n)) return false;
+  if (n > in.size() - *offset) return false;
+  s->assign(reinterpret_cast<const char*>(in.data()) + *offset,
+            static_cast<std::size_t>(n));
+  *offset += n;
+  return true;
+}
+
+}  // namespace rdsim::serialize

@@ -1,0 +1,76 @@
+// rdsim/fleet/checkpoint.h
+//
+// The versioned, crash-safe checkpoint container for fleet runs. A
+// checkpoint file is:
+//
+//   +--------------------------------------------------------------+
+//   | magic  u32  'RDFC'                                           |
+//   | version u32                                                  |
+//   | config_digest u32   CRC32 of the canonical config text       |
+//   | section_count u32                                            |
+//   +--------------------------------------------------------------+
+//   | per section:  tag u32 | length u64 | payload | crc32 u32     |
+//   +--------------------------------------------------------------+
+//
+// Every section carries its own CRC32, so a flipped bit anywhere is
+// pinned to the section it corrupted. Files are written atomically
+// (temp file in the same directory + rename), so a crash mid-write
+// leaves either the previous complete checkpoint or none — never a
+// torn one. Validation never partially applies: unpack_checkpoint
+// either yields every section intact or fails with a diagnostic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdsim::fleet {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x52444643;  // "RDFC"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+// Section tags ("CONF" etc. as big-endian ASCII for greppable hexdumps).
+inline constexpr std::uint32_t kSectionConfig = 0x434F4E46;  ///< Canonical
+                                                             ///< config text.
+inline constexpr std::uint32_t kSectionMeta = 0x4D455441;    ///< Run cursor +
+                                                             ///< emitted rows.
+inline constexpr std::uint32_t kSectionDrives = 0x44525653;  ///< Per-drive
+                                                             ///< state.
+
+struct CheckpointSection {
+  std::uint32_t tag = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes sections into the container format above.
+std::vector<std::uint8_t> pack_checkpoint(
+    std::uint32_t config_digest,
+    const std::vector<CheckpointSection>& sections);
+
+/// Validates and splits a container. Returns false with a diagnostic in
+/// `*error` on truncation, trailing bytes, bad magic, unsupported
+/// version, or any per-section CRC mismatch; `*config_digest` and
+/// `*sections` are only written on success. The config digest is
+/// returned (not checked) so callers decide what configuration the
+/// checkpoint must match.
+bool unpack_checkpoint(const std::vector<std::uint8_t>& bytes,
+                       std::uint32_t* config_digest,
+                       std::vector<CheckpointSection>* sections,
+                       std::string* error);
+
+/// Finds a section by tag; nullptr when absent.
+const CheckpointSection* find_section(
+    const std::vector<CheckpointSection>& sections, std::uint32_t tag);
+
+/// Atomically writes `bytes` to `path`: temp file in the same directory,
+/// flush, rename. On failure the previous file (if any) is untouched.
+bool write_checkpoint_file(const std::string& path,
+                           const std::vector<std::uint8_t>& bytes,
+                           std::string* error);
+
+/// Reads a whole checkpoint file.
+bool read_checkpoint_file(const std::string& path,
+                          std::vector<std::uint8_t>* bytes,
+                          std::string* error);
+
+}  // namespace rdsim::fleet

@@ -1,0 +1,151 @@
+// rdsim/fleet/fleet.h
+//
+// Fleet-scale lifetime simulation: N config-driven analytic drives run
+// over a multi-year horizon on the shared ThreadPool, one epoch
+// (fleet.report_interval_days) at a time. Every drive is sharded by
+// index — its traffic, fault rate, and (for teardown drives) Monte
+// Carlo ground-truth probes derive from counter-based Rng streams of
+// (fleet seed, slot, generation/epoch) only — so the emitted table is
+// byte-identical at any worker count.
+//
+// Each slot carries a lifecycle state machine: healthy -> degraded
+// (grown defects draining spare_blocks) -> read-only (failed) ->
+// replaced (fresh drive generation + rebuild traffic), with per-drive
+// program/erase fault rates drawn from a lognormal around the fleet
+// median. The robustness core is checkpoint(): the complete run state
+// (emitted rows, per-drive Ssd snapshots, workload-generator streams)
+// serializes into the versioned container of fleet/checkpoint.h, and a
+// runner rebuilt via from_checkpoint() continues byte-identically to an
+// uninterrupted run.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cfg/spec.h"
+#include "common/thread_pool.h"
+#include "flash/params.h"
+#include "sim/table.h"
+#include "ssd/ssd.h"
+#include "workload/generator.h"
+
+namespace rdsim::fleet {
+
+/// Thrown when a run stops early by request (SIGINT/SIGTERM flag, or a
+/// --stop-after-checkpoints budget): the final checkpoint named here has
+/// already been written, so the caller just reports how to resume.
+class Interrupted : public std::runtime_error {
+ public:
+  explicit Interrupted(std::string checkpoint_path)
+      : std::runtime_error("fleet run interrupted; resume with --resume " +
+                           checkpoint_path),
+        checkpoint_path_(std::move(checkpoint_path)) {}
+  const std::string& checkpoint_path() const { return checkpoint_path_; }
+
+ private:
+  std::string checkpoint_path_;
+};
+
+/// Outer-loop knobs for run_fleet (CLI-driven; the cadence default comes
+/// from the spec's fleet.checkpoint_every).
+struct FleetOptions {
+  std::string checkpoint_path;  ///< Where checkpoints land; empty =
+                                ///< "fleet.ckpt".
+  std::uint32_t checkpoint_every = 0;  ///< Epoch cadence override
+                                       ///< (0 = use the spec's).
+  /// Polled at epoch boundaries; when set (by a signal handler), the
+  /// run writes a final checkpoint and throws Interrupted.
+  const volatile std::sig_atomic_t* stop_flag = nullptr;
+  /// Deterministic interruption for CI: after this many periodic
+  /// checkpoints, stop exactly as if the stop flag fired. 0 = never.
+  std::uint32_t stop_after_checkpoints = 0;
+};
+
+class FleetRunner {
+ public:
+  /// `spec` must have fleet.enabled() and an analytic backend (the cfg
+  /// layer validates config files; in-code specs are asserted).
+  FleetRunner(const cfg::ScenarioSpec& spec, std::uint64_t seed,
+              ThreadPool& pool);
+  ~FleetRunner();  ///< Out-of-line: DriveSlot is private to fleet.cc.
+
+  /// Rebuilds a runner mid-run from checkpoint bytes. The checkpoint's
+  /// config digest must match `spec` (reject a checkpoint taken under a
+  /// different [fleet]/[drive]/[workload] config) and its structure and
+  /// per-section CRCs must validate; on any failure returns nullptr with
+  /// a diagnostic in `*error`.
+  static std::unique_ptr<FleetRunner> from_checkpoint(
+      const std::vector<std::uint8_t>& bytes, const cfg::ScenarioSpec& spec,
+      std::uint64_t seed, ThreadPool& pool, std::string* error);
+
+  /// Self-contained file resume: the spec and seed are recovered from
+  /// the checkpoint's embedded canonical config text, so --resume needs
+  /// no --config. Returns nullptr with a diagnostic on any failure.
+  static std::unique_ptr<FleetRunner> from_checkpoint_file(
+      const std::string& path, ThreadPool& pool, std::string* error);
+
+  const cfg::ScenarioSpec& spec() const { return spec_; }
+  std::uint64_t seed() const { return seed_; }
+  std::size_t epoch() const { return epoch_; }
+  std::size_t total_epochs() const { return total_epochs_; }
+  bool done() const { return epoch_ >= total_epochs_; }
+
+  /// Simulates one reporting epoch for every drive (parallel over the
+  /// pool) and appends this epoch's fleet rows.
+  void run_epoch();
+
+  /// Serializes the complete run state into the checkpoint container.
+  std::vector<std::uint8_t> checkpoint() const;
+
+  /// The fleet table as of the current epoch: the per-epoch trajectory
+  /// (AFR vs age, fleet UBER, refresh-overhead share) plus the
+  /// time-to-read-only distribution. Deterministic: an uninterrupted run
+  /// and any checkpoint-resumed run produce byte-identical text.
+  sim::Table table() const;
+
+  /// The canonical INI text of everything a fleet run's results depend
+  /// on (drive, workload overrides, fleet keys). Its CRC32 is the
+  /// checkpoint config digest; the text itself is embedded so
+  /// from_checkpoint_file can rebuild the spec without the original
+  /// config file. Round-trips through cfg::parse_scenario exactly.
+  static std::string canonical_config(const cfg::ScenarioSpec& spec);
+
+ private:
+  struct DriveSlot;
+
+  FleetRunner(const cfg::ScenarioSpec& spec, std::uint64_t seed,
+              ThreadPool& pool, bool defer_init);
+
+  void init_slot(DriveSlot* slot, std::uint32_t index,
+                 std::uint32_t generation) const;
+  /// This generation's per-drive program/erase fault probability, drawn
+  /// lognormal around the fleet median from a counter-based stream.
+  double draw_fail_prob(std::uint32_t index, std::uint32_t generation) const;
+  void step_drive(DriveSlot* slot, std::uint32_t index, std::uint32_t days,
+                  double epoch_start_day);
+  /// Monte Carlo ground-truth RBER probe at the drive's current
+  /// operating point (pure function of seed/slot/epoch + the point).
+  double teardown_probe(const DriveSlot& slot, std::uint32_t index) const;
+
+  cfg::ScenarioSpec spec_;
+  std::uint64_t seed_ = 0;
+  ThreadPool* pool_;
+  flash::FlashModelParams params_;
+  std::uint32_t total_days_ = 0;
+  std::size_t total_epochs_ = 0;
+  std::size_t epoch_ = 0;
+  std::vector<DriveSlot> slots_;
+  std::vector<std::string> rows_;  ///< Emitted Section-A rows so far.
+};
+
+/// The checkpoint-driven outer loop shared by the fig_fleet experiment
+/// and the tests: runs to completion, writing periodic checkpoints per
+/// the options, polling the stop flag at epoch boundaries (on stop: one
+/// final checkpoint, then Interrupted). Returns the finished table.
+sim::Table run_fleet(FleetRunner& runner, const FleetOptions& options);
+
+}  // namespace rdsim::fleet

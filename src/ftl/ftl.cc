@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
-#include <type_traits>
 
+#include "common/serialize.h"
 #include "ecc/crc32.h"
 
 namespace rdsim::ftl {
@@ -293,31 +293,24 @@ std::uint32_t Ftl::max_pe() const {
 namespace {
 
 constexpr std::uint32_t kSnapshotMagic = 0x52444654;  // "RDFT"
+// v2 added a version field and the fault-stream RNG state (v1 snapshots
+// silently reset the RNG on restore, which broke checkpoint/resume
+// determinism for fault-injecting drives).
+constexpr std::uint32_t kSnapshotVersion = 2;
 
-template <typename T>
-void append_pod(std::vector<std::uint8_t>* out, const T& value) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  // resize + memcpy rather than insert(ptr, ptr): GCC 12's -O3 flags the
-  // pointer-range insert with a spurious stringop-overflow warning.
-  const std::size_t old_size = out->size();
-  out->resize(old_size + sizeof(T));
-  std::memcpy(out->data() + old_size, &value, sizeof(T));
+void set_error(std::string* error, const char* message) {
+  if (error != nullptr) *error = message;
 }
 
-template <typename T>
-bool read_pod(const std::vector<std::uint8_t>& in, std::size_t* offset,
-              T* value) {
-  if (*offset + sizeof(T) > in.size()) return false;
-  std::memcpy(value, in.data() + *offset, sizeof(T));
-  *offset += sizeof(T);
-  return true;
-}
+using serialize::append_pod;
+using serialize::read_pod;
 
 }  // namespace
 
 std::vector<std::uint8_t> Ftl::snapshot() const {
   std::vector<std::uint8_t> out;
   append_pod(&out, kSnapshotMagic);
+  append_pod(&out, kSnapshotVersion);
   append_pod(&out, config_.blocks);
   append_pod(&out, config_.pages_per_block);
   append_pod(&out, now_days_);
@@ -326,6 +319,7 @@ std::vector<std::uint8_t> Ftl::snapshot() const {
   append_pod(&out, retired_count_);
   append_pod(&out, static_cast<std::uint8_t>(read_only_ ? 1 : 0));
   append_pod(&out, stats_);
+  append_pod(&out, rng_.state());
   for (const auto& b : blocks_) append_pod(&out, b);
   for (const auto packed : l2p_) append_pod(&out, packed);
   for (const auto lpn : p2l_) append_pod(&out, lpn);
@@ -334,41 +328,80 @@ std::vector<std::uint8_t> Ftl::snapshot() const {
   return out;
 }
 
-bool Ftl::restore(const std::vector<std::uint8_t>& snapshot) {
-  if (snapshot.size() < sizeof(kSnapshotMagic) + sizeof(std::uint32_t))
+bool Ftl::restore(const std::vector<std::uint8_t>& snapshot,
+                  std::string* error) {
+  if (snapshot.size() < 2 * sizeof(std::uint32_t) + sizeof(std::uint32_t)) {
+    set_error(error, "ftl snapshot truncated: shorter than header + CRC");
     return false;
+  }
   const std::size_t body = snapshot.size() - sizeof(std::uint32_t);
   std::uint32_t stored_crc = 0;
   std::memcpy(&stored_crc, snapshot.data() + body, sizeof(stored_crc));
-  if (ecc::crc32({snapshot.data(), body}) != stored_crc) return false;
+  if (ecc::crc32({snapshot.data(), body}) != stored_crc) {
+    set_error(error, "ftl snapshot payload CRC mismatch (bit corruption)");
+    return false;
+  }
 
   std::size_t offset = 0;
-  std::uint32_t magic = 0, blocks = 0, ppb = 0;
-  if (!read_pod(snapshot, &offset, &magic) || magic != kSnapshotMagic)
+  std::uint32_t magic = 0, version = 0, blocks = 0, ppb = 0;
+  if (!read_pod(snapshot, &offset, &magic) || magic != kSnapshotMagic) {
+    set_error(error, "ftl snapshot bad magic (not an FTL snapshot)");
     return false;
+  }
+  if (!read_pod(snapshot, &offset, &version) ||
+      version != kSnapshotVersion) {
+    set_error(error, "ftl snapshot unsupported version");
+    return false;
+  }
   if (!read_pod(snapshot, &offset, &blocks) ||
       !read_pod(snapshot, &offset, &ppb) || blocks != config_.blocks ||
-      ppb != config_.pages_per_block)
+      ppb != config_.pages_per_block) {
+    set_error(error,
+              "ftl snapshot geometry mismatch (blocks/pages_per_block "
+              "differ from this drive's config)");
     return false;
+  }
 
   Ftl staged(config_);
   std::uint8_t read_only_byte = 0;
+  Rng::State rng_state;
   if (!read_pod(snapshot, &offset, &staged.now_days_) ||
       !read_pod(snapshot, &offset, &staged.open_block_) ||
       !read_pod(snapshot, &offset, &staged.free_count_) ||
       !read_pod(snapshot, &offset, &staged.retired_count_) ||
       !read_pod(snapshot, &offset, &read_only_byte) ||
-      !read_pod(snapshot, &offset, &staged.stats_))
+      !read_pod(snapshot, &offset, &staged.stats_) ||
+      !read_pod(snapshot, &offset, &rng_state)) {
+    set_error(error, "ftl snapshot truncated inside scalar state");
     return false;
+  }
   staged.read_only_ = read_only_byte != 0;
+  staged.rng_.set_state(rng_state);
   for (auto& b : staged.blocks_)
-    if (!read_pod(snapshot, &offset, &b)) return false;
+    if (!read_pod(snapshot, &offset, &b)) {
+      set_error(error, "ftl snapshot truncated inside block table");
+      return false;
+    }
   for (auto& packed : staged.l2p_)
-    if (!read_pod(snapshot, &offset, &packed)) return false;
+    if (!read_pod(snapshot, &offset, &packed)) {
+      set_error(error, "ftl snapshot truncated inside l2p table");
+      return false;
+    }
   for (auto& lpn : staged.p2l_)
-    if (!read_pod(snapshot, &offset, &lpn)) return false;
-  if (offset != body) return false;
-  if (!staged.check_invariants()) return false;
+    if (!read_pod(snapshot, &offset, &lpn)) {
+      set_error(error, "ftl snapshot truncated inside p2l table");
+      return false;
+    }
+  if (offset != body) {
+    set_error(error, "ftl snapshot over-long: trailing bytes after payload");
+    return false;
+  }
+  if (!staged.check_invariants()) {
+    set_error(error,
+              "ftl snapshot inconsistent: mapping invariants failed after "
+              "decode");
+    return false;
+  }
   *this = std::move(staged);
   return true;
 }

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -192,15 +193,24 @@ class Ftl {
   /// valid counts). Used by tests; returns false on corruption.
   bool check_invariants() const;
 
-  /// Serializes the mapping tables and per-block state into a
-  /// CRC32-protected byte buffer (the persisted metadata a controller
-  /// keeps across power cycles — including each block's tuned Vpass).
+  /// Serializes the mapping tables, per-block state, and the fault-stream
+  /// RNG into a versioned, CRC32-protected byte buffer (the persisted
+  /// metadata a controller keeps across power cycles — including each
+  /// block's tuned Vpass). Format: magic + version header, payload,
+  /// trailing CRC32 over everything before it. Including the RNG state
+  /// means a restored FTL's injected-fault sequence continues exactly
+  /// where the snapshotted one left off (checkpoint/resume determinism).
   std::vector<std::uint8_t> snapshot() const;
 
   /// Restores a snapshot taken from an FTL with the same configuration.
-  /// Returns false (leaving the FTL untouched) if the buffer is truncated,
-  /// CRC-corrupt, or shaped for a different geometry.
-  bool restore(const std::vector<std::uint8_t>& snapshot);
+  /// Returns false — leaving the FTL untouched — if the buffer is
+  /// truncated, over-long, bit-corrupted (payload CRC), from a different
+  /// snapshot version, shaped for a different geometry, or internally
+  /// inconsistent (mapping invariants). On failure `*error` (optional)
+  /// receives a one-line diagnostic saying which check rejected it; a
+  /// snapshot is never partially applied.
+  bool restore(const std::vector<std::uint8_t>& snapshot,
+               std::string* error = nullptr);
 
  private:
   /// Least-worn free block, opened; kUnmappedBlock when none exist.

@@ -12,15 +12,13 @@
 
 namespace rdsim::host {
 
-namespace {
-
-flash::FlashModelParams flash_params(const cfg::DriveSpec& spec) {
+flash::FlashModelParams flash_params_from_spec(const cfg::DriveSpec& spec) {
   return spec.flash_model == cfg::FlashModel::k2ynm
              ? flash::FlashModelParams::default_2ynm()
              : flash::FlashModelParams::early_3d_nand();
 }
 
-ssd::SsdConfig ssd_config(const cfg::DriveSpec& spec) {
+ssd::SsdConfig ssd_config_from_spec(const cfg::DriveSpec& spec) {
   ssd::SsdConfig config;
   config.ftl.blocks = spec.blocks;
   config.ftl.pages_per_block = spec.pages_per_block;
@@ -33,6 +31,16 @@ ssd::SsdConfig ssd_config(const cfg::DriveSpec& spec) {
   config.ftl.erase_fail_prob = spec.faults.erase_fail_prob;
   config.vpass_tuning = spec.vpass_tuning;
   return config;
+}
+
+namespace {
+
+flash::FlashModelParams flash_params(const cfg::DriveSpec& spec) {
+  return flash_params_from_spec(spec);
+}
+
+ssd::SsdConfig ssd_config(const cfg::DriveSpec& spec) {
+  return ssd_config_from_spec(spec);
 }
 
 /// The MC fault slice for one shard: latent pages everywhere, the die

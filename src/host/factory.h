@@ -21,11 +21,19 @@
 #include <memory>
 
 #include "cfg/spec.h"
+#include "flash/params.h"
 #include "host/device.h"
+#include "ssd/ssd.h"
 
 namespace rdsim::host {
 
 std::unique_ptr<Device> make_device(const cfg::DriveSpec& spec,
                                     std::uint64_t seed, int workers = 1);
+
+/// The spec -> analytic-drive mappings make_device uses internally,
+/// exposed so layers that build ssd::Ssd drives directly (the fleet
+/// runner) construct them identically to the factory's SsdDevice path.
+flash::FlashModelParams flash_params_from_spec(const cfg::DriveSpec& spec);
+ssd::SsdConfig ssd_config_from_spec(const cfg::DriveSpec& spec);
 
 }  // namespace rdsim::host

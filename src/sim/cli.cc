@@ -95,6 +95,30 @@ CliOptions parse_cli(int argc, char** argv, bool allow_experiment) {
       if (options.error.empty()) options.config.scenario_profile = value;
     } else if (take_value(argc, argv, i, "--trace", value, options)) {
       if (options.error.empty()) options.config.scenario_trace = value;
+    } else if (take_value(argc, argv, i, "--resume", value, options)) {
+      if (options.error.empty()) options.config.fleet_resume = value;
+    } else if (take_value(argc, argv, i, "--checkpoint", value, options)) {
+      if (options.error.empty()) options.config.fleet_checkpoint = value;
+    } else if (take_value(argc, argv, i, "--checkpoint-every", value,
+                          options)) {
+      std::uint64_t every = 0;
+      if (options.error.empty() && (!parse_u64(value, &every) || every == 0 ||
+                                    every > 100000))
+        options.error =
+            "--checkpoint-every must be an integer in [1, 100000], got '" +
+            value + "'";
+      else if (options.error.empty())
+        options.config.fleet_checkpoint_every =
+            static_cast<std::uint32_t>(every);
+    } else if (take_value(argc, argv, i, "--stop-after-checkpoints", value,
+                          options)) {
+      std::uint64_t count = 0;
+      if (options.error.empty() && (!parse_u64(value, &count) || count == 0 ||
+                                    count > 100000))
+        options.error = "--stop-after-checkpoints must be an integer in "
+                        "[1, 100000], got '" + value + "'";
+      else if (options.error.empty())
+        options.config.fleet_stop_after = static_cast<std::uint32_t>(count);
     } else if (arg == "--list-profiles") {
       options.list_profiles = true;
     } else if (arg == "--no-file") {
@@ -138,6 +162,27 @@ const char* cli_flag_help() {
       "                  generated workload; overrides any [trace] path in\n"
       "                  the config (see docs/CONFIG.md [trace])\n"
       "  --list-profiles list the built-in scenario profiles\n"
+      "  --resume PATH   continue a fleet run from a checkpoint written by\n"
+      "                  an earlier `fig_fleet` run; self-contained (the\n"
+      "                  config and seed come from the checkpoint), and the\n"
+      "                  resumed output is byte-identical to an\n"
+      "                  uninterrupted run. Corrupt, truncated or\n"
+      "                  mismatched checkpoints are rejected with a\n"
+      "                  diagnostic, never silently restored\n"
+      "  --checkpoint PATH\n"
+      "                  where fleet checkpoints are written\n"
+      "                  (default fleet.ckpt); files land atomically via\n"
+      "                  temp file + rename\n"
+      "  --checkpoint-every N\n"
+      "                  write a checkpoint every N reporting epochs\n"
+      "                  during `fig_fleet` (overrides the config's\n"
+      "                  fleet.checkpoint_every). Ctrl-C (SIGINT/SIGTERM)\n"
+      "                  always writes a final checkpoint and exits\n"
+      "                  cleanly with resume instructions\n"
+      "  --stop-after-checkpoints N\n"
+      "                  stop the fleet run right after the N-th periodic\n"
+      "                  checkpoint, exactly as if interrupted (used by CI\n"
+      "                  for deterministic kill-and-resume smokes)\n"
       "  --help          this text\n";
 }
 

@@ -52,6 +52,10 @@ const std::vector<ExperimentInfo>& experiments() {
       {"scenario",
        "Config-driven drive replay (--config FILE or --profile NAME)",
        run_scenario},
+      {"fig_fleet",
+       "Fleet lifetime: AFR vs age, UBER trajectory, refresh overhead, "
+       "time-to-read-only (checkpoint/resume via --checkpoint/--resume)",
+       run_fig_fleet},
   };
   return kExperiments;
 }

@@ -9,6 +9,7 @@
 // the unit tests, with results byte-identical across thread counts.
 #pragma once
 
+#include <csignal>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -39,6 +40,18 @@ struct ExperimentConfig {
   /// the spec's generated workload (overrides any [trace] path in the
   /// config file; format and remap policy keep their spec values).
   std::string scenario_trace;
+  /// Fleet-run robustness knobs (fig_fleet; see src/fleet): --resume
+  /// rebuilds a runner from a checkpoint file; --checkpoint/-every set
+  /// where periodic checkpoints land and their epoch cadence;
+  /// --stop-after-checkpoints stops deterministically after N periodic
+  /// checkpoints (CI's signal-free kill); stop_flag is polled at epoch
+  /// boundaries (the driver's SIGINT/SIGTERM flag — on stop the run
+  /// writes a final checkpoint and raises fleet::Interrupted).
+  std::string fleet_resume;
+  std::string fleet_checkpoint;
+  std::uint32_t fleet_checkpoint_every = 0;
+  std::uint32_t fleet_stop_after = 0;
+  const volatile std::sig_atomic_t* stop_flag = nullptr;
 };
 
 class ExperimentContext {
@@ -56,6 +69,17 @@ class ExperimentContext {
     return config_.scenario_profile;
   }
   const std::string& scenario_trace() const { return config_.scenario_trace; }
+  const std::string& fleet_resume() const { return config_.fleet_resume; }
+  const std::string& fleet_checkpoint() const {
+    return config_.fleet_checkpoint;
+  }
+  std::uint32_t fleet_checkpoint_every() const {
+    return config_.fleet_checkpoint_every;
+  }
+  std::uint32_t fleet_stop_after() const { return config_.fleet_stop_after; }
+  const volatile std::sig_atomic_t* stop_flag() const {
+    return config_.stop_flag;
+  }
   ExperimentRunner& runner() { return *runner_; }
 
   /// `count` scaled by the volume knob, kept >= `floor`.

@@ -38,6 +38,9 @@ Table run_fig_trace_replay(ExperimentContext& ctx);
 // experiments_scenario.cc
 Table run_scenario(ExperimentContext& ctx);
 
+/// Fleet lifetime runner: lifecycle trajectories + checkpoint/resume.
+Table run_fig_fleet(ExperimentContext& ctx);
+
 // experiments_system.cc
 Table run_fig08(ExperimentContext& ctx);
 Table run_fig_qos(ExperimentContext& ctx);

@@ -3,9 +3,16 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstring>
+
+#include "common/serialize.h"
+#include "ecc/crc32.h"
 
 namespace rdsim::ssd {
 namespace {
+
+constexpr std::uint32_t kSsdSnapshotMagic = 0x52445353;  // "RDSS"
+constexpr std::uint32_t kSsdSnapshotVersion = 1;
 
 /// BlockProbe over the SSD's per-block analytic reliability state, so the
 /// real VpassTuningController makes the daily decisions.
@@ -224,6 +231,102 @@ double Ssd::end_of_day() {
 
   return maintenance_bg_seconds +
          (stats_.tuning_probe_seconds - probe_seconds_before);
+}
+
+std::vector<std::uint8_t> Ssd::snapshot() const {
+  using serialize::append_bytes;
+  using serialize::append_pod;
+  std::vector<std::uint8_t> out;
+  append_pod(&out, kSsdSnapshotMagic);
+  append_pod(&out, kSsdSnapshotVersion);
+  append_pod(&out, config_.ftl.blocks);
+  append_bytes(&out, ftl_.snapshot());
+  for (const double v : disturb_rber_) append_pod(&out, v);
+  for (const std::uint64_t v : reads_snapshot_) append_pod(&out, v);
+  for (const std::uint32_t v : pe_seen_) append_pod(&out, v);
+  for (const double v : last_refresh_day_) append_pod(&out, v);
+  append_pod(&out, max_reads_per_interval_);
+  append_pod(&out, bg_writes_seen_);
+  append_pod(&out, erases_seen_);
+  append_pod(&out, stats_);
+  const std::uint32_t crc = ecc::crc32(out);
+  append_pod(&out, crc);
+  return out;
+}
+
+bool Ssd::restore(const std::vector<std::uint8_t>& snapshot,
+                  std::string* error) {
+  using serialize::read_bytes;
+  using serialize::read_pod;
+  const auto fail = [error](const char* message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (snapshot.size() < 3 * sizeof(std::uint32_t) + sizeof(std::uint32_t))
+    return fail("ssd snapshot truncated: shorter than header + CRC");
+  const std::size_t body = snapshot.size() - sizeof(std::uint32_t);
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, snapshot.data() + body, sizeof(stored_crc));
+  if (ecc::crc32({snapshot.data(), body}) != stored_crc)
+    return fail("ssd snapshot payload CRC mismatch (bit corruption)");
+
+  std::size_t offset = 0;
+  std::uint32_t magic = 0, version = 0, blocks = 0;
+  if (!read_pod(snapshot, &offset, &magic) || magic != kSsdSnapshotMagic)
+    return fail("ssd snapshot bad magic (not an SSD snapshot)");
+  if (!read_pod(snapshot, &offset, &version) || version != kSsdSnapshotVersion)
+    return fail("ssd snapshot unsupported version");
+  if (!read_pod(snapshot, &offset, &blocks) || blocks != config_.ftl.blocks)
+    return fail("ssd snapshot geometry mismatch (block count differs)");
+
+  // Stage everything before touching *this: a failed restore must leave
+  // the drive exactly as it was.
+  std::vector<std::uint8_t> ftl_bytes;
+  if (!read_bytes(snapshot, &offset, &ftl_bytes))
+    return fail("ssd snapshot truncated inside embedded ftl snapshot");
+  ftl::Ftl staged_ftl(config_.ftl);
+  std::string ftl_error;
+  if (!staged_ftl.restore(ftl_bytes, &ftl_error)) {
+    if (error != nullptr) *error = "ssd snapshot: embedded " + ftl_error;
+    return false;
+  }
+
+  const std::size_t n = config_.ftl.blocks;
+  std::vector<double> disturb(n), last_refresh(n);
+  std::vector<std::uint64_t> reads(n);
+  std::vector<std::uint32_t> pe(n);
+  for (auto& v : disturb)
+    if (!read_pod(snapshot, &offset, &v))
+      return fail("ssd snapshot truncated inside disturb accumulators");
+  for (auto& v : reads)
+    if (!read_pod(snapshot, &offset, &v))
+      return fail("ssd snapshot truncated inside read snapshots");
+  for (auto& v : pe)
+    if (!read_pod(snapshot, &offset, &v))
+      return fail("ssd snapshot truncated inside pe epochs");
+  for (auto& v : last_refresh)
+    if (!read_pod(snapshot, &offset, &v))
+      return fail("ssd snapshot truncated inside refresh days");
+  std::uint64_t max_reads = 0, bg_writes = 0, erases = 0;
+  SsdStats stats;
+  if (!read_pod(snapshot, &offset, &max_reads) ||
+      !read_pod(snapshot, &offset, &bg_writes) ||
+      !read_pod(snapshot, &offset, &erases) ||
+      !read_pod(snapshot, &offset, &stats))
+    return fail("ssd snapshot truncated inside scalar state");
+  if (offset != body)
+    return fail("ssd snapshot over-long: trailing bytes after payload");
+
+  ftl_ = std::move(staged_ftl);
+  disturb_rber_ = std::move(disturb);
+  reads_snapshot_ = std::move(reads);
+  pe_seen_ = std::move(pe);
+  last_refresh_day_ = std::move(last_refresh);
+  max_reads_per_interval_ = max_reads;
+  bg_writes_seen_ = bg_writes;
+  erases_seen_ = erases;
+  stats_ = stats;
+  return true;
 }
 
 double Ssd::block_worst_rber(std::uint32_t b) const {

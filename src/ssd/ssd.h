@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/vpass_tuning.h"
@@ -108,6 +109,19 @@ class Ssd {
   std::uint64_t max_reads_per_interval() const {
     return max_reads_per_interval_;
   }
+
+  /// Serializes the full mutable drive state — the embedded FTL snapshot
+  /// plus the per-block reliability accumulators and stats — into a
+  /// versioned, CRC32-protected buffer. A drive constructed with the same
+  /// (config, params) and restored from it continues byte-identically.
+  std::vector<std::uint8_t> snapshot() const;
+
+  /// Restores a snapshot taken from an Ssd with the same configuration.
+  /// Returns false — leaving the drive untouched — on truncation, CRC
+  /// mismatch, bad magic/version, geometry mismatch, or trailing bytes;
+  /// `*error` (optional) receives a one-line diagnostic.
+  bool restore(const std::vector<std::uint8_t>& snapshot,
+               std::string* error = nullptr);
 
  private:
   /// Detects blocks erased since the last scan and resets their

@@ -53,6 +53,30 @@ class TraceGenerator {
   /// Generates a full day of typed commands (arrival-ordered).
   std::vector<host::Command> day_commands();
 
+  /// The generator's complete mutable state (the Zipf tables and
+  /// permutations are pure functions of the profile + seed and need no
+  /// capture). Checkpointed by the fleet runner so a resumed run draws
+  /// the exact same request stream — including hot-set persistence —
+  /// as an uninterrupted one.
+  struct SavedState {
+    Rng::State rng;
+    Rng::State command_rng;
+    std::uint64_t command_seq = 0;
+    double next_flush_s = 0.0;
+    double clock_s = 0.0;
+  };
+  SavedState save_state() const {
+    return {rng_.state(), command_rng_.state(), command_seq_, next_flush_s_,
+            clock_s_};
+  }
+  void load_state(const SavedState& st) {
+    rng_.set_state(st.rng);
+    command_rng_.set_state(st.command_rng);
+    command_seq_ = st.command_seq;
+    next_flush_s_ = st.next_flush_s;
+    clock_s_ = st.clock_s;
+  }
+
  private:
   /// Maps a popularity rank to a logical page, spreading hot ranks across
   /// the footprint deterministically. Reads and writes use different

@@ -287,6 +287,67 @@ TEST(Spec, BadTraceSectionIsDiagnosedByKey) {
   EXPECT_TRUE(has_diag(bad, "trace.page_bytes", "out of range"));
 }
 
+TEST(Spec, FleetSectionParsesAndValidates) {
+  std::vector<Diagnostic> diags;
+  const ScenarioSpec spec = parse_text(
+      "[drive]\nbackend = analytic\n[workload]\nprofile = postmark\n"
+      "[fleet]\ndrives = 24\nyears = 1.5\nreport_interval_days = 14\n"
+      "checkpoint_every = 2\nteardown_every = 8\n"
+      "pe_fail_prob_median = 1e-3\nfault_rate_sigma = 0.5\n"
+      "replace_failed = false\nrebuild_days = 2.5\n",
+      &diags);
+  EXPECT_TRUE(diags.empty()) << format_diagnostics(diags);
+  EXPECT_TRUE(spec.fleet.enabled());
+  EXPECT_EQ(spec.fleet.drives, 24u);
+  EXPECT_DOUBLE_EQ(spec.fleet.years, 1.5);
+  EXPECT_EQ(spec.fleet.report_interval_days, 14u);
+  EXPECT_EQ(spec.fleet.checkpoint_every, 2u);
+  EXPECT_EQ(spec.fleet.teardown_every, 8u);
+  EXPECT_DOUBLE_EQ(spec.fleet.pe_fail_prob_median, 1e-3);
+  EXPECT_DOUBLE_EQ(spec.fleet.fault_rate_sigma, 0.5);
+  EXPECT_FALSE(spec.fleet.replace_failed);
+  EXPECT_DOUBLE_EQ(spec.fleet.rebuild_days, 2.5);
+}
+
+TEST(Spec, BadFleetSectionIsDiagnosedByKey) {
+  // Stray fleet knobs without a fleet size are a broken section.
+  std::vector<Diagnostic> diags;
+  parse_text(
+      "[drive]\nbackend = analytic\n[workload]\nprofile = postmark\n"
+      "[fleet]\nyears = 2\n",
+      &diags);
+  EXPECT_TRUE(has_diag(diags, "fleet.drives", "missing required"));
+
+  // Out-of-range values point at their keys.
+  std::vector<Diagnostic> bad;
+  parse_text(
+      "[drive]\nbackend = analytic\n[workload]\nprofile = postmark\n"
+      "[fleet]\ndrives = 0\nyears = 0\nreport_interval_days = 4000\n"
+      "checkpoint_every = 200000\npe_fail_prob_median = 1.5\n"
+      "fault_rate_sigma = 9\nrebuild_days = 400\n",
+      &bad);
+  EXPECT_TRUE(has_diag(bad, "fleet.drives", "out of range"));
+  EXPECT_TRUE(has_diag(bad, "fleet.years", "out of range"));
+  EXPECT_TRUE(has_diag(bad, "fleet.report_interval_days", "out of range"));
+  EXPECT_TRUE(has_diag(bad, "fleet.checkpoint_every", "out of range"));
+  EXPECT_TRUE(has_diag(bad, "fleet.pe_fail_prob_median", "out of range"));
+  EXPECT_TRUE(has_diag(bad, "fleet.fault_rate_sigma", "out of range"));
+  EXPECT_TRUE(has_diag(bad, "fleet.rebuild_days", "out of range"));
+
+  // Cross-section rules: analytic backend only, no [trace] replay, and
+  // a sigma needs a median to spread.
+  std::vector<Diagnostic> cross;
+  parse_text(
+      "[drive]\nbackend = sharded_mc\n[workload]\nprofile = postmark\n"
+      "[trace]\npath = t.csv\n"
+      "[fleet]\ndrives = 4\nfault_rate_sigma = 1\n",
+      &cross);
+  EXPECT_TRUE(has_diag(cross, "fleet.drives", "analytic"));
+  EXPECT_TRUE(has_diag(cross, "fleet.drives", "[trace]"));
+  EXPECT_TRUE(has_diag(cross, "fleet.fault_rate_sigma",
+                       "pe_fail_prob_median"));
+}
+
 TEST(Spec, InfeasibleFtlIsDiagnosed) {
   // 16 blocks at 20% overprovision is ~3 blocks of slack; GC can never
   // reach gc_free_target=4 free blocks and would livelock — the spec

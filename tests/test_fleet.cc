@@ -1,0 +1,465 @@
+// Fleet runner + checkpoint robustness tests.
+//
+// The contracts under test:
+//   * determinism — the fleet table is byte-identical for any thread
+//     count, and a run resumed from a checkpoint taken after ANY epoch
+//     (at any thread count) finishes byte-identical to an uninterrupted
+//     run;
+//   * rejection — corrupt, truncated, over-long, wrong-version,
+//     wrong-config or wrong-seed checkpoints are refused with a
+//     diagnostic, never silently (or partially) restored;
+//   * lifecycle — drives degrade, fail read-only, and are replaced (or
+//     frozen dead) per fleet.replace_failed;
+//   * the Ssd snapshot embedded in every checkpoint round-trips exactly.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cfg/spec.h"
+#include "common/thread_pool.h"
+#include "fleet/checkpoint.h"
+#include "fleet/fleet.h"
+#include "host/command.h"
+#include "host/factory.h"
+#include "ssd/ssd.h"
+#include "workload/generator.h"
+#include "workload/profiles.h"
+
+namespace rdsim {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+
+/// A 12-day, 6-drive fleet over tiny drives: small enough for tight test
+/// loops, hot enough (1-block spare budget, lognormal fault rates) that
+/// failures, replacements and rebuilds all happen inside the horizon.
+cfg::ScenarioSpec tiny_fleet_spec() {
+  cfg::ScenarioSpec spec;
+  spec.name = "fleet_test";
+  spec.drive.backend = cfg::Backend::kAnalytic;
+  spec.drive.blocks = 32;
+  spec.drive.pages_per_block = 8;
+  spec.drive.overprovision = 0.25;
+  spec.drive.gc_free_target = 2;
+  spec.drive.spare_blocks = 1;
+  spec.drive.queue_count = 1;
+  spec.workload.profile = workload::profile_by_name("fiu-web-vm");
+  spec.workload.profile.daily_page_ios = 2000.0;
+  spec.workload.profile.read_fraction = 0.4;
+  spec.fleet.drives = 6;
+  spec.fleet.years = 12.0 / 365.0;
+  spec.fleet.report_interval_days = 3;  // 4 epochs.
+  spec.fleet.teardown_every = 3;
+  spec.fleet.pe_fail_prob_median = 3e-4;
+  spec.fleet.fault_rate_sigma = 0.8;
+  spec.fleet.replace_failed = true;
+  spec.fleet.rebuild_days = 1.0;
+  return spec;
+}
+
+std::string run_to_completion(fleet::FleetRunner& runner) {
+  while (!runner.done()) runner.run_epoch();
+  return runner.table().to_csv();
+}
+
+std::string reference_table(const cfg::ScenarioSpec& spec, int threads = 1) {
+  ThreadPool pool(threads);
+  fleet::FleetRunner runner(spec, kSeed, pool);
+  return run_to_completion(runner);
+}
+
+// --- Determinism -----------------------------------------------------------
+
+TEST(Fleet, TableIsThreadCountInvariant) {
+  const cfg::ScenarioSpec spec = tiny_fleet_spec();
+  const std::string t1 = reference_table(spec, 1);
+  EXPECT_EQ(t1, reference_table(spec, 4));
+  EXPECT_EQ(t1, reference_table(spec, 8));
+}
+
+TEST(Fleet, ResumeFromEveryEpochIsByteIdentical) {
+  const cfg::ScenarioSpec spec = tiny_fleet_spec();
+  const std::string reference = reference_table(spec);
+
+  ThreadPool pool(2);
+  fleet::FleetRunner probe(spec, kSeed, pool);
+  const std::size_t total = probe.total_epochs();
+  ASSERT_GE(total, 3u);
+
+  for (std::size_t k = 1; k < total; ++k) {
+    SCOPED_TRACE("checkpoint after epoch " + std::to_string(k));
+    fleet::FleetRunner partial(spec, kSeed, pool);
+    for (std::size_t e = 0; e < k; ++e) partial.run_epoch();
+    const std::vector<std::uint8_t> ckpt = partial.checkpoint();
+
+    std::string error;
+    auto resumed =
+        fleet::FleetRunner::from_checkpoint(ckpt, spec, kSeed, pool, &error);
+    ASSERT_NE(resumed, nullptr) << error;
+    EXPECT_EQ(resumed->epoch(), k);
+    EXPECT_EQ(run_to_completion(*resumed), reference);
+  }
+}
+
+TEST(Fleet, ResumeCrossesThreadCountsBothWays) {
+  const cfg::ScenarioSpec spec = tiny_fleet_spec();
+  const std::string reference = reference_table(spec);
+
+  // Checkpoint under 8 workers, resume under 1 — and the reverse.
+  ThreadPool pool1(1), pool8(8);
+  for (const bool wide_first : {true, false}) {
+    SCOPED_TRACE(wide_first ? "8 -> 1" : "1 -> 8");
+    ThreadPool& before = wide_first ? pool8 : pool1;
+    ThreadPool& after = wide_first ? pool1 : pool8;
+    fleet::FleetRunner partial(spec, kSeed, before);
+    partial.run_epoch();
+    partial.run_epoch();
+    std::string error;
+    auto resumed = fleet::FleetRunner::from_checkpoint(
+        partial.checkpoint(), spec, kSeed, after, &error);
+    ASSERT_NE(resumed, nullptr) << error;
+    EXPECT_EQ(run_to_completion(*resumed), reference);
+  }
+}
+
+TEST(Fleet, RunFleetStopAfterCheckpointsResumesToSameTable) {
+  const cfg::ScenarioSpec spec = tiny_fleet_spec();
+  const std::string reference = reference_table(spec);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rdsim_fleet_stop.ckpt")
+          .string();
+
+  ThreadPool pool(4);
+  fleet::FleetRunner first(spec, kSeed, pool);
+  fleet::FleetOptions options;
+  options.checkpoint_path = path;
+  options.checkpoint_every = 1;
+  options.stop_after_checkpoints = 2;
+  EXPECT_THROW(fleet::run_fleet(first, options), fleet::Interrupted);
+
+  std::string error;
+  auto resumed = fleet::FleetRunner::from_checkpoint_file(path, pool, &error);
+  ASSERT_NE(resumed, nullptr) << error;
+  EXPECT_EQ(resumed->epoch(), 2u);
+  fleet::FleetOptions rest;  // No cadence: run straight to the end.
+  rest.checkpoint_path = path;
+  EXPECT_EQ(fleet::run_fleet(*resumed, rest).to_csv(), reference);
+  std::filesystem::remove(path);
+}
+
+TEST(Fleet, StopFlagWritesFinalCheckpointAndThrows) {
+  const cfg::ScenarioSpec spec = tiny_fleet_spec();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rdsim_fleet_sig.ckpt")
+          .string();
+  std::filesystem::remove(path);
+
+  ThreadPool pool(2);
+  fleet::FleetRunner runner(spec, kSeed, pool);
+  runner.run_epoch();
+  volatile std::sig_atomic_t stop = 1;  // As if SIGINT already arrived.
+  fleet::FleetOptions options;
+  options.checkpoint_path = path;
+  options.stop_flag = &stop;
+  try {
+    fleet::run_fleet(runner, options);
+    FAIL() << "stop flag did not interrupt the run";
+  } catch (const fleet::Interrupted& e) {
+    EXPECT_EQ(e.checkpoint_path(), path);
+    EXPECT_NE(std::string(e.what()).find("--resume"), std::string::npos);
+  }
+  // The final checkpoint is on disk and resumable at the stopped epoch.
+  std::string error;
+  auto resumed = fleet::FleetRunner::from_checkpoint_file(path, pool, &error);
+  ASSERT_NE(resumed, nullptr) << error;
+  EXPECT_EQ(resumed->epoch(), 1u);
+  std::filesystem::remove(path);
+}
+
+// --- Rejection -------------------------------------------------------------
+
+TEST(Fleet, CheckpointRejectsBitCorruptionEverywhere) {
+  const cfg::ScenarioSpec spec = tiny_fleet_spec();
+  ThreadPool pool(2);
+  fleet::FleetRunner runner(spec, kSeed, pool);
+  runner.run_epoch();
+  const std::vector<std::uint8_t> ckpt = runner.checkpoint();
+
+  // Flip one bit at a stride of positions across the whole container
+  // (every byte would be slow; the stride still covers header, every
+  // section header, and payload interiors).
+  for (std::size_t pos = 0; pos < ckpt.size(); pos += 97) {
+    auto bad = ckpt;
+    bad[pos] ^= 0x10;
+    std::string error;
+    auto resumed =
+        fleet::FleetRunner::from_checkpoint(bad, spec, kSeed, pool, &error);
+    EXPECT_EQ(resumed, nullptr) << "byte " << pos << " accepted";
+    EXPECT_FALSE(error.empty()) << "byte " << pos << ": no diagnostic";
+  }
+}
+
+TEST(Fleet, CheckpointRejectsTruncationAtAnyLength) {
+  const cfg::ScenarioSpec spec = tiny_fleet_spec();
+  ThreadPool pool(2);
+  fleet::FleetRunner runner(spec, kSeed, pool);
+  runner.run_epoch();
+  const std::vector<std::uint8_t> ckpt = runner.checkpoint();
+
+  for (const double frac : {0.0, 0.1, 0.5, 0.9, 0.999}) {
+    auto bad = ckpt;
+    bad.resize(static_cast<std::size_t>(static_cast<double>(bad.size()) *
+                                        frac));
+    std::string error;
+    EXPECT_EQ(fleet::FleetRunner::from_checkpoint(bad, spec, kSeed, pool,
+                                                  &error),
+              nullptr)
+        << "length " << bad.size() << " accepted";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(Fleet, CheckpointRejectsTrailingBytes) {
+  const cfg::ScenarioSpec spec = tiny_fleet_spec();
+  ThreadPool pool(2);
+  fleet::FleetRunner runner(spec, kSeed, pool);
+  auto ckpt = runner.checkpoint();
+  ckpt.push_back(0);
+  std::string error;
+  EXPECT_EQ(fleet::FleetRunner::from_checkpoint(ckpt, spec, kSeed, pool,
+                                                &error),
+            nullptr);
+  EXPECT_NE(error.find("trailing"), std::string::npos) << error;
+}
+
+TEST(Fleet, CheckpointRejectsWrongMagicAndVersion) {
+  const cfg::ScenarioSpec spec = tiny_fleet_spec();
+  ThreadPool pool(2);
+  fleet::FleetRunner runner(spec, kSeed, pool);
+  const auto ckpt = runner.checkpoint();
+  std::string error;
+
+  auto bad_magic = ckpt;
+  bad_magic[0] ^= 0xFF;
+  EXPECT_EQ(fleet::FleetRunner::from_checkpoint(bad_magic, spec, kSeed, pool,
+                                                &error),
+            nullptr);
+  EXPECT_NE(error.find("magic"), std::string::npos) << error;
+
+  auto bad_version = ckpt;
+  bad_version[4] = 0x7F;  // version field follows the u32 magic
+  EXPECT_EQ(fleet::FleetRunner::from_checkpoint(bad_version, spec, kSeed,
+                                                pool, &error),
+            nullptr);
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST(Fleet, CheckpointRejectsMismatchedConfig) {
+  const cfg::ScenarioSpec spec = tiny_fleet_spec();
+  ThreadPool pool(2);
+  fleet::FleetRunner runner(spec, kSeed, pool);
+  runner.run_epoch();
+  const auto ckpt = runner.checkpoint();
+
+  // Any drift in what the run's results depend on must be refused: fleet
+  // shape, drive geometry, workload intensity, fault distribution.
+  for (int variant = 0; variant < 4; ++variant) {
+    cfg::ScenarioSpec other = tiny_fleet_spec();
+    switch (variant) {
+      case 0: other.fleet.drives += 1; break;
+      case 1: other.drive.blocks = 64; break;
+      case 2: other.workload.profile.daily_page_ios = 2001.0; break;
+      case 3: other.fleet.fault_rate_sigma = 0.9; break;
+    }
+    SCOPED_TRACE("variant " + std::to_string(variant));
+    std::string error;
+    EXPECT_EQ(fleet::FleetRunner::from_checkpoint(ckpt, other, kSeed, pool,
+                                                  &error),
+              nullptr);
+    EXPECT_NE(error.find("different"), std::string::npos) << error;
+  }
+}
+
+TEST(Fleet, CheckpointRejectsMismatchedSeed) {
+  const cfg::ScenarioSpec spec = tiny_fleet_spec();
+  ThreadPool pool(2);
+  fleet::FleetRunner runner(spec, kSeed, pool);
+  const auto ckpt = runner.checkpoint();
+  std::string error;
+  EXPECT_EQ(fleet::FleetRunner::from_checkpoint(ckpt, spec, kSeed + 1, pool,
+                                                &error),
+            nullptr);
+  EXPECT_NE(error.find("seed"), std::string::npos) << error;
+}
+
+TEST(Fleet, FileResumeIsSelfContainedAndRejectsGarbageFiles) {
+  const cfg::ScenarioSpec spec = tiny_fleet_spec();
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string path = (dir / "rdsim_fleet_file.ckpt").string();
+
+  ThreadPool pool(2);
+  fleet::FleetRunner runner(spec, kSeed, pool);
+  runner.run_epoch();
+  std::string error;
+  ASSERT_TRUE(fleet::write_checkpoint_file(path, runner.checkpoint(),
+                                           &error))
+      << error;
+
+  // No spec, no seed — everything comes from the file.
+  auto resumed = fleet::FleetRunner::from_checkpoint_file(path, pool, &error);
+  ASSERT_NE(resumed, nullptr) << error;
+  EXPECT_EQ(resumed->seed(), kSeed);
+  EXPECT_EQ(resumed->epoch(), 1u);
+  EXPECT_EQ(fleet::FleetRunner::canonical_config(resumed->spec()),
+            fleet::FleetRunner::canonical_config(spec));
+
+  EXPECT_EQ(fleet::FleetRunner::from_checkpoint_file(
+                (dir / "rdsim_fleet_missing.ckpt").string(), pool, &error),
+            nullptr);
+  EXPECT_FALSE(error.empty());
+
+  const std::string garbage = (dir / "rdsim_fleet_garbage.ckpt").string();
+  std::ofstream(garbage) << "this is not a checkpoint";
+  EXPECT_EQ(fleet::FleetRunner::from_checkpoint_file(garbage, pool, &error),
+            nullptr);
+  EXPECT_FALSE(error.empty());
+  std::filesystem::remove(path);
+  std::filesystem::remove(garbage);
+}
+
+// --- Container + canonical config ------------------------------------------
+
+TEST(FleetCheckpoint, ContainerRoundTripsSections) {
+  std::vector<fleet::CheckpointSection> sections(2);
+  sections[0].tag = fleet::kSectionConfig;
+  sections[0].payload = {1, 2, 3};
+  sections[1].tag = fleet::kSectionMeta;  // Empty payload is legal.
+  const auto bytes = fleet::pack_checkpoint(0xDEADBEEF, sections);
+
+  std::uint32_t digest = 0;
+  std::vector<fleet::CheckpointSection> out;
+  std::string error;
+  ASSERT_TRUE(fleet::unpack_checkpoint(bytes, &digest, &out, &error))
+      << error;
+  EXPECT_EQ(digest, 0xDEADBEEFu);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_NE(fleet::find_section(out, fleet::kSectionMeta), nullptr);
+  EXPECT_EQ(fleet::find_section(out, fleet::kSectionDrives), nullptr);
+}
+
+TEST(FleetCheckpoint, CanonicalConfigRoundTripsThroughParser) {
+  // The canonical text must re-parse to a spec that emits the identical
+  // text — this is what makes the embedded-config digest meaningful.
+  const cfg::ScenarioSpec spec = tiny_fleet_spec();
+  const std::string text = fleet::FleetRunner::canonical_config(spec);
+  std::vector<cfg::Diagnostic> diags;
+  cfg::Config config = cfg::Config::parse(text, &diags);
+  cfg::ScenarioSpec reparsed = cfg::parse_scenario(config, &diags);
+  ASSERT_TRUE(diags.empty()) << cfg::format_diagnostics(diags);
+  EXPECT_EQ(fleet::FleetRunner::canonical_config(reparsed), text);
+}
+
+// --- Lifecycle -------------------------------------------------------------
+
+TEST(Fleet, LifecycleReplacesFailedDrives) {
+  cfg::ScenarioSpec spec = tiny_fleet_spec();
+  spec.fleet.pe_fail_prob_median = 2e-3;  // Hot: force failures.
+  ThreadPool pool(2);
+  fleet::FleetRunner runner(spec, kSeed, pool);
+  const std::string csv = run_to_completion(runner);
+  // With replacement on, failures accumulate past the fleet size while
+  // no slot stays read-only (each failure swaps in a fresh drive).
+  const auto last_b = csv.rfind('\n', csv.size() - 2);
+  const std::string section_b = csv.substr(last_b + 1);
+  unsigned long long failures = 0;
+  ASSERT_EQ(std::sscanf(section_b.c_str(), "%llu,", &failures), 1);
+  EXPECT_GT(failures, spec.fleet.drives);
+}
+
+TEST(Fleet, LifecycleWithoutReplacementFreezesDeadDrives) {
+  cfg::ScenarioSpec spec = tiny_fleet_spec();
+  spec.fleet.pe_fail_prob_median = 2e-3;
+  spec.fleet.replace_failed = false;
+  ThreadPool pool(2);
+  fleet::FleetRunner runner(spec, kSeed, pool);
+  const std::string csv = run_to_completion(runner);
+  const auto last_b = csv.rfind('\n', csv.size() - 2);
+  unsigned long long failures = 0;
+  ASSERT_EQ(std::sscanf(csv.substr(last_b + 1).c_str(), "%llu,", &failures),
+            1);
+  // A dead slot fails exactly once: the count is bounded by fleet size.
+  EXPECT_GT(failures, 0u);
+  EXPECT_LE(failures, spec.fleet.drives);
+  // And the final epoch row reports those slots read-only (column 5 of
+  // the last Section A row).
+  EXPECT_NE(csv.find("read_only"), std::string::npos);
+}
+
+// --- Ssd snapshot ----------------------------------------------------------
+
+TEST(SsdSnapshot, RoundTripContinuesByteIdentically) {
+  const cfg::ScenarioSpec spec = tiny_fleet_spec();
+  const ssd::SsdConfig config = host::ssd_config_from_spec(spec.drive);
+  const auto params = host::flash_params_from_spec(spec.drive);
+
+  ssd::Ssd a(config, params, /*seed=*/7);
+  workload::TraceGenerator gen(spec.workload.profile,
+                               config.ftl.logical_pages(), /*seed=*/9, 1);
+  for (int day = 0; day < 3; ++day) {
+    for (const host::Command& cmd : gen.day_commands()) a.service(cmd);
+    a.end_of_day();
+  }
+  const auto snap = a.snapshot();
+
+  ssd::Ssd b(config, params, /*seed=*/7);
+  std::string error;
+  ASSERT_TRUE(b.restore(snap, &error)) << error;
+  // Divergence in any restored field would surface in the re-snapshot.
+  EXPECT_EQ(b.snapshot(), snap);
+
+  // Both copies must continue identically through more traffic.
+  workload::TraceGenerator gen_b(spec.workload.profile,
+                                 config.ftl.logical_pages(), /*seed=*/9, 1);
+  gen_b.load_state(gen.save_state());
+  for (int day = 0; day < 2; ++day) {
+    for (const host::Command& cmd : gen.day_commands()) a.service(cmd);
+    a.end_of_day();
+    for (const host::Command& cmd : gen_b.day_commands()) b.service(cmd);
+    b.end_of_day();
+  }
+  EXPECT_EQ(a.snapshot(), b.snapshot());
+}
+
+TEST(SsdSnapshot, RejectsCorruptionTruncationAndGeometryMismatch) {
+  const cfg::ScenarioSpec spec = tiny_fleet_spec();
+  const ssd::SsdConfig config = host::ssd_config_from_spec(spec.drive);
+  const auto params = host::flash_params_from_spec(spec.drive);
+  ssd::Ssd a(config, params, 7);
+  const auto snap = a.snapshot();
+  std::string error;
+
+  ssd::Ssd b(config, params, 7);
+  auto corrupt = snap;
+  corrupt[corrupt.size() / 3] ^= 0x40;
+  EXPECT_FALSE(b.restore(corrupt, &error));
+  EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+
+  auto truncated = snap;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(b.restore(truncated, &error));
+  EXPECT_FALSE(error.empty());
+
+  cfg::ScenarioSpec other_spec = tiny_fleet_spec();
+  other_spec.drive.blocks = 64;
+  ssd::Ssd c(host::ssd_config_from_spec(other_spec.drive), params, 7);
+  EXPECT_FALSE(c.restore(snap, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace rdsim

@@ -84,7 +84,13 @@ struct GoldenEntry {
 // tests/data file) and kept every existing hash unchanged: trace replay
 // is off by default in scenario, and the ClosedLoopDriver completion
 // sink is bit-transparent when unset.
+// PR 9 added fig_fleet (the fleet lifetime runner with checkpoint/
+// resume) and kept every existing hash unchanged: the fleet layer sits
+// above the unchanged Ssd/Ftl simulation, the Ftl snapshot gained a
+// version field (format change only — no simulation path touched), and
+// the new [fleet] config section defaults to disabled everywhere else.
 constexpr GoldenEntry kGolden[] = {
+    {"fig_fleet", 0x94E36796},
     {"fig_qos", 0x21AD8CF4},
     {"fig_trace_replay", 0x9885A439},
     {"fig_qos_mc", 0xFDC18F1D},

@@ -310,6 +310,63 @@ TEST(FtlSnapshot, RejectsGeometryMismatch) {
   EXPECT_FALSE(b.restore(snap));
 }
 
+TEST(FtlSnapshot, CorruptEveryByteFuzz) {
+  // Flip the high bit of every byte position in turn: no single-byte
+  // corruption may be silently restored. Either the restore fails with a
+  // diagnostic, or — only if the flip cancelled out in the CRC, which a
+  // single-bit flip cannot — the payload is untouched. Every rejection
+  // must leave the target usable and empty.
+  ftl::Ftl a(snap_config());
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i)
+    a.write(rng.uniform_u64(a.config().logical_pages()));
+  const auto snap = a.snapshot();
+  for (std::size_t pos = 0; pos < snap.size(); ++pos) {
+    auto bad = snap;
+    bad[pos] ^= 0x80;
+    ftl::Ftl b(snap_config());
+    std::string error;
+    ASSERT_FALSE(b.restore(bad, &error)) << "byte " << pos << " accepted";
+    EXPECT_FALSE(error.empty()) << "byte " << pos << ": no diagnostic";
+    EXPECT_TRUE(b.check_invariants());
+    EXPECT_EQ(b.stats().host_writes, 0u)
+        << "byte " << pos << ": partial restore leaked state";
+  }
+}
+
+TEST(FtlSnapshot, RejectsTrailingBytesWithDiagnostic) {
+  ftl::Ftl a(snap_config());
+  auto snap = a.snapshot();
+  snap.push_back(0);  // Over-long: CRC trailer no longer at the end.
+  ftl::Ftl b(snap_config());
+  std::string error;
+  EXPECT_FALSE(b.restore(snap, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FtlSnapshot, DiagnosticsNameTheFailure) {
+  ftl::Ftl a(snap_config());
+  const auto snap = a.snapshot();
+  std::string error;
+
+  ftl::Ftl b(snap_config());
+  auto truncated = snap;
+  truncated.resize(4);
+  EXPECT_FALSE(b.restore(truncated, &error));
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+
+  auto corrupt = snap;
+  corrupt[corrupt.size() / 2] ^= 0x01;
+  EXPECT_FALSE(b.restore(corrupt, &error));
+  EXPECT_NE(error.find("CRC"), std::string::npos) << error;
+
+  auto other = snap_config();
+  other.blocks = 32;
+  ftl::Ftl c(other);
+  EXPECT_FALSE(c.restore(snap, &error));
+  EXPECT_NE(error.find("geometry"), std::string::npos) << error;
+}
+
 TEST(FtlSnapshot, SurvivesContinuedOperation) {
   ftl::Ftl a(snap_config());
   Rng rng(2);

@@ -35,6 +35,12 @@
 //   trace_replay_kcmds_per_s_wall  thousand trace commands replayed per
 //                                  wall-clock second
 //
+// Fleet block (src/fleet end to end: a small fleet of tiny analytic
+// drives with lifecycle tracking, lognormal fault rates and teardown
+// probes, run to its horizon on a 4-wide pool):
+//   fleet_drive_days_per_s_wall  simulated drive-days per wall-clock
+//                                second
+//
 // Sharded Monte-Carlo drive block (host::ShardedDevice, four pre-aged
 // chips, real per-cell senses, open-loop batched replay — the same
 // stream at three worker-pool widths, so the trajectory tracks both the
@@ -62,6 +68,9 @@
 #include <utility>
 #include <vector>
 
+#include "cfg/spec.h"
+#include "common/thread_pool.h"
+#include "fleet/fleet.h"
 #include "host/driver.h"
 #include "host/sharded_device.h"
 #include "host/ssd_device.h"
@@ -245,6 +254,37 @@ DriveMetrics trace_replay(std::uint64_t commands) {
   return m;
 }
 
+/// Runs a small fleet (16 tiny analytic drives, 20 days, lifecycle +
+/// teardown probes) to its horizon on a 4-wide pool and returns the
+/// simulated drive-days per wall-clock second.
+double fleet_drive_days_per_s() {
+  using namespace rdsim;
+  cfg::ScenarioSpec spec;
+  spec.name = "perf_fleet";
+  spec.drive.backend = cfg::Backend::kAnalytic;
+  spec.drive.blocks = 32;
+  spec.drive.pages_per_block = 8;
+  spec.drive.overprovision = 0.25;
+  spec.drive.gc_free_target = 2;
+  spec.drive.spare_blocks = 1;
+  spec.drive.queue_count = 1;
+  spec.workload.profile = workload::profile_by_name("fiu-web-vm");
+  spec.workload.profile.daily_page_ios = 2000.0;
+  spec.fleet.drives = 16;
+  spec.fleet.years = 20.0 / 365.0;
+  spec.fleet.report_interval_days = 5;
+  spec.fleet.teardown_every = 4;
+  spec.fleet.pe_fail_prob_median = 2e-4;
+  spec.fleet.fault_rate_sigma = 0.8;
+
+  ThreadPool pool(4);
+  fleet::FleetRunner runner(spec, /*seed=*/42, pool);
+  const auto wall_start = Clock::now();
+  while (!runner.done()) runner.run_epoch();
+  const double wall_s = ms_since(wall_start) * 1e-3;
+  return static_cast<double>(spec.fleet.drives) * 20.0 / wall_s;
+}
+
 /// Parses the flat { "key": number, ... } JSON perf_smoke itself emits.
 /// Returns name/value pairs; non-numeric fields are skipped.
 std::vector<std::pair<std::string, double>> parse_flat_json(const char* path) {
@@ -419,6 +459,9 @@ int main(int argc, char** argv) {
   const DriveMetrics sharded_w1 = sharded_replay(1, sharded_commands);
   const DriveMetrics sharded_w4 = sharded_replay(4, sharded_commands);
   const DriveMetrics sharded_w8 = sharded_replay(8, sharded_commands);
+
+  // Fleet runner end to end (lifecycle + checkpointable state machine).
+  const double fleet_dd_per_s = fleet_drive_days_per_s();
   const auto kcmds_wall = [](const DriveMetrics& m) {
     return static_cast<double>(m.commands) / (m.wall_ms * 1e-3) / 1e3;
   };
@@ -450,6 +493,7 @@ int main(int argc, char** argv) {
       {"sharded_w4_kcmds_per_s_wall", kcmds_wall(sharded_w4)},
       {"sharded_w8_kcmds_per_s_wall", kcmds_wall(sharded_w8)},
       {"sharded_p99_read_us", sharded_w1.p99_read_us},
+      {"fleet_drive_days_per_s_wall", fleet_dd_per_s},
   };
 
   std::string json = "{\n";

@@ -10,15 +10,25 @@
 // Experiments are sharded across a thread pool with per-shard Rng streams
 // derived only from (--seed, shard index), so the output — stdout or CSV —
 // is byte-identical for any --threads value.
+#include <csignal>
 #include <cstdio>
 #include <exception>
 #include <iostream>
 
 #include "cfg/profiles.h"
+#include "fleet/fleet.h"
 #include "sim/cli.h"
 #include "sim/experiment.h"
 
 namespace {
+
+// SIGINT/SIGTERM request a graceful stop: long-running experiments that
+// poll this flag (the fleet runner, at epoch boundaries) write a final
+// checkpoint and raise fleet::Interrupted, which main() turns into a
+// clean exit 0 with resume instructions.
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void handle_stop_signal(int) { g_stop = 1; }
 
 void print_usage(std::FILE* out) {
   std::fprintf(out,
@@ -70,6 +80,9 @@ int main(int argc, char** argv) {
                  options.experiment.c_str());
     return 2;
   }
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  options.config.stop_flag = &g_stop;
   try {
     const Table table = run_experiment(*info, options.config);
     if (options.csv_requested || !options.csv_path.empty()) {
@@ -81,6 +94,11 @@ int main(int argc, char** argv) {
     } else if (!options.quiet) {
       table.write(std::cout);
     }
+  } catch (const rdsim::fleet::Interrupted& e) {
+    // A requested stop (Ctrl-C, SIGTERM, or --stop-after-checkpoints)
+    // is a clean exit: the final checkpoint is already on disk.
+    std::fprintf(stderr, "rdsim: %s\n", e.what());
+    return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "rdsim: %s\n", e.what());
     return 1;
