@@ -280,6 +280,197 @@ void parse_fleet(Config& config, ScenarioSpec* spec,
   }
 }
 
+/// Splits a comma-separated config value into trimmed tokens ("a, b,c"
+/// -> {"a", "b", "c"}). A single empty value yields one empty token, which
+/// the per-token parsers then diagnose.
+std::vector<std::string> split_csv(const std::string& value) {
+  std::vector<std::string> out;
+  std::string token;
+  const auto flush_token = [&] {
+    const std::size_t b = token.find_first_not_of(" \t");
+    const std::size_t e = token.find_last_not_of(" \t");
+    out.push_back(b == std::string::npos
+                      ? std::string()
+                      : token.substr(b, e - b + 1));
+    token.clear();
+  };
+  for (const char c : value) {
+    if (c == ',') {
+      flush_token();
+    } else {
+      token += c;
+    }
+  }
+  flush_token();
+  return out;
+}
+
+/// Consumes `key` as a comma-separated list of exactly `expect` doubles,
+/// each within [lo, hi]; diagnoses (against the key) and returns false on
+/// any violation. `out` holds the parsed values on success.
+bool get_double_list(Config& config, const std::string& key,
+                     std::size_t expect, double lo, double hi,
+                     std::vector<double>* out,
+                     std::vector<Diagnostic>* diags) {
+  const std::vector<std::string> tokens =
+      split_csv(config.get_string(key, "", diags));
+  if (tokens.size() != expect) {
+    std::ostringstream msg;
+    msg << "expected " << expect << " comma-separated values (one per "
+        << "tenant), got " << tokens.size();
+    diags->push_back({0, key, msg.str()});
+    return false;
+  }
+  out->clear();
+  for (const std::string& token : tokens) {
+    std::size_t used = 0;
+    double v = 0.0;
+    bool ok = !token.empty();
+    if (ok) {
+      try {
+        v = std::stod(token, &used);
+      } catch (...) {
+        ok = false;
+      }
+    }
+    if (!ok || used != token.size()) {
+      diags->push_back({0, key, "malformed number '" + token + "'"});
+      return false;
+    }
+    if (!(v >= lo && v <= hi)) {
+      std::ostringstream msg;
+      msg << "value " << v << " out of range [" << lo << ", " << hi << "]";
+      diags->push_back({0, key, msg.str()});
+      return false;
+    }
+    out->push_back(v);
+  }
+  return true;
+}
+
+void parse_tenants(Config& config, ScenarioSpec* spec,
+                   std::vector<Diagnostic>* diags) {
+  TenantsSpec& t = spec->tenants;
+  // Any [tenants] key without tenants.count is a broken section: there is
+  // no tenant table to fill, so the stray knobs would silently do nothing.
+  const bool any_key =
+      config.has("tenants.count") || config.has("tenants.policy") ||
+      config.has("tenants.weights") || config.has("tenants.deadlines_us") ||
+      config.has("tenants.profiles") ||
+      config.has("tenants.daily_page_ios");
+  if (!any_key) return;
+  if (!config.has("tenants.count")) {
+    diags->push_back({0, "tenants.count",
+                      "missing required key (how many tenants share the "
+                      "drive; other tenants.* keys have no effect without "
+                      "it)"});
+    return;
+  }
+  const auto count = static_cast<std::uint32_t>(
+      get_u64_in(config, "tenants.count", 1, 1, 4096, diags));
+  if (count > spec->drive.queue_count) {
+    std::ostringstream msg;
+    msg << "tenant count " << count << " exceeds drive.queue_count "
+        << spec->drive.queue_count
+        << " (each tenant submits on its own queue); raise "
+           "drive.queue_count or lower tenants.count";
+    diags->push_back({0, "tenants.count", msg.str()});
+  }
+
+  const std::string policy = config.get_string(
+      "tenants.policy", host::arbitration_policy_name(t.policy), diags);
+  if (!host::arbitration_policy_from_name(policy, &t.policy))
+    diags->push_back({0, "tenants.policy",
+                      "unknown arbitration policy '" + policy +
+                          "' (expected fifo, round_robin, weighted, or "
+                          "deadline)"});
+
+  // Every tenant starts from the scenario's resolved [workload] profile;
+  // the per-tenant lists below override it slot by slot.
+  t.tenants.assign(count, TenantSpec{});
+  for (TenantSpec& tenant : t.tenants)
+    tenant.profile = spec->workload.profile;
+
+  if (config.has("tenants.weights")) {
+    std::vector<double> weights;
+    // Weights are relative shares; zero (or negative) would starve the
+    // tenant outright, which is a config error, not a policy.
+    if (get_double_list(config, "tenants.weights", count,
+                        std::numeric_limits<double>::min(), 1e9, &weights,
+                        diags)) {
+      for (std::uint32_t i = 0; i < count; ++i)
+        t.tenants[i].weight = weights[i];
+    }
+  }
+
+  if (config.has("tenants.deadlines_us")) {
+    std::vector<double> deadlines;
+    if (get_double_list(config, "tenants.deadlines_us", count, 1e-3, 1e12,
+                        &deadlines, diags)) {
+      for (std::uint32_t i = 0; i < count; ++i)
+        t.tenants[i].deadline_us = deadlines[i];
+    }
+  } else if (t.policy == host::ArbitrationPolicy::kDeadline) {
+    diags->push_back({0, "tenants.deadlines_us",
+                      "missing required key: the deadline policy orders by "
+                      "submit + deadline, so every tenant needs one "
+                      "(comma-separated microseconds)"});
+  }
+
+  if (config.has("tenants.profiles")) {
+    const std::vector<std::string> names =
+        split_csv(config.get_string("tenants.profiles", "", diags));
+    if (names.size() != count) {
+      std::ostringstream msg;
+      msg << "expected " << count << " comma-separated profile names (one "
+          << "per tenant), got " << names.size();
+      diags->push_back({0, "tenants.profiles", msg.str()});
+    } else {
+      for (std::uint32_t i = 0; i < count; ++i) {
+        bool found = false;
+        for (const auto& s : workload::standard_suite()) {
+          if (s.name == names[i]) {
+            // A named per-tenant profile replaces the base wholesale
+            // (including any [workload] overrides), exactly as
+            // workload.profile replaces the built-in default.
+            t.tenants[i].profile = s;
+            found = true;
+            break;
+          }
+        }
+        if (!found)
+          diags->push_back({0, "tenants.profiles",
+                            "unknown workload profile '" + names[i] + "'"});
+      }
+    }
+  }
+
+  if (config.has("tenants.daily_page_ios")) {
+    std::vector<double> ios;
+    if (get_double_list(config, "tenants.daily_page_ios", count, 1.0, 1e12,
+                        &ios, diags)) {
+      for (std::uint32_t i = 0; i < count; ++i)
+        t.tenants[i].profile.daily_page_ios = ios[i];
+    }
+  }
+
+  // Cross-section validation: tenants shape the scenario's synthetic
+  // generator and the queued device; the trace replayer and the fleet
+  // runner each own their traffic wholesale.
+  if (spec->trace.enabled()) {
+    diags->push_back({0, "tenants.count",
+                      "a [tenants] scenario generates per-tenant synthetic "
+                      "traffic and cannot replay a [trace] section; remove "
+                      "one"});
+  }
+  if (spec->fleet.enabled()) {
+    diags->push_back({0, "tenants.count",
+                      "fleet runs drive whole fleets of single-tenant "
+                      "drives and cannot take a [tenants] section; remove "
+                      "one"});
+  }
+}
+
 void parse_workload(Config& config, WorkloadSpec* workload, bool required,
                     std::vector<Diagnostic>* diags) {
   workload::WorkloadProfile& p = workload->profile;
@@ -358,8 +549,18 @@ ScenarioSpec parse_scenario(Config& config, std::vector<Diagnostic>* diags) {
   parse_trace(config, &spec.trace, diags);
   parse_fleet(config, &spec, diags);
   parse_workload(config, &spec.workload, !spec.trace.enabled(), diags);
+  parse_tenants(config, &spec, diags);
   config.report_unknown(diags);
   return spec;
+}
+
+host::ArbitrationConfig TenantsSpec::arbitration() const {
+  host::ArbitrationConfig arb;
+  arb.policy = policy;
+  arb.tenants.reserve(tenants.size());
+  for (const TenantSpec& tenant : tenants)
+    arb.tenants.push_back({tenant.weight, tenant.deadline_us});
+  return arb;
 }
 
 }  // namespace rdsim::cfg

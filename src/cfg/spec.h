@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "cfg/config.h"
+#include "host/arbitration.h"
 #include "replay/options.h"
 #include "workload/profiles.h"
 
@@ -156,6 +157,33 @@ struct FleetSpec {
   bool enabled() const { return drives > 0; }
 };
 
+/// One tenant of a multi-tenant scenario: its arbitration parameters
+/// plus the workload profile generating its traffic (the scenario's
+/// [workload] profile with the per-tenant overrides applied).
+struct TenantSpec {
+  double weight = 1.0;        ///< Share under the weighted policy (> 0).
+  double deadline_us = 1000.0;  ///< Latency target under deadline (EDF).
+  workload::WorkloadProfile profile;
+};
+
+/// Multi-tenant QoS ([tenants] section). When `tenants` is non-empty the
+/// scenario splits the workload into one decorrelated stream per tenant
+/// (tenant t submits on queue t) and installs the arbitration policy on
+/// the device. A single-tenant [tenants] section reproduces the untagged
+/// scenario byte-for-byte (the policies all degenerate to FIFO with one
+/// tenant — the bit-transparency test in tests/test_arbitration.cc).
+struct TenantsSpec {
+  host::ArbitrationPolicy policy = host::ArbitrationPolicy::kFifo;
+  std::vector<TenantSpec> tenants;
+
+  bool enabled() const { return !tenants.empty(); }
+  std::uint32_t count() const {
+    return static_cast<std::uint32_t>(tenants.size());
+  }
+  /// The device-side arbitration table this section configures.
+  host::ArbitrationConfig arbitration() const;
+};
+
 struct ScenarioSpec {
   std::string name = "scenario";
   int days = 2;                   ///< Simulated days to replay.
@@ -166,6 +194,7 @@ struct ScenarioSpec {
   WorkloadSpec workload;
   TraceSpec trace;  ///< Optional [trace] replay; see TraceSpec.enabled().
   FleetSpec fleet;  ///< Optional [fleet] run; see FleetSpec.enabled().
+  TenantsSpec tenants;  ///< Optional [tenants] QoS; see TenantsSpec.enabled().
 };
 
 /// Parses and validates a scenario from `config`, consuming every key it

@@ -1,0 +1,86 @@
+// rdsim/host/arbitration.h
+//
+// The arbitration vocabulary of the queued host interface: which pending
+// command a device services next when several tenants share it. A
+// tenant is a share of the drive (one co-located workload); every
+// Command carries a tenant id, and the device's ArbitrationConfig maps
+// those ids onto a policy plus per-tenant parameters (a weight for
+// share-proportional scheduling, a deadline for EDF).
+//
+// Policies:
+//   kFifo       — global submission order (oldest first). The default,
+//                 and bit-identical to the pre-tenant device: with one
+//                 tenant every policy below degenerates to this.
+//   kRoundRobin — one command per tenant per round, cycling tenant ids.
+//   kWeighted   — share-proportional (start-time fair queueing on page
+//                 counts): each tenant consumes virtual time at
+//                 work / weight, and the smallest virtual finish time
+//                 is served first, so completed work tracks the
+//                 configured weights under saturation.
+//   kDeadline   — earliest deadline first on submit_time + deadline_us.
+//
+// Like command.h this header is dependency-free on purpose: the cfg
+// layer includes it to describe a [tenants] section without pulling in
+// the device machinery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rdsim::host {
+
+enum class ArbitrationPolicy : std::uint8_t {
+  kFifo = 0,
+  kRoundRobin = 1,
+  kWeighted = 2,
+  kDeadline = 3,
+};
+
+/// Short lowercase name ("fifo", "round_robin", "weighted", "deadline").
+inline const char* arbitration_policy_name(ArbitrationPolicy policy) {
+  switch (policy) {
+    case ArbitrationPolicy::kFifo: return "fifo";
+    case ArbitrationPolicy::kRoundRobin: return "round_robin";
+    case ArbitrationPolicy::kWeighted: return "weighted";
+    case ArbitrationPolicy::kDeadline: return "deadline";
+  }
+  return "?";
+}
+
+inline bool arbitration_policy_from_name(const std::string& name,
+                                         ArbitrationPolicy* out) {
+  for (const ArbitrationPolicy p :
+       {ArbitrationPolicy::kFifo, ArbitrationPolicy::kRoundRobin,
+        ArbitrationPolicy::kWeighted, ArbitrationPolicy::kDeadline}) {
+    if (name == arbitration_policy_name(p)) {
+      *out = p;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Per-tenant scheduling parameters. `weight` is the share under
+/// kWeighted (relative, > 0); `deadline_us` the latency target under
+/// kDeadline (submit + deadline orders the queue). Both are ignored by
+/// the policies that do not use them.
+struct TenantConfig {
+  double weight = 1.0;
+  double deadline_us = 1000.0;
+};
+
+/// A device's complete arbitration setup: the policy plus one
+/// TenantConfig per tenant. An empty tenant list means "one tenant"
+/// (every command maps to tenant 0), which together with the kFifo
+/// default reproduces the pre-tenant device exactly.
+struct ArbitrationConfig {
+  ArbitrationPolicy policy = ArbitrationPolicy::kFifo;
+  std::vector<TenantConfig> tenants;
+
+  std::uint32_t tenant_count() const {
+    return tenants.empty() ? 1u : static_cast<std::uint32_t>(tenants.size());
+  }
+};
+
+}  // namespace rdsim::host

@@ -29,10 +29,10 @@ const char* status_name(Status status) {
 std::string to_string(const Completion& c) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "id=%llu %s q=%u lpn=%llu pages=%u submit=%.9f start=%.9f "
-                "complete=%.9f stall=%.9f status=%s err=%u",
+                "id=%llu %s q=%u t=%u lpn=%llu pages=%u submit=%.9f "
+                "start=%.9f complete=%.9f stall=%.9f status=%s err=%u",
                 static_cast<unsigned long long>(c.id),
-                command_kind_name(c.kind), c.queue,
+                command_kind_name(c.kind), c.queue, c.tenant,
                 static_cast<unsigned long long>(c.lpn), c.pages,
                 c.submit_time_s, c.service_start_s, c.complete_time_s,
                 c.stall_s, status_name(c.status), c.error_pages);

@@ -61,6 +61,8 @@ struct Command {
   std::uint64_t lpn = 0;         ///< First logical page of the range.
   std::uint32_t pages = 1;       ///< Range length (ignored for flush).
   std::uint16_t queue = 0;       ///< Submission queue (mod queue count).
+  std::uint16_t tenant = 0;      ///< Owning tenant (mod tenant count);
+                                 ///< 0 on single-tenant devices.
   double submit_time_s = 0.0;    ///< Host-side arrival time.
 };
 
@@ -88,6 +90,8 @@ struct Completion {
   std::uint64_t id = 0;        ///< Device-assigned sequence number.
   CommandKind kind = CommandKind::kRead;
   std::uint16_t queue = 0;     ///< Submission queue the command used.
+  std::uint16_t tenant = 0;    ///< Owning tenant (after the device's
+                               ///< modulo mapping).
   std::uint64_t lpn = 0;
   std::uint32_t pages = 1;
   double submit_time_s = 0.0;

@@ -7,23 +7,42 @@
 // records from a completion queue via an explicit submit()/poll()/drain()
 // model.
 //
-// Arbitration and determinism. Commands are serviced oldest-first across
-// the submission queue heads (each queue is FIFO, and the device always
-// picks the queue whose head command was submitted earliest — NVMe
-// round-robin arbitration degenerates to exactly this whenever producers
-// feed the queues in global submission order, which all of rdsim's
-// generators do). Because the service schedule of a command is a pure
-// function of the submission stream — simulated clocks only, never the
-// wall clock, the poll cadence, or the worker thread count — the
+// Arbitration and determinism. Which pending command is serviced next is
+// decided by the device's ArbitrationConfig (arbitration.h). Under the
+// default FIFO policy commands are serviced oldest-first across the
+// submission queues (NVMe round-robin arbitration degenerates to exactly
+// this whenever producers feed the queues in global submission order,
+// which all of rdsim's generators do). The tenant policies — round-robin
+// across tenants, weighted fair queueing, earliest deadline first —
+// reorder co-pending commands, and they do it deterministically: every
+// command's arbitration key is computed at submit() time as a pure
+// function of the submission stream, so the service order never depends
+// on when servicing happens. Flushes partition the stream into epochs
+// (arbitration never reorders across a flush, which is what makes the
+// flush barrier exact under every policy).
+//
+// Poll-cadence independence under reordering needs one extra rule: a
+// poll() may only service commands whose position in the final service
+// order is already decided — i.e. commands no future submission could
+// precede. Each policy admits a monotone lower bound on all future keys
+// (per tenant: the next round index, the next virtual finish time, the
+// newest-submit-time + deadline), so the device services the sorted
+// prefix below that bound on poll() and everything on drain() /
+// end_of_day() / stats() (which wait for the device to quiesce, so they
+// finalize the pending order — a drain is a synchronization point of the
+// submission stream, like a flush). Under FIFO every pending command is
+// always final and this machinery is inert: the service schedule is a
+// pure function of the submission stream — simulated clocks only, never
+// the wall clock, the poll cadence, or the worker thread count — so the
 // completion log is byte-identical no matter how often the host polls or
 // how many threads a sharded backend uses: the determinism contract
-// documented in docs/ARCHITECTURE.md and enforced by tests/test_host.cc
-// and tests/test_sharded_device.cc.
+// documented in docs/ARCHITECTURE.md and enforced by tests/test_host.cc,
+// tests/test_sharded_device.cc and tests/test_arbitration.cc.
 //
 // Class split:
 //   * Device        — the abstract facade: submission queues, completion
-//                     queue, statistics, id assignment. Knows nothing
-//                     about time.
+//                     queue, arbitration keys, statistics, id assignment.
+//                     Knows nothing about time.
 //   * SerialDevice  — the single-timeline engine (one FlashTimeline):
 //                     backends implement do_service()/do_end_of_day().
 //                     SsdDevice and McChipDevice derive from this.
@@ -35,6 +54,7 @@
 #include <deque>
 #include <vector>
 
+#include "host/arbitration.h"
 #include "host/command.h"
 #include "host/stats.h"
 #include "host/timeline.h"
@@ -51,9 +71,21 @@ class Device {
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
 
-  std::uint32_t queue_count() const {
-    return static_cast<std::uint32_t>(queues_.size());
-  }
+  std::uint32_t queue_count() const { return queue_count_; }
+
+  /// Installs the arbitration policy and tenant table. Must be called
+  /// while nothing is queued — before the first submit(), or right after
+  /// a drain() (e.g. between warm_fill and the measured workload):
+  /// arbitration keys are assigned at submission, so keys from different
+  /// policies are incomparable and a mid-stream change would make the
+  /// service order depend on *when* the change happened. The default
+  /// (FIFO, one tenant) reproduces the pre-tenant device bit-for-bit.
+  void set_arbitration(const ArbitrationConfig& config);
+  const ArbitrationConfig& arbitration() const { return arb_; }
+
+  /// Tenants the device distinguishes (>= 1; command.tenant is taken
+  /// modulo this count).
+  std::uint32_t tenant_count() const { return arb_.tenant_count(); }
 
   /// Exported logical space of the backend, in pages.
   virtual std::uint64_t logical_pages() const = 0;
@@ -97,14 +129,17 @@ class Device {
  protected:
   struct Submitted {
     Command command;
-    std::uint64_t id;
+    std::uint64_t id = 0;
+    std::uint64_t epoch = 0;  ///< Flushes submitted before this command.
+    double key = 0.0;         ///< Policy key within the epoch.
   };
 
-  /// Backend hook: service every queued command (pull them with
+  /// Backend hook: service queued commands (pull them with
   /// take_pending()), record() each completion, and make delivered
-  /// records available via deliver(). Called by poll/drain/stats/
-  /// end_of_day before they act.
-  virtual void pump() = 0;
+  /// records available via deliver(). Called by poll (force = false: only
+  /// the order-final prefix may be serviced) and by drain/stats/
+  /// end_of_day (force = true: service everything) before they act.
+  virtual void pump(bool force) = 0;
 
   /// Backend hook: nightly maintenance, run after pump().
   virtual void run_end_of_day() = 0;
@@ -114,9 +149,24 @@ class Device {
   /// release what is safe (everything, for a drain). Default: no-op.
   virtual void release_ready(bool drain_all);
 
-  /// Pops every queued command, oldest-first across queue heads (global
-  /// submission order).
-  std::vector<Submitted> take_pending();
+  /// Pops queued commands in arbitration order. With force, every
+  /// pending command; without, only the prefix whose service order no
+  /// future submission could change (under FIFO that is everything).
+  std::vector<Submitted> take_pending(bool force);
+
+  /// True while commands sit in the submission queues unserviced (a
+  /// cadence-limited take_pending(false) may leave some behind).
+  bool has_pending() const { return !pending_.empty(); }
+
+  /// Newest submit time seen across all submissions (non-decreasing by
+  /// the driver contract); backends use it to decide which completions'
+  /// log positions are final.
+  double max_submit_seen_s() const { return max_submit_s_; }
+
+  /// Earliest submit time among still-unserviced commands (meaningful
+  /// only while has_pending()): no unserviced command can complete
+  /// before it, so completions strictly earlier are final.
+  double min_pending_submit_s() const;
 
   /// Accounts a serviced command in the statistics.
   void record(const Completion& completion) { stats_.add(completion); }
@@ -127,17 +177,33 @@ class Device {
   }
 
  private:
-  std::vector<std::deque<Submitted>> queues_;
+  /// The deterministic service order: (epoch, key, tenant, id). Total —
+  /// ids are unique — and under FIFO identical to id order.
+  static bool arbitration_order(const Submitted& a, const Submitted& b);
+
+  /// True when no future submission could precede `sub` in the service
+  /// order (its position is final). Pure function of the submission
+  /// stream so far, and monotone: once final, always final.
+  bool order_final(const Submitted& sub) const;
+
+  ArbitrationConfig arb_;
+  std::uint32_t queue_count_;
+  std::vector<Submitted> pending_;  ///< Unserviced commands, id order.
   std::deque<Completion> completion_queue_;
   CompletionStats stats_;
+  std::vector<std::uint64_t> rr_round_;     ///< Per-tenant round index.
+  std::vector<double> virtual_finish_;      ///< Per-tenant WFQ clock.
+  std::uint64_t flush_epoch_ = 0;
+  double max_submit_s_ = 0.0;
   std::uint64_t next_id_ = 0;
   std::uint64_t submitted_ = 0;
   std::uint64_t delivered_ = 0;
 };
 
-/// The single-timeline engine: one flash unit services the merged stream
-/// oldest-first. Backends implement the per-command cost hook; the queue
-/// layer owns scheduling, stall attribution, and completion records.
+/// The single-timeline engine: one flash unit services the arbitrated
+/// stream in order. Backends implement the per-command cost hook; the
+/// queue layer owns scheduling, stall attribution, and completion
+/// records.
 class SerialDevice : public Device {
  public:
   explicit SerialDevice(std::uint32_t queue_count) : Device(queue_count) {}
@@ -147,20 +213,28 @@ class SerialDevice : public Device {
  protected:
   /// Backend hook: perform the command's data movement and report its
   /// cost. Flush never reaches this (the queue layer implements the
-  /// barrier; with oldest-first arbitration it completes at the flash
-  /// free time, i.e. after everything submitted before it).
+  /// barrier; arbitration keeps a flush after its whole epoch, so it
+  /// completes at the flash free time, i.e. after everything submitted
+  /// before it).
   virtual ServiceCost do_service(const Command& command) = 0;
 
   /// Backend hook: nightly maintenance; returns flash busy seconds.
   virtual double do_end_of_day() { return 0.0; }
 
-  void pump() override;
+  void pump(bool force) override;
   void run_end_of_day() override;
+  void release_ready(bool drain_all) override;
 
  private:
-  void service_one(const Submitted& sub);
+  Completion service_one(const Submitted& sub);
 
   FlashTimeline timeline_;
+  /// Serviced records not yet released to the completion queue: records
+  /// completing exactly at the flash free time are withheld while
+  /// commands are still queued, because a queued command a policy ordered
+  /// later could complete at the same instant with a smaller id. Under
+  /// FIFO nothing is ever queued after a pump, so this is pass-through.
+  std::vector<Completion> batch_;
 };
 
 }  // namespace rdsim::host

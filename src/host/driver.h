@@ -142,4 +142,57 @@ class ClosedLoopDriver {
   std::vector<Completion>* sink_ = nullptr;
 };
 
+/// Burst-window replay: submits commands in fixed-size windows, every
+/// command in a window re-stamped with the same submit time (the
+/// window's opening clock), drains the device, and advances the clock to
+/// the window's last completion. Where ClosedLoopDriver trickles one
+/// command per freed slot (the pending set a policy sees is nearly
+/// empty), a whole window is co-pending here — which is what gives a
+/// reordering arbitration policy real choices to make, so the
+/// multi-tenant QoS experiments drive with this; the window size plays
+/// the queue-depth role. Deterministic for the same reason as
+/// ClosedLoopDriver: the schedule is a pure function of the command
+/// stream and the window size (the drain per window is also what
+/// finalizes each window's service order under every policy).
+class BurstWindowDriver {
+ public:
+  BurstWindowDriver(Device& device, int window)
+      : device_(&device),
+        window_(static_cast<std::size_t>(window < 1 ? 1 : window)),
+        clock_s_(device.now_s()) {}
+
+  /// Optional completion sink, same contract as ClosedLoopDriver's.
+  void set_completion_sink(std::vector<Completion>* sink) { sink_ = sink; }
+
+  /// Replays one batch of commands (submit-time stamps are overwritten
+  /// window by window). The clock carries across run() calls.
+  void run(const std::vector<Command>& commands) {
+    std::size_t i = 0;
+    while (i < commands.size()) {
+      const std::size_t end = std::min(commands.size(), i + window_);
+      for (; i < end; ++i) {
+        Command c = commands[i];
+        c.submit_time_s = clock_s_;
+        device_->submit(c);
+      }
+      buffer_.clear();
+      device_->drain(&buffer_);
+      if (sink_ != nullptr)
+        sink_->insert(sink_->end(), buffer_.begin(), buffer_.end());
+      // drain() delivers in completion order, so back() is the window's
+      // last completion; the max keeps the clock monotone even for an
+      // all-flush window on an idle device (complete == submit).
+      if (!buffer_.empty())
+        clock_s_ = std::max(clock_s_, buffer_.back().complete_time_s);
+    }
+  }
+
+ private:
+  Device* device_;
+  std::size_t window_;
+  double clock_s_;
+  std::vector<Completion> buffer_;
+  std::vector<Completion>* sink_ = nullptr;
+};
+
 }  // namespace rdsim::host

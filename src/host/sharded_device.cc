@@ -74,11 +74,9 @@ double ShardedDevice::now_s() const {
   return t;
 }
 
-void ShardedDevice::pump() {
-  const std::vector<Submitted> pending = take_pending();
+void ShardedDevice::pump(bool force) {
+  const std::vector<Submitted> pending = take_pending(force);
   if (pending.empty()) return;
-  for (const Submitted& sub : pending)
-    watermark_s_ = std::max(watermark_s_, sub.command.submit_time_s);
 
   // Service in flush-separated segments: within a segment the shards run
   // concurrently and never wait for each other; each flush is a
@@ -159,6 +157,7 @@ void ShardedDevice::service_segment(const std::vector<Submitted>& pending,
     rec.id = sub.id;
     rec.kind = sub.command.kind;
     rec.queue = sub.command.queue;
+    rec.tenant = sub.command.tenant;
     rec.lpn = sub.command.lpn;
     rec.pages = sub.command.pages;
     rec.submit_time_s = sub.command.submit_time_s;
@@ -198,6 +197,7 @@ Completion ShardedDevice::service_flush(const Submitted& sub) {
   rec.id = sub.id;
   rec.kind = cmd.kind;
   rec.queue = cmd.queue;
+  rec.tenant = cmd.tenant;
   rec.lpn = cmd.lpn;
   rec.pages = cmd.pages;
   rec.submit_time_s = cmd.submit_time_s;
@@ -208,9 +208,19 @@ Completion ShardedDevice::service_flush(const Submitted& sub) {
 }
 
 void ShardedDevice::release_ready(bool drain_all) {
+  // A held record's log position is final once nothing can still slot in
+  // before it: future submissions complete no earlier than the newest
+  // submit stamp seen (non-decreasing by the driver contract; a tie goes
+  // to the held record's smaller id), and commands a reordering policy
+  // left queued complete no earlier than their own submit stamp (strict
+  // bound — a queued command carries a smaller id, so it wins a tie).
+  const double unserviced_s = has_pending()
+                                  ? min_pending_submit_s()
+                                  : std::numeric_limits<double>::infinity();
   std::size_t n = 0;
   while (n < held_.size() &&
-         (drain_all || held_[n].complete_time_s <= watermark_s_)) {
+         (drain_all || (held_[n].complete_time_s <= max_submit_seen_s() &&
+                        held_[n].complete_time_s < unserviced_s))) {
     deliver(held_[n]);
     ++n;
   }

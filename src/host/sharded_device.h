@@ -43,10 +43,13 @@
 // complete earlier; poll() therefore withholds records that complete
 // after the newest submit time seen (a later submission could still
 // complete before them — submit stamps are non-decreasing, so anything
-// at or before the watermark is safe), while drain() delivers
-// everything. Polling cadences that end in one drain all observe the
-// identical log (tests/test_sharded_device.cc pins this, together with
-// worker-count byte-identity).
+// at or before that watermark is safe) and, under a reordering
+// arbitration policy, records that a still-queued command could still
+// precede (bounded below by the earliest queued submit time), while
+// drain() delivers everything. Polling cadences that end in one drain
+// all observe the identical log (tests/test_sharded_device.cc and
+// tests/test_arbitration.cc pin this, together with worker-count
+// byte-identity).
 #pragma once
 
 #include <cstdint>
@@ -154,7 +157,7 @@ class ShardedDevice : public Device {
   double now_s() const override;
 
  protected:
-  void pump() override;
+  void pump(bool force) override;
   void run_end_of_day() override;
   void release_ready(bool drain_all) override;
 
@@ -189,11 +192,12 @@ class ShardedDevice : public Device {
   std::vector<Shard> shards_;
   ThreadPool pool_;
   /// Serviced completions not yet delivered, sorted by
-  /// (complete_time, id) — the deterministic merged-log order.
+  /// (complete_time, id) — the deterministic merged-log order. Records
+  /// are released once no future submission (submit stamps are
+  /// non-decreasing, so bounded below by max_submit_seen_s()) and no
+  /// still-queued command (bounded below by min_pending_submit_s())
+  /// could complete earlier.
   std::vector<Completion> held_;
-  /// Newest submit time seen by pump(); records completing at or before
-  /// it can no longer be displaced in the log by future submissions.
-  double watermark_s_ = 0.0;
   /// Per-segment scratch: sub_results_[cmd * shards + shard].
   std::vector<SubResult> sub_results_;
 };

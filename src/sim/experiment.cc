@@ -41,6 +41,10 @@ const std::vector<ExperimentInfo>& experiments() {
       {"fig_qos_mc",
        "Drive-scale read QoS on the sharded Monte Carlo backend",
        run_fig_qos_mc},
+      {"fig_qos_tenants",
+       "Multi-tenant noisy-neighbor isolation: victim read tail vs "
+       "arbitration policy (fifo/round_robin/weighted/deadline)",
+       run_fig_qos_tenants},
       {"fig_reliability",
        "Fault injection vs the error path: UBER, recovery attribution, "
        "time-to-read-only",

@@ -41,6 +41,9 @@ Table run_scenario(ExperimentContext& ctx);
 /// Fleet lifetime runner: lifecycle trajectories + checkpoint/resume.
 Table run_fig_fleet(ExperimentContext& ctx);
 
+// experiments_tenants.cc
+Table run_fig_qos_tenants(ExperimentContext& ctx);
+
 // experiments_system.cc
 Table run_fig08(ExperimentContext& ctx);
 Table run_fig_qos(ExperimentContext& ctx);

@@ -23,6 +23,7 @@
 #include "replay/replayer.h"
 #include "sim/experiments.h"
 #include "workload/generator.h"
+#include "workload/tenants.h"
 
 namespace rdsim::sim {
 
@@ -73,6 +74,11 @@ void apply_scale(ExperimentContext& ctx, cfg::ScenarioSpec* spec) {
       scaled < floor ? floor : static_cast<std::uint32_t>(scaled);
   workload::WorkloadProfile& w = spec->workload.profile;
   w.daily_page_ios = ctx.scaled(w.daily_page_ios, 4000.0);
+  // Tenant profiles were copied out of [workload] at parse time, so they
+  // scale the same way, each with its own floor.
+  for (cfg::TenantSpec& tenant : spec->tenants.tenants)
+    tenant.profile.daily_page_ios =
+        ctx.scaled(tenant.profile.daily_page_ios, 4000.0);
 }
 
 }  // namespace
@@ -93,6 +99,12 @@ Table run_scenario(ExperimentContext& ctx) {
   std::unique_ptr<host::Device> device =
       host::make_device(spec.drive, drive_seed, workers);
   if (spec.warm_fill && spec.drive.is_analytic()) host::warm_fill(*device);
+  // Arbitration installs after the (single-tenant FIFO) warm fill, while
+  // the device is quiet, so the fill traffic never skews a tenant's
+  // fair-queueing clock.
+  if (spec.tenants.enabled())
+    device->set_arbitration(spec.tenants.arbitration());
+  const bool multi_tenant = spec.tenants.count() >= 2;
 
   replay::ReplaySummary trace_summary;
   if (spec.trace.enabled()) {
@@ -110,10 +122,31 @@ Table run_scenario(ExperimentContext& ctx) {
     opts.page_bytes = spec.trace.page_bytes;
     trace_summary = replay::replay_trace(file, *device, opts, nullptr);
     device->end_of_day();
+  } else if (multi_tenant) {
+    // One decorrelated stream per tenant, merged by arrival and driven
+    // in bursts so the tenants are co-pending when the policy arbitrates
+    // (a closed-loop trickle would leave it nothing to choose between).
+    std::vector<workload::WorkloadProfile> profiles;
+    profiles.reserve(spec.tenants.tenants.size());
+    for (const cfg::TenantSpec& tenant : spec.tenants.tenants)
+      profiles.push_back(tenant.profile);
+    workload::MultiTenantGenerator gen(profiles, device->logical_pages(),
+                                       trace_seed);
+    host::BurstWindowDriver driver(*device,
+                                   static_cast<int>(spec.queue_depth));
+    for (int day = 0; day < spec.days; ++day) {
+      driver.run(gen.day_commands());
+      device->end_of_day();
+    }
   } else {
-    workload::TraceGenerator gen(spec.workload.profile,
-                                 device->logical_pages(), trace_seed,
-                                 device->queue_count());
+    // Untagged scenario — or a single-tenant [tenants] section, which
+    // replays this exact path (plus a policy that degenerates to FIFO),
+    // so its table is byte-identical to the untagged one.
+    const workload::WorkloadProfile& profile =
+        spec.tenants.count() == 1 ? spec.tenants.tenants[0].profile
+                                  : spec.workload.profile;
+    workload::TraceGenerator gen(profile, device->logical_pages(),
+                                 trace_seed, device->queue_count());
     host::ClosedLoopDriver driver(*device,
                                   static_cast<int>(spec.queue_depth));
     for (int day = 0; day < spec.days; ++day) {
@@ -162,6 +195,48 @@ Table run_scenario(ExperimentContext& ctx) {
       us(stats.latency_quantile_s(CommandKind::kRead, 0.50)),
       us(stats.latency_quantile_s(CommandKind::kRead, 0.99)),
       us(stats.latency_quantile_s(CommandKind::kRead, 0.999)), stall_pct));
+
+  if (multi_tenant) {
+    table.new_section();
+    table.comment(
+        "Per-tenant QoS under the '" +
+        std::string(host::arbitration_policy_name(spec.tenants.policy)) +
+        "' policy (counts, read tail, stall share, per-status outcomes; "
+        "every column sums/merges to the global row above)");
+    table.row(
+        "tenant,profile,weight,deadline_us,commands,reads,iops,"
+        "read_mean_us,read_p50_us,read_p99_us,read_p999_us,stall_s,ok,"
+        "corrected,recovered,uncorrectable,failed_write,read_only,uber");
+    for (std::uint32_t t = 0; t < spec.tenants.count(); ++t) {
+      const cfg::TenantSpec& tenant = spec.tenants.tenants[t];
+      table.row(strf(
+          "%u,%s,%.3g,%.3g,%llu,%llu,%.0f,%.1f,%.1f,%.1f,%.1f,%.6g,"
+          "%llu,%llu,%llu,%llu,%llu,%llu,%.3g",
+          t, tenant.profile.name.c_str(), tenant.weight, tenant.deadline_us,
+          static_cast<unsigned long long>(stats.tenant_commands(t)),
+          static_cast<unsigned long long>(
+              stats.tenant_commands(t, CommandKind::kRead)),
+          stats.tenant_iops(t), us(stats.tenant_mean_read_latency_s(t)),
+          us(stats.tenant_read_latency_quantile_s(t, 0.50)),
+          us(stats.tenant_read_latency_quantile_s(t, 0.99)),
+          us(stats.tenant_read_latency_quantile_s(t, 0.999)),
+          stats.tenant_stall_seconds(t),
+          static_cast<unsigned long long>(
+              stats.tenant_commands(t, host::Status::kOk)),
+          static_cast<unsigned long long>(
+              stats.tenant_commands(t, host::Status::kCorrected)),
+          static_cast<unsigned long long>(
+              stats.tenant_commands(t, host::Status::kRecovered)),
+          static_cast<unsigned long long>(
+              stats.tenant_commands(t, host::Status::kUncorrectable)),
+          static_cast<unsigned long long>(
+              stats.tenant_commands(t, host::Status::kFailedWrite)),
+          static_cast<unsigned long long>(
+              stats.tenant_commands(t, host::Status::kReadOnly)),
+          stats.tenant_uber(t,
+                            static_cast<double>(spec.drive.bitlines))));
+    }
+  }
 
   if (spec.trace.enabled()) {
     table.new_section();

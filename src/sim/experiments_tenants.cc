@@ -1,0 +1,141 @@
+// fig_qos_tenants: the multi-tenant noisy-neighbor isolation study. A
+// latency-sensitive victim tenant shares a sharded analytic drive with a
+// read-hot, large-request aggressor (the disturb generator the paper's
+// read-hot workloads model), and the host sweeps arbitration policy ×
+// burst window. The interesting comparison is the victim's read tail:
+//   * fifo        — the victim sits wherever it arrived in the window,
+//                   behind up to a full window of aggressor bulk reads;
+//   * round_robin — one command per tenant per round, so the victim's
+//                   k-th command still waits behind k large aggressor
+//                   requests (round-robin is command-fair, not
+//                   work-fair);
+//   * weighted    — share-proportional on pages: with the victim's 8x
+//                   weight and small requests its virtual clock crawls,
+//                   so its commands sort ahead of the aggressor's bulk;
+//   * deadline    — EDF on submit + target: the victim's 500 us target
+//                   against the aggressor's 10 ms orders every victim
+//                   command first.
+// Alongside the tail the table carries each tenant's per-status outcome
+// counts and host-observed UBER — the disturb the aggressor generates is
+// visible on the same rows that show who paid for it in latency.
+//
+// Driven with BurstWindowDriver (whole windows co-pending, drained per
+// window), so the completion log — and this table — is a pure function
+// of (seed, scale): byte-identical at any --threads and poll cadence
+// (tests/test_arbitration.cc, tests/test_golden_experiments.cc).
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cfg/spec.h"
+#include "host/arbitration.h"
+#include "host/driver.h"
+#include "host/factory.h"
+#include "sim/experiments.h"
+#include "workload/profiles.h"
+#include "workload/tenants.h"
+
+namespace rdsim::sim {
+
+Table run_fig_qos_tenants(ExperimentContext& ctx) {
+  const bool full_scale = ctx.scale() >= 1.0;
+  const int days = 2;
+  const std::uint32_t kShards = 4;
+
+  // Tenant 0, the victim: web-VM style, mostly small reads, latency
+  // sensitive. Tenant 1, the aggressor: the read-hottest profile in the
+  // suite, at 4x the victim's volume and with bulk requests — the
+  // noisy neighbor accumulating read disturb on the shared flash.
+  workload::WorkloadProfile victim =
+      workload::profile_by_name("fiu-web-vm");
+  victim.daily_page_ios = ctx.scaled(2.2e5, 6000.0);
+  victim.mean_request_pages = 2.0;
+  workload::WorkloadProfile aggressor =
+      workload::profile_by_name("umass-web");
+  aggressor.daily_page_ios = ctx.scaled(8.8e5, 24000.0);
+  aggressor.mean_request_pages = 8.0;
+
+  // Same derivation scheme as fig08/fig_qos: one drive seed and one
+  // trace seed shared by every combo, offset so seeds near the default
+  // move continuously.
+  const std::uint64_t drive_seed = 19 + (ctx.seed() - 42);
+  const std::uint64_t trace_seed = 8642 + (ctx.seed() - 42);
+  const int workers = ctx.runner().thread_count();
+
+  const host::ArbitrationPolicy policies[] = {
+      host::ArbitrationPolicy::kFifo, host::ArbitrationPolicy::kRoundRobin,
+      host::ArbitrationPolicy::kWeighted, host::ArbitrationPolicy::kDeadline};
+  const int windows[] = {8, 32};
+
+  Table table;
+  table.comment(
+      "fig_qos_tenants: victim read tail vs arbitration policy and burst "
+      "window; tenant 0 = latency-sensitive victim (weight 8, 500 us "
+      "target), tenant 1 = read-hot bulk aggressor (weight 1, 10 ms) on "
+      "a 4-shard analytic drive");
+  table.row(
+      "policy,window,victim_reads,victim_p50_us,victim_p99_us,"
+      "victim_p999_us,victim_stall_s,victim_corrected,victim_recovered,"
+      "victim_uncorrectable,victim_uber,aggr_reads,aggr_p999_us,"
+      "aggr_uber,iops");
+
+  for (const host::ArbitrationPolicy policy : policies) {
+    for (const int window : windows) {
+      cfg::DriveSpec drive;
+      drive.backend = cfg::Backend::kShardedAnalytic;
+      drive.shards = kShards;
+      drive.queue_count = 4;
+      drive.blocks = full_scale ? 256 : 48;  // Per shard.
+      drive.pages_per_block = full_scale ? 128 : 32;
+      drive.overprovision = 0.2;
+      drive.gc_free_target = 4;
+      const std::unique_ptr<host::Device> device =
+          host::make_device(drive, drive_seed, workers);
+      host::warm_fill(*device);
+
+      host::ArbitrationConfig arb;
+      arb.policy = policy;
+      arb.tenants = {{/*weight=*/8.0, /*deadline_us=*/500.0},
+                     {/*weight=*/1.0, /*deadline_us=*/10000.0}};
+      device->set_arbitration(arb);
+
+      workload::MultiTenantGenerator gen({victim, aggressor},
+                                         device->logical_pages(), trace_seed);
+      host::BurstWindowDriver driver(*device, window);
+      for (int day = 0; day < days; ++day) {
+        driver.run(gen.day_commands());
+        device->end_of_day();
+      }
+
+      const host::CompletionStats& stats = device->stats();
+      const auto us = [](double seconds) { return seconds * 1e6; };
+      const auto bits = static_cast<double>(drive.bitlines);
+      using host::CommandKind;
+      using host::Status;
+      table.row(strf(
+          "%s,%d,%llu,%.1f,%.1f,%.1f,%.6g,%llu,%llu,%llu,%.3g,%llu,%.1f,"
+          "%.3g,%.0f",
+          host::arbitration_policy_name(policy), window,
+          static_cast<unsigned long long>(
+              stats.tenant_commands(0, CommandKind::kRead)),
+          us(stats.tenant_read_latency_quantile_s(0, 0.50)),
+          us(stats.tenant_read_latency_quantile_s(0, 0.99)),
+          us(stats.tenant_read_latency_quantile_s(0, 0.999)),
+          stats.tenant_stall_seconds(0),
+          static_cast<unsigned long long>(
+              stats.tenant_commands(0, Status::kCorrected)),
+          static_cast<unsigned long long>(
+              stats.tenant_commands(0, Status::kRecovered)),
+          static_cast<unsigned long long>(
+              stats.tenant_commands(0, Status::kUncorrectable)),
+          stats.tenant_uber(0, bits),
+          static_cast<unsigned long long>(
+              stats.tenant_commands(1, CommandKind::kRead)),
+          us(stats.tenant_read_latency_quantile_s(1, 0.999)),
+          stats.tenant_uber(1, bits), stats.iops()));
+    }
+  }
+  return table;
+}
+
+}  // namespace rdsim::sim

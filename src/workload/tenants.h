@@ -1,0 +1,46 @@
+// rdsim/workload/tenants.h
+//
+// MultiTenantGenerator: one decorrelated TraceGenerator per tenant,
+// merged into a single arrival-ordered command stream for the queued
+// device interface. Tenant t's commands are tagged tenant = t and routed
+// to submission queue t (the cfg layer guarantees tenant count <=
+// drive.queue_count, so each tenant owns a queue), and t's generator is
+// seeded with Rng::stream(seed, t) — the same counter-based derivation
+// discipline the experiment shards use, so tenant streams never depend
+// on each other, on the tenant count, or on the thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "host/command.h"
+#include "workload/generator.h"
+#include "workload/profiles.h"
+
+namespace rdsim::workload {
+
+class MultiTenantGenerator {
+ public:
+  /// One profile per tenant; `logical_pages` is the device's exported
+  /// logical space, shared by every tenant (co-located workloads contend
+  /// for the same flash — that is the point).
+  MultiTenantGenerator(const std::vector<WorkloadProfile>& profiles,
+                       std::uint64_t logical_pages, std::uint64_t seed);
+
+  std::uint32_t tenant_count() const {
+    return static_cast<std::uint32_t>(tenants_.size());
+  }
+  const WorkloadProfile& profile(std::uint32_t tenant) const {
+    return tenants_[tenant].profile();
+  }
+
+  /// One full day of commands across all tenants, merged by arrival time
+  /// (ties in tenant order — a deterministic merge of deterministic
+  /// per-tenant streams).
+  std::vector<host::Command> day_commands();
+
+ private:
+  std::vector<TraceGenerator> tenants_;
+};
+
+}  // namespace rdsim::workload

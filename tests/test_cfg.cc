@@ -506,5 +506,152 @@ TEST(Factory, ShardedAnalyticSpecMatchesHandBuiltServicers) {
   EXPECT_EQ(replay_log(*made, stream), replay_log(hand, stream));
 }
 
+TEST(Spec, TenantsSectionParsesAndRoundTrips) {
+  std::vector<Diagnostic> diags;
+  const ScenarioSpec spec = parse_text(
+      "[drive]\nbackend = sharded_analytic\nshards = 4\nqueue_count = 4\n"
+      "[workload]\nprofile = postmark\n"
+      "[tenants]\ncount = 3\npolicy = weighted\nweights = 4, 2, 1\n"
+      "deadlines_us = 500, 1000, 10000\n"
+      "profiles = fiu-mail, umass-web, postmark\n"
+      "daily_page_ios = 1000, 2000, 3000\n",
+      &diags);
+  EXPECT_TRUE(diags.empty()) << format_diagnostics(diags);
+  ASSERT_TRUE(spec.tenants.enabled());
+  ASSERT_EQ(spec.tenants.count(), 3u);
+  EXPECT_EQ(spec.tenants.policy, host::ArbitrationPolicy::kWeighted);
+  EXPECT_DOUBLE_EQ(spec.tenants.tenants[0].weight, 4.0);
+  EXPECT_DOUBLE_EQ(spec.tenants.tenants[2].weight, 1.0);
+  EXPECT_DOUBLE_EQ(spec.tenants.tenants[0].deadline_us, 500.0);
+  EXPECT_DOUBLE_EQ(spec.tenants.tenants[2].deadline_us, 10000.0);
+  EXPECT_EQ(spec.tenants.tenants[0].profile.name, "fiu-mail");
+  EXPECT_EQ(spec.tenants.tenants[1].profile.name, "umass-web");
+  // daily_page_ios overrides apply on top of the named profiles.
+  EXPECT_DOUBLE_EQ(spec.tenants.tenants[1].profile.daily_page_ios, 2000.0);
+
+  // And the spec maps onto the device-facing ArbitrationConfig verbatim.
+  const host::ArbitrationConfig arb = spec.tenants.arbitration();
+  EXPECT_EQ(arb.policy, host::ArbitrationPolicy::kWeighted);
+  ASSERT_EQ(arb.tenants.size(), 3u);
+  EXPECT_DOUBLE_EQ(arb.tenants[1].weight, 2.0);
+  EXPECT_DOUBLE_EQ(arb.tenants[1].deadline_us, 1000.0);
+}
+
+TEST(Spec, SingleTenantSectionDefaultsFromWorkload) {
+  // One tenant, no per-tenant lists: the tenant inherits the resolved
+  // [workload] profile and the default fifo policy — the configuration
+  // the byte-identity test in tests/test_arbitration.cc pins against
+  // the untagged path.
+  std::vector<Diagnostic> diags;
+  const ScenarioSpec spec = parse_text(
+      "[drive]\nbackend = analytic\n"
+      "[workload]\nprofile = fiu-mail\n"
+      "[tenants]\ncount = 1\n",
+      &diags);
+  EXPECT_TRUE(diags.empty()) << format_diagnostics(diags);
+  ASSERT_TRUE(spec.tenants.enabled());
+  ASSERT_EQ(spec.tenants.count(), 1u);
+  EXPECT_EQ(spec.tenants.policy, host::ArbitrationPolicy::kFifo);
+  EXPECT_EQ(spec.tenants.tenants[0].profile.name, "fiu-mail");
+  EXPECT_DOUBLE_EQ(spec.tenants.tenants[0].weight, 1.0);
+}
+
+TEST(Spec, BadTenantsSectionIsDiagnosedByKey) {
+  // Stray tenant knobs without a count are a broken section.
+  std::vector<Diagnostic> diags;
+  parse_text(
+      "[drive]\nbackend = analytic\n[workload]\nprofile = postmark\n"
+      "[tenants]\npolicy = weighted\n",
+      &diags);
+  EXPECT_TRUE(has_diag(diags, "tenants.count", "missing required"));
+
+  // Unknown policy names point at tenants.policy.
+  std::vector<Diagnostic> bad_policy;
+  parse_text(
+      "[drive]\nbackend = analytic\n[workload]\nprofile = postmark\n"
+      "[tenants]\ncount = 2\npolicy = lottery\n",
+      &bad_policy);
+  EXPECT_TRUE(has_diag(bad_policy, "tenants.policy",
+                       "unknown arbitration policy 'lottery'"));
+
+  // A zero or negative weight would starve a tenant outright.
+  std::vector<Diagnostic> zero_weight;
+  parse_text(
+      "[drive]\nbackend = analytic\n[workload]\nprofile = postmark\n"
+      "[tenants]\ncount = 2\npolicy = weighted\nweights = 1, 0\n",
+      &zero_weight);
+  EXPECT_TRUE(has_diag(zero_weight, "tenants.weights", "out of range"));
+  std::vector<Diagnostic> neg_weight;
+  parse_text(
+      "[drive]\nbackend = analytic\n[workload]\nprofile = postmark\n"
+      "[tenants]\ncount = 2\npolicy = weighted\nweights = 1, -2\n",
+      &neg_weight);
+  EXPECT_TRUE(has_diag(neg_weight, "tenants.weights", "out of range"));
+
+  // List lengths must match the tenant count, element for element.
+  std::vector<Diagnostic> short_list;
+  parse_text(
+      "[drive]\nbackend = analytic\n[workload]\nprofile = postmark\n"
+      "[tenants]\ncount = 3\nweights = 1, 2\n",
+      &short_list);
+  EXPECT_TRUE(has_diag(short_list, "tenants.weights",
+                       "expected 3 comma-separated values"));
+
+  // Malformed numbers name the offending token.
+  std::vector<Diagnostic> malformed;
+  parse_text(
+      "[drive]\nbackend = analytic\n[workload]\nprofile = postmark\n"
+      "[tenants]\ncount = 2\nweights = 1, fast\n",
+      &malformed);
+  EXPECT_TRUE(
+      has_diag(malformed, "tenants.weights", "malformed number 'fast'"));
+
+  // The deadline policy needs a deadline per tenant.
+  std::vector<Diagnostic> no_deadlines;
+  parse_text(
+      "[drive]\nbackend = analytic\n[workload]\nprofile = postmark\n"
+      "[tenants]\ncount = 2\npolicy = deadline\n",
+      &no_deadlines);
+  EXPECT_TRUE(
+      has_diag(no_deadlines, "tenants.deadlines_us", "missing required"));
+
+  // Each tenant submits on its own queue, so count is capped by the
+  // drive's queue count.
+  std::vector<Diagnostic> too_many;
+  parse_text(
+      "[drive]\nbackend = analytic\nqueue_count = 2\n"
+      "[workload]\nprofile = postmark\n[tenants]\ncount = 3\n",
+      &too_many);
+  EXPECT_TRUE(has_diag(too_many, "tenants.count",
+                       "exceeds drive.queue_count"));
+
+  // Unknown per-tenant profile names are rejected like workload.profile.
+  std::vector<Diagnostic> bad_profile;
+  parse_text(
+      "[drive]\nbackend = analytic\n[workload]\nprofile = postmark\n"
+      "[tenants]\ncount = 2\nprofiles = postmark, not-a-trace\n",
+      &bad_profile);
+  EXPECT_TRUE(has_diag(bad_profile, "tenants.profiles",
+                       "unknown workload profile 'not-a-trace'"));
+}
+
+TEST(Spec, TenantsConflictWithTraceAndFleet) {
+  // [tenants] generates its own synthetic traffic; combining it with a
+  // [trace] replay or a [fleet] run is contradictory.
+  std::vector<Diagnostic> with_trace;
+  parse_text(
+      "[drive]\nbackend = analytic\n[workload]\nprofile = postmark\n"
+      "[trace]\npath = t.csv\n[tenants]\ncount = 2\n",
+      &with_trace);
+  EXPECT_TRUE(has_diag(with_trace, "tenants.count", "[trace]"));
+
+  std::vector<Diagnostic> with_fleet;
+  parse_text(
+      "[drive]\nbackend = analytic\n[workload]\nprofile = postmark\n"
+      "[fleet]\ndrives = 4\n[tenants]\ncount = 2\n",
+      &with_fleet);
+  EXPECT_TRUE(has_diag(with_fleet, "tenants.count", "fleet"));
+}
+
 }  // namespace
 }  // namespace rdsim::cfg

@@ -89,8 +89,15 @@ struct GoldenEntry {
 // above the unchanged Ssd/Ftl simulation, the Ftl snapshot gained a
 // version field (format change only — no simulation path touched), and
 // the new [fleet] config section defaults to disabled everywhere else.
+// PR 10 added fig_qos_tenants (multi-tenant noisy-neighbor isolation
+// across the four arbitration policies) and kept every existing hash
+// unchanged: under the default FIFO policy the arbitration seam is
+// bit-transparent (keys are constant, the sorted service order is the
+// submission order, and nothing is ever withheld from service), and no
+// pre-existing run configures a [tenants] section.
 constexpr GoldenEntry kGolden[] = {
     {"fig_fleet", 0x94E36796},
+    {"fig_qos_tenants", 0xA506CF6E},
     {"fig_qos", 0x21AD8CF4},
     {"fig_trace_replay", 0x9885A439},
     {"fig_qos_mc", 0xFDC18F1D},

@@ -50,6 +50,15 @@
 //   sharded_w1_kcmds_per_s_wall / _w4_ / _w8_
 //   sharded_p99_read_us   simulated p99 (worker-independent)
 //
+// Multi-tenant QoS block (the PR 10 arbitration path end to end: a
+// victim + bulk-aggressor tenant pair through the weighted arbiter on a
+// 4-shard analytic drive, burst-window driven — submit-time keying,
+// sorted pending take, withheld completion release, per-tenant stats):
+//   qos_tenants_kcmds_per_s_wall  thousand tenant commands serviced per
+//                                 wall-clock second
+//   qos_tenants_victim_p999_us    simulated victim read p999 (a
+//                                 deterministic number, not a wall metric)
+//
 // With --compare BASELINE.json (CI passes bench/BENCH_baseline.json) each
 // metric is checked against the committed baseline and any regression
 // beyond 15% prints a PERF WARNING to stderr — warn-only, since absolute
@@ -72,6 +81,7 @@
 #include "common/thread_pool.h"
 #include "fleet/fleet.h"
 #include "host/driver.h"
+#include "host/factory.h"
 #include "host/sharded_device.h"
 #include "host/ssd_device.h"
 #include "nand/chip.h"
@@ -79,6 +89,7 @@
 #include "sim/experiment.h"
 #include "workload/generator.h"
 #include "workload/profiles.h"
+#include "workload/tenants.h"
 #include "workload/trace_io.h"
 
 namespace {
@@ -285,6 +296,52 @@ double fleet_drive_days_per_s() {
   return static_cast<double>(spec.fleet.drives) * 20.0 / wall_s;
 }
 
+/// Multi-tenant QoS arbitration end to end: a latency-sensitive victim
+/// and a bulk read-hot aggressor through the weighted arbiter on a
+/// 4-shard analytic drive, burst-window driven (the fig_qos_tenants hot
+/// path). p99_read_us carries the victim's simulated read p999.
+DriveMetrics qos_tenants_replay() {
+  using namespace rdsim;
+  cfg::DriveSpec drive;
+  drive.backend = cfg::Backend::kShardedAnalytic;
+  drive.shards = 4;
+  drive.queue_count = 4;
+  drive.blocks = 48;
+  drive.pages_per_block = 32;
+  drive.overprovision = 0.2;
+  drive.gc_free_target = 4;
+  const auto device = host::make_device(drive, /*seed=*/19, /*workers=*/4);
+  host::warm_fill(*device);
+
+  host::ArbitrationConfig arb;
+  arb.policy = host::ArbitrationPolicy::kWeighted;
+  arb.tenants = {{/*weight=*/8.0, /*deadline_us=*/500.0},
+                 {/*weight=*/1.0, /*deadline_us=*/10000.0}};
+  device->set_arbitration(arb);
+
+  workload::WorkloadProfile victim = workload::profile_by_name("fiu-web-vm");
+  victim.daily_page_ios = 20000.0;
+  victim.mean_request_pages = 2.0;
+  workload::WorkloadProfile aggressor =
+      workload::profile_by_name("umass-web");
+  aggressor.daily_page_ios = 40000.0;
+  aggressor.mean_request_pages = 8.0;
+  workload::MultiTenantGenerator gen({victim, aggressor},
+                                     device->logical_pages(), /*seed=*/8642);
+  host::BurstWindowDriver driver(*device, /*window=*/16);
+  const auto wall_start = Clock::now();
+  driver.run(gen.day_commands());
+  device->end_of_day();
+
+  DriveMetrics m;
+  m.iops = device->stats().iops();
+  m.p99_read_us =
+      device->stats().tenant_read_latency_quantile_s(0, 0.999) * 1e6;
+  m.wall_ms = ms_since(wall_start);
+  m.commands = device->stats().commands();
+  return m;
+}
+
 /// Parses the flat { "key": number, ... } JSON perf_smoke itself emits.
 /// Returns name/value pairs; non-numeric fields are skipped.
 std::vector<std::pair<std::string, double>> parse_flat_json(const char* path) {
@@ -462,6 +519,9 @@ int main(int argc, char** argv) {
 
   // Fleet runner end to end (lifecycle + checkpointable state machine).
   const double fleet_dd_per_s = fleet_drive_days_per_s();
+
+  // Multi-tenant QoS arbitration end to end.
+  const DriveMetrics qos_tenants = qos_tenants_replay();
   const auto kcmds_wall = [](const DriveMetrics& m) {
     return static_cast<double>(m.commands) / (m.wall_ms * 1e-3) / 1e3;
   };
@@ -494,6 +554,8 @@ int main(int argc, char** argv) {
       {"sharded_w8_kcmds_per_s_wall", kcmds_wall(sharded_w8)},
       {"sharded_p99_read_us", sharded_w1.p99_read_us},
       {"fleet_drive_days_per_s_wall", fleet_dd_per_s},
+      {"qos_tenants_kcmds_per_s_wall", kcmds_wall(qos_tenants)},
+      {"qos_tenants_victim_p999_us", qos_tenants.p99_read_us},
   };
 
   std::string json = "{\n";
